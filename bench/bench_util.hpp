@@ -1,0 +1,28 @@
+// Shared helpers for the table/figure regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace tdp::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void paper_vs_measured(const std::string& what,
+                              const std::string& paper,
+                              const std::string& measured) {
+  std::printf("  %-46s paper: %-14s ours: %s\n", what.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+inline void print_table(const TextTable& table) {
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace tdp::bench

@@ -1,0 +1,40 @@
+// Figure 11: TIP traffic pattern over one hour on the TUBE testbed.
+// "Traffic is high at the beginning of the hour for both users, but lower
+// at the end."
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "tube/tube_system.hpp"
+
+int main() {
+  using namespace tdp;
+  set_log_level(LogLevel::kError);
+  bench::banner("Fig. 11", "TUBE testbed, TIP traffic over one hour");
+
+  TubeSystem tube;
+  const auto report = tube.run_tip(2);  // two paired hours, averaged
+
+  TextTable table({"Period (5 min)", "User 1 (MB)", "User 2 (MB)",
+                   "Total (MB)"});
+  for (std::size_t i = 0; i < 12; ++i) {
+    table.add_row({std::to_string(i + 1),
+                   TextTable::num(report.user_period_mb[0][i], 0),
+                   TextTable::num(report.user_period_mb[1][i], 0),
+                   TextTable::num(report.total_period_mb[i], 0)});
+  }
+  bench::print_table(table);
+
+  const auto& totals = report.total_period_mb;
+  const double early = totals[0] + totals[1] + totals[2] + totals[3];
+  const double late = totals[8] + totals[9] + totals[10] + totals[11];
+  std::printf("\n");
+  bench::paper_vs_measured("traffic high early, low late", "declining hour",
+                           TextTable::num(early, 0) + " MB (first third) vs " +
+                               TextTable::num(late, 0) + " MB (last third)");
+  bench::paper_vs_measured("deferrals under flat pricing", "none",
+                           std::to_string(report.deferrals));
+  std::printf("  sessions: %zu, mean bottleneck utilization %.0f%%\n",
+              report.sessions, 100.0 * report.mean_utilization);
+  return 0;
+}

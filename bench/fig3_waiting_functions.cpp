@@ -1,0 +1,54 @@
+// Figure 3: normalized waiting functions for patient (beta = 0.5) and
+// impatient (beta = 5) users, 12-period model, reward $0.049, unit marginal
+// cost of exceeding capacity.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/paper_data.hpp"
+#include "core/waiting_function.hpp"
+
+int main() {
+  using namespace tdp;
+  bench::banner("Fig. 3", "waiting functions, patient vs impatient");
+
+  const std::size_t n = 12;
+  const double max_reward = 1.0;   // unit marginal cost
+  const double reward = 0.49;      // $0.049 in money units of $0.10
+
+  TextTable table({"t (periods)", "w, beta=0.5 (patient)",
+                   "w, beta=5 (impatient)"});
+  const PowerLawWaitingFunction patient(0.5, n, max_reward);
+  const PowerLawWaitingFunction impatient(5.0, n, max_reward);
+  for (std::size_t t = 1; t < n; ++t) {
+    table.add_row({std::to_string(t),
+                   TextTable::num(patient.value(reward, double(t)), 4),
+                   TextTable::num(impatient.value(reward, double(t)), 4)});
+  }
+  bench::print_table(table);
+
+  double patient_mass = 0.0;
+  double impatient_mass = 0.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    patient_mass += patient.value(reward, double(t));
+    impatient_mass += impatient.value(reward, double(t));
+  }
+  std::printf("\n");
+  bench::paper_vs_measured("both normalized to total mass p/P = 0.49",
+                           "0.49",
+                           TextTable::num(patient_mass, 3) + " / " +
+                               TextTable::num(impatient_mass, 3));
+  bench::paper_vs_measured(
+      "impatient curve starts higher, dies faster",
+      "crossover",
+      "w(1): " + TextTable::num(impatient.value(reward, 1.0), 3) + " > " +
+          TextTable::num(patient.value(reward, 1.0), 3) + "; w(10): " +
+          TextTable::num(impatient.value(reward, 10.0), 4) + " < " +
+          TextTable::num(patient.value(reward, 10.0), 4));
+
+  std::printf("\nTable IV patience-index examples:\n");
+  for (std::size_t s = 0; s < paper::kPatienceIndices.size(); ++s) {
+    std::printf("  beta = %-4.1f %s\n", paper::kPatienceIndices[s],
+                std::string(paper::session_example(s)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8: traffic profile under the dynamic session model. "Traffic in
+// nearly all periods is much reduced; deferred traffic from initially
+// overused periods no longer carries over into subsequent periods. Residue
+// spread decreases dramatically from 2623.1 GB with TIP to 1142.0 GB with
+// TDP."
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "core/metrics.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/paper_dynamic.hpp"
+
+int main() {
+  using namespace tdp;
+  bench::banner("Fig. 8", "traffic profile, dynamic session model (48p)");
+
+  const DynamicModel model = paper::dynamic_model_48();
+  const DynamicPricingSolution sol = optimize_dynamic_prices(model);
+  const auto tip_eval = model.evaluate(math::Vector(48, 0.0));
+
+  // The figure plots offered load: arrivals plus carried-over backlog.
+  std::vector<double> tip_load(48, 0.0);
+  std::vector<double> tdp_load(48, 0.0);
+  for (std::size_t i = 0; i < 48; ++i) {
+    const std::size_t prev = (i + 47) % 48;
+    tip_load[i] = tip_eval.arrivals[i] + tip_eval.backlog[prev];
+    tdp_load[i] = sol.evaluation.arrivals[i] + sol.evaluation.backlog[prev];
+  }
+
+  TextTable table({"Period", "TIP load (MBps)", "TDP load (MBps)",
+                   "TIP backlog", "TDP backlog"});
+  for (std::size_t i = 0; i < 48; ++i) {
+    table.add_row({std::to_string(i + 1),
+                   TextTable::num(to_mbps(tip_load[i]), 0),
+                   TextTable::num(to_mbps(tdp_load[i]), 1),
+                   TextTable::num(tip_eval.backlog[i], 1),
+                   TextTable::num(sol.evaluation.backlog[i], 2)});
+  }
+  bench::print_table(table);
+
+  const double spread_tip = residue_spread(tip_load);
+  const double spread_tdp = residue_spread(tdp_load);
+  std::printf("\n");
+  bench::paper_vs_measured(
+      "residue spread drops dramatically", "2623.1 -> 1142.0 GB (0.435)",
+      TextTable::num(spread_tip, 1) + " -> " +
+          TextTable::num(spread_tdp, 1) + " unit-periods (ratio " +
+          TextTable::num(spread_tdp / spread_tip, 3) + ")");
+  bench::paper_vs_measured(
+      "dynamic TIP spread amplified vs static (923.4 -> 2623.1, 2.8x)",
+      "carry-over amplifies peaks",
+      "dynamic/static TIP spread = " +
+          TextTable::num(spread_tip / 256.5, 2) + "x");
+  double tip_backlog = 0.0;
+  double tdp_backlog = 0.0;
+  for (std::size_t i = 0; i < 48; ++i) {
+    tip_backlog += tip_eval.backlog[i];
+    tdp_backlog += sol.evaluation.backlog[i];
+  }
+  bench::paper_vs_measured(
+      "deferred traffic no longer carries over", "backlog ~ eliminated",
+      "total backlog " + TextTable::num(tip_backlog, 0) + " -> " +
+          TextTable::num(tdp_backlog, 1) + " unit-periods");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks for the paper's runtime claims and the library's hot
+// paths (google-benchmark).
+//
+// Paper claims: static optimization "under 10 seconds on a standard
+// laptop"; online price determination (12 periods, 10 types) "in less than
+// 5 seconds"; waiting-function estimation (3 periods, 2 types) "in under 25
+// seconds".
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/paper_data.hpp"
+#include "core/static_optimizer.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "dynamic/paper_dynamic.hpp"
+#include "dynamic/stochastic_sim.hpp"
+#include "estimation/wf_estimator.hpp"
+#include "tube/tube_system.hpp"
+
+namespace {
+
+using namespace tdp;
+
+void BM_StaticOptimize48(benchmark::State& state) {
+  const StaticModel model = paper::static_model_48();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_static_prices(model));
+  }
+}
+BENCHMARK(BM_StaticOptimize48)->Unit(benchmark::kMillisecond);
+
+void BM_StaticOptimize12(benchmark::State& state) {
+  const StaticModel model = paper::static_model_12();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_static_prices(model));
+  }
+}
+BENCHMARK(BM_StaticOptimize12)->Unit(benchmark::kMillisecond);
+
+void BM_StaticCostEvaluation(benchmark::State& state) {
+  const StaticModel model = paper::static_model_48();
+  const math::Vector rewards(48, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.total_cost(rewards));
+  }
+}
+BENCHMARK(BM_StaticCostEvaluation);
+
+void BM_StaticGradient(benchmark::State& state) {
+  const StaticModel model = paper::static_model_48();
+  const math::Vector rewards(48, 0.5);
+  math::Vector grad(48, 0.0);
+  for (auto _ : state) {
+    model.smoothed_gradient(rewards, 1e-3, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_StaticGradient);
+
+void BM_DynamicOptimize48(benchmark::State& state) {
+  const DynamicModel model = paper::dynamic_model_48();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_dynamic_prices(model));
+  }
+}
+BENCHMARK(BM_DynamicOptimize48)->Unit(benchmark::kMillisecond);
+
+void BM_OnlinePriceStep(benchmark::State& state) {
+  // The paper's "online price determination completed in < 5 s" step.
+  OnlinePricer pricer(paper::dynamic_model_48());
+  std::size_t period = 0;
+  for (auto _ : state) {
+    const double forecast = pricer.model().arrivals().tip_demand(period);
+    benchmark::DoNotOptimize(pricer.observe_period(period, forecast));
+    period = (period + 1) % 48;
+  }
+}
+BENCHMARK(BM_OnlinePriceStep)->Unit(benchmark::kMillisecond);
+
+void BM_WaitingFunctionEstimation(benchmark::State& state) {
+  // The paper's "< 25 s" case: 3 periods, 2 types.
+  PatienceMix truth(3, 2, 1.0);
+  truth.set(0, 0, 0.17, 1.0);
+  truth.set(0, 1, 0.83, 2.0);
+  truth.set(1, 0, 0.50, 1.0);
+  truth.set(1, 1, 0.50, 2.33);
+  truth.set(2, 0, 0.83, 1.0);
+  truth.set(2, 1, 0.17, 2.67);
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const WaitingFunctionEstimator estimator(3, 2, 1.0);
+  Rng rng(2011);
+  std::vector<EstimationDataset> data;
+  for (int d = 0; d < 60; ++d) {
+    math::Vector rewards(3);
+    for (double& p : rewards) p = rng.uniform(0.0, 1.0);
+    data.push_back(estimator.synthesize(truth, demand, rewards));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate_reduced3(demand, data));
+  }
+}
+BENCHMARK(BM_WaitingFunctionEstimation)->Unit(benchmark::kMillisecond);
+
+void BM_StochasticDay48(benchmark::State& state) {
+  const DynamicModel model = paper::dynamic_model_48();
+  const math::Vector rewards(48, 0.2);
+  StochasticSimOptions options;
+  options.days = 1;
+  options.warmup_days = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_stochastic(model, rewards, options));
+  }
+}
+BENCHMARK(BM_StochasticDay48)->Unit(benchmark::kMillisecond);
+
+void BM_TubeHourTip(benchmark::State& state) {
+  set_log_level(LogLevel::kOff);
+  for (auto _ : state) {
+    TubeSystem tube;
+    benchmark::DoNotOptimize(tube.run_tip(1));
+  }
+}
+BENCHMARK(BM_TubeHourTip)->Unit(benchmark::kMillisecond);
+
+void BM_DeferralKernelBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<paper::MixRow> mix(n, paper::table8_mix_12()[0]);
+  for (auto _ : state) {
+    DemandProfile profile = paper::make_profile(mix, 1.5);
+    benchmark::DoNotOptimize(
+        DeferralKernel(profile, LagConvention::kPeriodStart));
+  }
+}
+BENCHMARK(BM_DeferralKernelBuild)->Arg(12)->Arg(48)->Arg(96);
+
+}  // namespace

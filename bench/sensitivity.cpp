@@ -1,0 +1,154 @@
+// Sensitivity studies for the abstract's claim: "The degree to which
+// traffic is evened out over times of the day depends on the
+// time-sensitivity of sessions, cost structure of the ISP, and amount of
+// traffic not subject to time-dependent prices."
+//
+//  S1  time-sensitivity: scale every patience index beta by a factor
+//  S2  cost structure: single-slope vs tiered (multi-kink) capacity cost
+//  S3  TDP-exempt traffic: a fraction of every period's demand ignores
+//      prices (users under the usage cap, Section II); the ISP subtracts
+//      it from the capacity A_i and prices only the remainder.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/metrics.hpp"
+#include "core/paper_data.hpp"
+#include "core/static_optimizer.hpp"
+
+namespace {
+
+using namespace tdp;
+
+DemandProfile scaled_beta_profile(double beta_scale) {
+  const auto mix = paper::table7_mix_48();
+  std::array<WaitingFunctionPtr, 10> waiting;
+  for (std::size_t s = 0; s < paper::kPatienceIndices.size(); ++s) {
+    waiting[s] = std::make_shared<PowerLawWaitingFunction>(
+        paper::kPatienceIndices[s] * beta_scale, 48,
+        paper::kStaticNormalizationReward);
+  }
+  DemandProfile profile(48);
+  for (std::size_t i = 0; i < 48; ++i) {
+    for (std::size_t s = 0; s < 10; ++s) {
+      if (mix[i][s] > 0.0) profile.add_class(i, {waiting[s], mix[i][s]});
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Sensitivity", "time-sensitivity / cost structure / exempt "
+                               "traffic");
+
+  // S1: patience scaling.
+  {
+    std::printf("\nS1  patience-index scaling (all beta x factor):\n");
+    TextTable t({"beta scale", "Savings (%)", "Spread ratio",
+                 "Traffic moved (%)"});
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      StaticModel model(scaled_beta_profile(scale),
+                        paper::kStaticCapacityUnits,
+                        math::PiecewiseLinearCost::hinge(3.0));
+      const PricingSolution sol = optimize_static_prices(model);
+      const auto tip = model.demand().tip_demand_vector();
+      t.add_row({TextTable::num(scale, 2),
+                 TextTable::num(100.0 * (sol.tip_cost - sol.total_cost) /
+                                    sol.tip_cost,
+                                1),
+                 TextTable::num(residue_spread(sol.usage) /
+                                    residue_spread(tip),
+                                3),
+                 TextTable::num(
+                     100.0 * redistributed_fraction(tip, sol.usage), 1)});
+    }
+    bench::print_table(t);
+    std::printf("  impatient populations (large scale) blunt TDP: sessions "
+                "are \"too\n  time-sensitive\" to move far.\n");
+  }
+
+  // S2: cost structure.
+  {
+    std::printf("\nS2  cost structure (same total slope, different "
+                "shapes):\n");
+    TextTable t({"Capacity cost f", "Savings (%)", "Spread ratio"});
+    struct Case {
+      const char* name;
+      math::PiecewiseLinearCost cost;
+    };
+    const Case cases[] = {
+        {"3 max(x,0) (paper)", math::PiecewiseLinearCost::hinge(3.0)},
+        {"tiered: 1 above 0, +2 above 2",
+         math::PiecewiseLinearCost(0.0, {{0.0, 1.0}, {2.0, 2.0}})},
+        {"tiered: 2 above 0, +1 above 4",
+         math::PiecewiseLinearCost(0.0, {{0.0, 2.0}, {4.0, 1.0}})},
+    };
+    for (const Case& c : cases) {
+      StaticModel model(
+          paper::make_profile(paper::table7_mix_48(),
+                              paper::kStaticNormalizationReward),
+          paper::kStaticCapacityUnits, c.cost);
+      const PricingSolution sol = optimize_static_prices(model);
+      const auto tip = model.demand().tip_demand_vector();
+      t.add_row({c.name,
+                 TextTable::num(100.0 * (sol.tip_cost - sol.total_cost) /
+                                    sol.tip_cost,
+                                1),
+                 TextTable::num(residue_spread(sol.usage) /
+                                    residue_spread(tip),
+                                3)});
+    }
+    bench::print_table(t);
+    std::printf("  gentle first tiers tolerate small overages, so the ISP "
+                "pays fewer\n  rewards and evens out less.\n");
+  }
+
+  // S3: TDP-exempt traffic consuming capacity.
+  {
+    std::printf("\nS3  fraction of traffic not subject to TDP (under the "
+                "usage cap):\n");
+    TextTable t({"Exempt fraction", "Savings vs full-TDP TIP (%)",
+                 "Spread ratio (priced traffic)"});
+    const auto full_mix = paper::table7_mix_48();
+    for (double exempt : {0.0, 0.2, 0.4, 0.6}) {
+      // Exempt traffic shrinks both the priced demand and the available
+      // capacity A_i (Section II's time-varying capacity device).
+      DemandProfile priced(48);
+      std::vector<double> capacity(48, 0.0);
+      std::array<WaitingFunctionPtr, 10> waiting;
+      for (std::size_t s = 0; s < 10; ++s) {
+        waiting[s] = std::make_shared<PowerLawWaitingFunction>(
+            paper::kPatienceIndices[s], 48,
+            paper::kStaticNormalizationReward);
+      }
+      for (std::size_t i = 0; i < 48; ++i) {
+        double exempt_volume = 0.0;
+        for (std::size_t s = 0; s < 10; ++s) {
+          const double volume = full_mix[i][s] * (1.0 - exempt);
+          exempt_volume += full_mix[i][s] * exempt;
+          if (volume > 0.0) priced.add_class(i, {waiting[s], volume});
+        }
+        capacity[i] = paper::kStaticCapacityUnits - exempt_volume;
+        capacity[i] = std::max(capacity[i], 0.0);
+      }
+      StaticModel model(std::move(priced), capacity,
+                        math::PiecewiseLinearCost::hinge(3.0));
+      const PricingSolution sol = optimize_static_prices(model);
+      const auto tip = model.demand().tip_demand_vector();
+      t.add_row({TextTable::num(exempt, 1),
+                 TextTable::num(100.0 * (sol.tip_cost - sol.total_cost) /
+                                    std::max(sol.tip_cost, 1e-9),
+                                1),
+                 TextTable::num(residue_spread(sol.usage) /
+                                    std::max(residue_spread(tip), 1e-9),
+                                3)});
+    }
+    bench::print_table(t);
+    std::printf("  exempt traffic eats the capacity headroom the ISP needs "
+                "as deferral\n  targets, so TDP's leverage shrinks with the "
+                "exempt share.\n");
+  }
+  return 0;
+}

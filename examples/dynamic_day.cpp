@@ -1,0 +1,79 @@
+// Dynamic pricing with carry-over and online adaptation (Section III/V-B).
+//
+// Sessions that the bottleneck cannot serve spill into the next period, so
+// evening congestion cascades deep into the night; deferral becomes far
+// more valuable than the static model suggests. The online pricer then
+// absorbs a demand surprise (period 1 arrives light) and re-tunes one
+// reward per period as the day unfolds. A session-level stochastic run
+// validates the fluid predictions.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "core/metrics.hpp"
+#include "core/paper_data.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "dynamic/paper_dynamic.hpp"
+#include "dynamic/stochastic_sim.hpp"
+
+int main() {
+  using namespace tdp;
+
+  const DynamicModel model = paper::dynamic_model_48();
+  const DynamicPricingSolution offline = optimize_dynamic_prices(model);
+  const auto tip = model.evaluate(math::Vector(48, 0.0));
+
+  std::printf("=== dynamic day: capacity 210 MBps, work carries over ===\n");
+  std::printf("  flat pricing : $%.2f/user/day (peak backlog %.0f MBps)\n",
+              per_user_daily_cost_dollars(offline.tip_cost, kPaperUserCount),
+              to_mbps(*std::max_element(tip.backlog.begin(),
+                                        tip.backlog.end())));
+  std::printf("  offline TDP  : $%.2f/user/day (peak backlog %.0f MBps)\n",
+              per_user_daily_cost_dollars(offline.evaluation.total_cost,
+                                          kPaperUserCount),
+              to_mbps(*std::max_element(offline.evaluation.backlog.begin(),
+                                        offline.evaluation.backlog.end())));
+  double max_reward = 0.0;
+  for (double p : offline.rewards) max_reward = std::max(max_reward, p);
+  std::printf("  max reward   : $%.3f — above the static one-period cap of "
+              "$%.3f\n",
+              to_dollars(max_reward),
+              to_dollars(paper::kDynamicCostSlope / 2.0));
+
+  // Online adaptation: the morning comes in 13%% light.
+  std::printf("\n--- online adaptation: period 1 arrives at 200 instead of "
+              "230 MBps ---\n");
+  OnlinePricer pricer(paper::dynamic_model_48());
+  const math::Vector nominal = pricer.rewards();
+  const auto step = pricer.observe_period(0, 20.0);
+  std::printf("  period-1 reward: $%.4f -> $%.4f\n",
+              to_dollars(step.old_reward), to_dollars(step.new_reward));
+  for (std::size_t period = 1; period < 48; ++period) {
+    pricer.observe_period(
+        period, pricer.model().arrivals().tip_demand(period));
+  }
+  const double adjusted = pricer.expected_cost();
+  const double kept = pricer.model().total_cost(nominal);
+  std::printf("  day cost: $%.3f/user adjusted vs $%.3f/user nominal "
+              "(%.1f%% saved by adapting)\n",
+              per_user_daily_cost_dollars(adjusted, kPaperUserCount),
+              per_user_daily_cost_dollars(kept, kPaperUserCount),
+              100.0 * (kept - adjusted) / kept);
+
+  // Stochastic validation at the fluid optimum.
+  std::printf("\n--- session-level stochastic check (Poisson arrivals, "
+              "exponential sizes) ---\n");
+  StochasticSimOptions options;
+  options.days = 30;
+  const auto sim = simulate_stochastic(model, offline.rewards, options);
+  std::printf("  %zu sessions simulated, %zu deferred\n",
+              sim.sessions_simulated, sim.sessions_deferred);
+  std::printf("  reward cost/day: %.1f fluid vs %.1f realized\n",
+              offline.evaluation.reward_cost, sim.mean_reward_cost);
+  std::printf("  backlog cost/day: %.1f fluid vs %.1f realized — the fluid\n"
+              "  optimum rides the capacity knife edge, so real randomness\n"
+              "  re-creates backlog; provision a capacity cushion.\n",
+              offline.evaluation.backlog_cost, sim.mean_backlog_cost);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// A simulated week-long field trial ("a planned field trial ... at
+// Princeton, each participant's Internet connection fee will be paid by
+// the TUBE project").
+//
+// Seven days on the TUBE testbed with day-to-day demand drift: weekdays run
+// hot in the first half of the hour-cycle, the weekend flips the pattern.
+// Day 1 runs flat-priced (baseline), day 2 runs a control trial for
+// profiling, days 3-7 run online-optimized TDP. The trial report tracks
+// each user's weekly bill, earned rewards and moved traffic — what the real
+// trial would have mailed to participants.
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tube/tube_system.hpp"
+
+int main() {
+  using namespace tdp;
+  set_log_level(LogLevel::kError);
+
+  std::printf("=== one-week TUBE field trial (emulated) ===\n");
+
+  double week_bill[2] = {0.0, 0.0};
+  double week_rewards[2] = {0.0, 0.0};
+  double week_moved[2] = {0.0, 0.0};
+  std::size_t week_sessions = 0;
+  std::size_t week_deferrals = 0;
+
+  const auto absorb = [&](const TubeSystem::PhaseReport& report) {
+    for (std::size_t u = 0; u < 2; ++u) {
+      week_bill[u] += report.user_bill_dollars[u];
+      week_rewards[u] += report.user_reward_dollars[u];
+      for (std::size_t c = 0; c < 3; ++c) {
+        week_moved[u] += report.class_deferred_mb[u][c];
+      }
+    }
+    week_sessions += report.sessions;
+    week_deferrals += report.deferrals;
+  };
+
+  Rng rng(2012);  // the planned trial year
+  for (int day = 0; day < 7; ++day) {
+    TubeConfig cfg = default_testbed_config();
+    cfg.seed = 9000 + static_cast<std::uint64_t>(day);  // fresh arrivals
+    const bool weekend = day >= 5;
+    cfg.profile.peak = 1.6;
+    cfg.profile.multiplier = [weekend](double t) {
+      const double phase = std::fmod(t, 3600.0) / 3600.0;
+      return weekend ? 0.6 + 1.0 * phase   // weekend: ramps up
+                     : 1.6 - 1.0 * phase;  // weekday: ramps down
+    };
+    TubeSystem tube(cfg);
+
+    if (day == 0) {
+      const auto report = tube.run_tip(2);
+      absorb(report);
+      std::printf("  day 1 (baseline TIP): %zu sessions, util %.0f%%\n",
+                  report.sessions, 100.0 * report.mean_utilization);
+      continue;
+    }
+
+    // Every day needs its own baseline + windows because the TubeSystem is
+    // rebuilt per day (demand drifts); days 2+ run a quick measurement
+    // cycle, then either a control trial (day 2) or optimized pricing.
+    tube.run_tip(1);
+    math::Vector trial_rewards(12);
+    for (double& p : trial_rewards) p = rng.uniform(0.0, 0.01);
+    const auto trial = tube.run_trial(trial_rewards, 1);
+    if (day == 1) {
+      absorb(trial);
+      std::printf("  day 2 (control trial): %zu deferrals recorded\n",
+                  trial.deferrals);
+      continue;
+    }
+
+    const auto opt = tube.run_optimized(2);
+    absorb(opt);
+    std::printf("  day %d (%s, optimized): %zu deferrals, util %.0f%%\n",
+                day + 1, weekend ? "weekend" : "weekday", opt.deferrals,
+                100.0 * opt.mean_utilization);
+  }
+
+  std::printf("\n--- participant statements ---\n");
+  for (std::size_t u = 0; u < 2; ++u) {
+    std::printf("  participant %zu (%s): bill $%.2f, rewards earned $%.2f, "
+                "traffic shifted %.1f GB\n",
+                u + 1, u == 0 ? "impatient group" : "flexible group",
+                week_bill[u], week_rewards[u], week_moved[u] / 1000.0);
+  }
+  std::printf("  totals: %zu sessions, %zu deferred\n", week_sessions,
+              week_deferrals);
+  std::printf("\nThe flexible participant funds part of their week through "
+              "rewards —\nthe adoption incentive the trial was designed to "
+              "demonstrate.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small time-dependent pricing problem from scratch and
+// solve it.
+//
+// An ISP divides the day into 6 periods. Evening periods are congested,
+// early-morning ones idle. Each period's demand is split into a patient
+// class (file backups, beta = 0.5) and an impatient class (streaming,
+// beta = 4). The ISP offers per-period rewards so that users shift load
+// into the idle periods.
+#include <cstdio>
+#include <memory>
+
+#include "core/static_model.hpp"
+#include "core/static_optimizer.hpp"
+
+int main() {
+  using namespace tdp;
+
+  const std::size_t periods = 6;
+  const double max_reward = 1.0;  // normalization point P
+
+  // Waiting functions: probability a session defers by t periods at
+  // reward p (normalized so the total deferral mass at p = P is 1).
+  const auto patient =
+      std::make_shared<PowerLawWaitingFunction>(0.5, periods, max_reward);
+  const auto impatient =
+      std::make_shared<PowerLawWaitingFunction>(4.0, periods, max_reward);
+
+  // Demand under flat (time-independent) pricing, in bandwidth units.
+  DemandProfile demand(periods);
+  const double patient_volume[periods] = {4, 2, 1, 3, 8, 10};
+  const double impatient_volume[periods] = {2, 1, 1, 3, 6, 7};
+  for (std::size_t i = 0; i < periods; ++i) {
+    demand.add_class(i, {patient, patient_volume[i]});
+    demand.add_class(i, {impatient, impatient_volume[i]});
+  }
+
+  // Bottleneck capacity 8 units/period; exceeding it costs 2 money units
+  // per unit (so rational rewards stay below 1 = P).
+  StaticModel model(std::move(demand), 8.0,
+                    math::PiecewiseLinearCost::hinge(2.0));
+
+  const PricingSolution solution = optimize_static_prices(model);
+
+  std::printf("flat-pricing cost : %.3f\n", solution.tip_cost);
+  std::printf("TDP cost          : %.3f (%.1f%% savings)\n",
+              solution.total_cost,
+              100.0 * (solution.tip_cost - solution.total_cost) /
+                  solution.tip_cost);
+  std::printf("\n%-8s %-10s %-10s %-10s\n", "period", "demand", "reward",
+              "usage");
+  for (std::size_t i = 0; i < periods; ++i) {
+    std::printf("%-8zu %-10.1f %-10.3f %-10.2f\n", i + 1,
+                patient_volume[i] + impatient_volume[i],
+                solution.rewards[i], solution.usage[i]);
+  }
+  std::printf("\nRewards are offered for deferring INTO a period; idle "
+              "periods attract the\nevening backlog, the morning spike "
+              "flattens, and nobody's session is dropped.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "common/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+std::size_t CsvTable::column_count() const {
+  if (!header.empty()) return header.size();
+  return rows.empty() ? 0 : rows.front().size();
+}
+
+double CsvTable::number(std::size_t row, std::size_t column) const {
+  const std::string& text = cell(row, column);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  TDP_REQUIRE(end != text.c_str() && *end == '\0',
+              "cell is not a number: '" + text + "'");
+  return value;
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t column) const {
+  TDP_REQUIRE(row < rows.size(), "row out of range");
+  TDP_REQUIRE(column < rows[row].size(), "column out of range");
+  return rows[row][column];
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == name) return c;
+  }
+  throw PreconditionError("no CSV column named '" + name + "'");
+}
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) {
+    // Trim surrounding whitespace.
+    const auto first = cell.find_first_not_of(" \t\r");
+    const auto last = cell.find_last_not_of(" \t\r");
+    cells.push_back(first == std::string::npos
+                        ? std::string()
+                        : cell.substr(first, last - first + 1));
+  }
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+CsvTable parse_csv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool header_pending = has_header;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip blanks and comments.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::vector<std::string> cells = split_line(line);
+    if (header_pending) {
+      table.header = std::move(cells);
+      width = table.header.size();
+      header_pending = false;
+      continue;
+    }
+    if (width == 0) width = cells.size();
+    TDP_REQUIRE(cells.size() == width,
+                "ragged CSV row: expected " + std::to_string(width) +
+                    " cells, got " + std::to_string(cells.size()));
+    table.rows.push_back(std::move(cells));
+  }
+  return table;
+}
+
+CsvTable load_csv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str(), has_header);
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  const auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  if (!header.empty()) emit(header);
+  for (const auto& row : rows) emit(row);
+  return out.str();
+}
+
+void save_csv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write CSV file: " + path);
+  out << to_csv(header, rows);
+  if (!out) throw Error("failed writing CSV file: " + path);
+}
+
+}  // namespace tdp

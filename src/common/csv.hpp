@@ -1,0 +1,45 @@
+// Minimal CSV reading/writing for the CLI tools and data interchange.
+//
+// Supports the subset the TDP tools need: comma-separated numeric and
+// string cells, optional header row, '#' comment lines, and ignored blank
+// lines. No quoting/escaping — demand tables are plain numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+struct CsvTable {
+  std::vector<std::string> header;             ///< empty if no header
+  std::vector<std::vector<std::string>> rows;  ///< raw cells
+
+  std::size_t row_count() const { return rows.size(); }
+  std::size_t column_count() const;
+
+  /// Cell parsed as double; throws PreconditionError on malformed input.
+  double number(std::size_t row, std::size_t column) const;
+
+  /// Raw cell text.
+  const std::string& cell(std::size_t row, std::size_t column) const;
+
+  /// Index of a header column by name; throws if absent or no header.
+  std::size_t column_index(const std::string& name) const;
+};
+
+/// Parse CSV text. If `has_header` the first non-comment line is the
+/// header. Ragged rows are rejected.
+CsvTable parse_csv(const std::string& text, bool has_header);
+
+/// Load and parse a CSV file; throws Error if unreadable.
+CsvTable load_csv(const std::string& path, bool has_header);
+
+/// Serialize rows (and optional header) to CSV text.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+/// Write CSV text to a file; throws Error on failure.
+void save_csv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace tdp

@@ -1,0 +1,35 @@
+// Cyclic period arithmetic.
+//
+// The paper's day is a ring of n periods. "The time between periods i and k
+// is given by i - k, which is the number b in [1, n], b == i - k (mod n).
+// If k > i, i - k is the time between period k on one day and period i on
+// the next." (Section II.)
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+/// Lag (in whole periods, in [1, n]) from period `from` to period `to` on a
+/// ring of `n` periods. Periods are 0-based here; the paper's 1-based
+/// formulas translate directly. `from == to` maps to a full day (n), which
+/// by convention never occurs as a deferral target in the models.
+inline std::size_t cyclic_lag(std::size_t from, std::size_t to,
+                              std::size_t n) {
+  TDP_REQUIRE(n > 0, "ring must have at least one period");
+  TDP_REQUIRE(from < n && to < n, "period index out of range");
+  const std::size_t diff = (to + n - from) % n;
+  return diff == 0 ? n : diff;
+}
+
+/// Period reached by advancing `lag` periods from `from` on a ring of `n`.
+inline std::size_t cyclic_advance(std::size_t from, std::size_t lag,
+                                  std::size_t n) {
+  TDP_REQUIRE(n > 0, "ring must have at least one period");
+  TDP_REQUIRE(from < n, "period index out of range");
+  return (from + lag) % n;
+}
+
+}  // namespace tdp

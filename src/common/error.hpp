@@ -1,0 +1,41 @@
+// Error handling for the TDP library.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw exceptions derived
+// from a single library base type for programming and modeling errors, and
+// use TDP_REQUIRE for precondition checks on public API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tdp {
+
+/// Base class for all errors thrown by the TDP library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or produced an invalid result.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace tdp
+
+/// Check a precondition on a public API boundary; throws PreconditionError.
+#define TDP_REQUIRE(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw ::tdp::PreconditionError(std::string(__func__) +      \
+                                     ": precondition failed: " +  \
+                                     (msg) + " (" #cond ")");     \
+    }                                                             \
+  } while (false)

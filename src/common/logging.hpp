@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The library logs to stderr through a single global sink; tests and benches
+// can raise the threshold to silence it. Not thread-safe by design: the TDP
+// models are single-threaded numerical code, and the netsim event loop is
+// single-threaded as well.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tdp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (used by the TDP_LOG macro; callable directly too).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tdp
+
+#define TDP_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::tdp::log_level())) { \
+  } else                                                 \
+    ::tdp::detail::LogLine(level)
+
+#define TDP_LOG_DEBUG TDP_LOG(::tdp::LogLevel::kDebug)
+#define TDP_LOG_INFO TDP_LOG(::tdp::LogLevel::kInfo)
+#define TDP_LOG_WARN TDP_LOG(::tdp::LogLevel::kWarn)
+#define TDP_LOG_ERROR TDP_LOG(::tdp::LogLevel::kError)

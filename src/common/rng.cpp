@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+std::uint64_t Rng::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  TDP_REQUIRE(lo <= hi, "uniform range must be ordered");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  TDP_REQUIRE(n > 0, "uniform_index needs a nonempty range");
+  // Rejection-free Lemire-style multiply-shift is overkill here; modulo bias
+  // is negligible for the small n used in simulations, but guard anyway.
+  const std::uint64_t threshold = (~0ull - n + 1) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  TDP_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u = uniform();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  TDP_REQUIRE(mean >= 0.0, "poisson mean must be nonnegative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(draw));
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double z = radius * std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+Rng Rng::fork() {
+  // Derive a child seed from two draws to decorrelate the streams.
+  const std::uint64_t a = next();
+  const std::uint64_t b = next();
+  return Rng(a ^ (b * 0xD1342543DE82EF95ull) ^ 0x5851F42D4C957F2Dull);
+}
+
+}  // namespace tdp

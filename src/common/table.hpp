@@ -1,0 +1,36 @@
+// Console table formatting for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figure series;
+// TextTable renders them with aligned columns so the output can be compared
+// line-by-line against the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Render with a header rule and 2-space column gaps.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdp

@@ -1,0 +1,172 @@
+#include "core/deferral_kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/cyclic.hpp"
+#include "common/error.hpp"
+#include "math/quadrature.hpp"
+
+namespace tdp {
+
+double lag_weight(const WaitingFunction& w, double reward, std::size_t lag,
+                  LagConvention convention) {
+  const double t = static_cast<double>(lag);
+  if (convention == LagConvention::kPeriodStart) {
+    return w.value(reward, t);
+  }
+  return math::integrate_gauss(
+      [&w, reward](double u) { return w.value(reward, u); }, t - 1.0, t, 1);
+}
+
+double lag_weight_derivative(const WaitingFunction& w, double reward,
+                             std::size_t lag, LagConvention convention) {
+  const double t = static_cast<double>(lag);
+  if (convention == LagConvention::kPeriodStart) {
+    return w.reward_derivative(reward, t);
+  }
+  return math::integrate_gauss(
+      [&w, reward](double u) { return w.reward_derivative(reward, u); },
+      t - 1.0, t, 1);
+}
+
+DeferralKernel::DeferralKernel(const DemandProfile& demand,
+                               LagConvention convention)
+    : periods_(demand.periods()), convention_(convention) {
+  classes_.reserve(periods_);
+  linear_ = true;
+  for (std::size_t i = 0; i < periods_; ++i) {
+    classes_.push_back(demand.classes(i));
+    for (const SessionClass& sc : classes_.back()) {
+      linear_ = linear_ && sc.waiting->is_linear_in_reward();
+    }
+  }
+
+  if (!linear_) return;
+
+  // Precompute unit-reward pair volumes.
+  unit_.assign(periods_ * periods_, 0.0);
+  unit_inflow_.assign(periods_, 0.0);
+  for (std::size_t from = 0; from < periods_; ++from) {
+    for (std::size_t to = 0; to < periods_; ++to) {
+      if (to == from) continue;
+      const std::size_t lag = cyclic_lag(from, to, periods_);
+      double volume = 0.0;
+      for (const SessionClass& sc : classes_[from]) {
+        volume += sc.volume * lag_weight(*sc.waiting, 1.0, lag, convention_);
+      }
+      unit_[from * periods_ + to] = volume;
+      unit_inflow_[to] += volume;
+    }
+  }
+}
+
+double DeferralKernel::pair_volume(std::size_t from, std::size_t to,
+                                   double reward) const {
+  TDP_REQUIRE(from < periods_ && to < periods_ && from != to,
+              "invalid period pair");
+  if (reward <= 0.0) return 0.0;
+  if (linear_) return unit_[from * periods_ + to] * reward;
+  const std::size_t lag = cyclic_lag(from, to, periods_);
+  double volume = 0.0;
+  for (const SessionClass& sc : classes_[from]) {
+    volume += sc.volume * lag_weight(*sc.waiting, reward, lag, convention_);
+  }
+  return volume;
+}
+
+double DeferralKernel::pair_volume_derivative(std::size_t from,
+                                              std::size_t to,
+                                              double reward) const {
+  TDP_REQUIRE(from < periods_ && to < periods_ && from != to,
+              "invalid period pair");
+  if (linear_) return unit_[from * periods_ + to];
+  const std::size_t lag = cyclic_lag(from, to, periods_);
+  double deriv = 0.0;
+  for (const SessionClass& sc : classes_[from]) {
+    deriv += sc.volume *
+             lag_weight_derivative(*sc.waiting, reward, lag, convention_);
+  }
+  return deriv;
+}
+
+double DeferralKernel::inflow(std::size_t into, double reward) const {
+  TDP_REQUIRE(into < periods_, "period out of range");
+  if (reward <= 0.0) return 0.0;
+  if (linear_) return unit_inflow_[into] * reward;
+  double total = 0.0;
+  for (std::size_t from = 0; from < periods_; ++from) {
+    if (from == into) continue;
+    total += pair_volume(from, into, reward);
+  }
+  return total;
+}
+
+double DeferralKernel::inflow_derivative(std::size_t into,
+                                         double reward) const {
+  TDP_REQUIRE(into < periods_, "period out of range");
+  if (linear_) return unit_inflow_[into];
+  double total = 0.0;
+  for (std::size_t from = 0; from < periods_; ++from) {
+    if (from == into) continue;
+    total += pair_volume_derivative(from, into, reward);
+  }
+  return total;
+}
+
+double DeferralKernel::outflow(std::size_t from,
+                               const std::vector<double>& rewards) const {
+  TDP_REQUIRE(from < periods_, "period out of range");
+  TDP_REQUIRE(rewards.size() == periods_, "reward vector size mismatch");
+  double total = 0.0;
+  for (std::size_t to = 0; to < periods_; ++to) {
+    if (to == from) continue;
+    if (linear_) {
+      if (rewards[to] > 0.0) total += unit_[from * periods_ + to] * rewards[to];
+    } else {
+      total += pair_volume(from, to, rewards[to]);
+    }
+  }
+  return total;
+}
+
+double DeferralKernel::max_safe_reward() const {
+  double cap = std::numeric_limits<double>::infinity();
+  std::vector<double> demand(periods_, 0.0);
+  for (std::size_t i = 0; i < periods_; ++i) {
+    for (const SessionClass& sc : classes_[i]) demand[i] += sc.volume;
+  }
+
+  if (linear_) {
+    for (std::size_t i = 0; i < periods_; ++i) {
+      double unit_out = 0.0;
+      for (std::size_t m = 0; m < periods_; ++m) {
+        if (m != i) unit_out += unit_[i * periods_ + m];
+      }
+      if (unit_out > 0.0 && demand[i] > 0.0) {
+        cap = std::min(cap, demand[i] / unit_out);
+      }
+    }
+    return cap;
+  }
+
+  // Nonlinear: bisection per period on outflow(uniform r) <= demand.
+  for (std::size_t i = 0; i < periods_; ++i) {
+    if (demand[i] <= 0.0) continue;
+    auto outflow_at = [this, i](double r) {
+      return outflow(i, std::vector<double>(periods_, r));
+    };
+    double hi = 1.0;
+    while (outflow_at(hi) < demand[i] && hi < 1e9) hi *= 2.0;
+    if (hi >= 1e9) continue;  // never saturates
+    double lo = 0.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (outflow_at(mid) < demand[i] ? lo : hi) = mid;
+    }
+    cap = std::min(cap, lo);
+  }
+  return cap;
+}
+
+}  // namespace tdp

@@ -1,0 +1,89 @@
+// Deferral kernel: aggregate deferred volume between period pairs.
+//
+// Both the static and dynamic models repeatedly need
+//
+//   V(from, to, p) = sum_{j in from} v_j * w_j(p, lag(from, to))
+//
+// — the volume deferred from one period to another at reward p — and its
+// reward derivative. The kernel snapshots the demand mix, supports two lag
+// conventions (Prop. 5):
+//
+//   kPeriodStart:    sessions start at the period boundary; the lag is the
+//                    integer cyclic distance (static model, Section II);
+//   kUniformArrival: arrival times are uniform within the period, so the
+//                    effective waiting-function weight is the average
+//                    integral_0^1 w(p, L-1+u) du (dynamic model, Appendix F);
+//
+// and precomputes unit-reward coefficients when every waiting function is
+// linear in the reward, making model evaluations pure arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+
+namespace tdp {
+
+enum class LagConvention { kPeriodStart, kUniformArrival };
+
+/// Effective waiting weight for a whole-period lag L under a convention:
+/// w(p, L) for kPeriodStart, or the uniform-arrival average
+/// integral_{L-1}^{L} w(p, u) du for kUniformArrival. Shared by the kernel
+/// and the session-level stochastic simulator so the two agree exactly in
+/// expectation.
+double lag_weight(const WaitingFunction& w, double reward, std::size_t lag,
+                  LagConvention convention);
+
+/// d/dp of lag_weight.
+double lag_weight_derivative(const WaitingFunction& w, double reward,
+                             std::size_t lag, LagConvention convention);
+
+class DeferralKernel {
+ public:
+  DeferralKernel(const DemandProfile& demand, LagConvention convention);
+
+  std::size_t periods() const { return periods_; }
+  LagConvention convention() const { return convention_; }
+
+  /// True when all waiting functions are linear in the reward, enabling the
+  /// precomputed fast path.
+  bool linear() const { return linear_; }
+
+  /// Volume deferred from `from` to `to` (!= from) at reward p.
+  double pair_volume(std::size_t from, std::size_t to, double reward) const;
+
+  /// d/dp of pair_volume.
+  double pair_volume_derivative(std::size_t from, std::size_t to,
+                                double reward) const;
+
+  /// sum over sources k != into of pair_volume(k, into, reward).
+  double inflow(std::size_t into, double reward) const;
+
+  /// d/dp of inflow.
+  double inflow_derivative(std::size_t into, double reward) const;
+
+  /// sum over targets m != from of pair_volume(from, m, rewards[m]).
+  double outflow(std::size_t from, const std::vector<double>& rewards) const;
+
+  /// Largest uniform reward r such that no period's outflow at rewards
+  /// r*(1,...,1) exceeds its demand — the model's probabilistic validity
+  /// bound ("usage deferred out of a period is not greater than demand
+  /// under TIP"). Under a normalization matched to the kernel's lag
+  /// convention this equals the normalization point P. Returns +inf when
+  /// there is no demand to defer.
+  double max_safe_reward() const;
+
+ private:
+  std::size_t periods_;
+  LagConvention convention_;
+  bool linear_ = false;
+  /// Snapshot of the demand mix (shared waiting-function handles).
+  std::vector<std::vector<SessionClass>> classes_;
+  /// unit_[from * n + to]: pair volume at unit reward (linear fast path).
+  std::vector<double> unit_;
+  /// Column sums: inflow into each target at unit reward.
+  std::vector<double> unit_inflow_;
+};
+
+}  // namespace tdp

@@ -1,0 +1,60 @@
+#include "core/demand_profile.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+DemandProfile::DemandProfile(std::size_t periods) : mixes_(periods) {
+  TDP_REQUIRE(periods >= 2, "a pricing day needs at least two periods");
+}
+
+void DemandProfile::add_class(std::size_t period, SessionClass session_class) {
+  TDP_REQUIRE(period < mixes_.size(), "period out of range");
+  TDP_REQUIRE(session_class.waiting != nullptr,
+              "session class needs a waiting function");
+  TDP_REQUIRE(session_class.volume >= 0.0, "volume must be nonnegative");
+  mixes_[period].push_back(std::move(session_class));
+}
+
+const std::vector<SessionClass>& DemandProfile::classes(
+    std::size_t period) const {
+  TDP_REQUIRE(period < mixes_.size(), "period out of range");
+  return mixes_[period];
+}
+
+double DemandProfile::tip_demand(std::size_t period) const {
+  TDP_REQUIRE(period < mixes_.size(), "period out of range");
+  double total = 0.0;
+  for (const SessionClass& sc : mixes_[period]) total += sc.volume;
+  return total;
+}
+
+std::vector<double> DemandProfile::tip_demand_vector() const {
+  std::vector<double> out(mixes_.size(), 0.0);
+  for (std::size_t i = 0; i < mixes_.size(); ++i) out[i] = tip_demand(i);
+  return out;
+}
+
+double DemandProfile::total_demand() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < mixes_.size(); ++i) total += tip_demand(i);
+  return total;
+}
+
+void DemandProfile::set_classes(std::size_t period,
+                                std::vector<SessionClass> classes) {
+  TDP_REQUIRE(period < mixes_.size(), "period out of range");
+  for (const SessionClass& sc : classes) {
+    TDP_REQUIRE(sc.waiting != nullptr, "session class needs a waiting function");
+    TDP_REQUIRE(sc.volume >= 0.0, "volume must be nonnegative");
+  }
+  mixes_[period] = std::move(classes);
+}
+
+void DemandProfile::scale_period(std::size_t period, double factor) {
+  TDP_REQUIRE(period < mixes_.size(), "period out of range");
+  TDP_REQUIRE(factor >= 0.0, "scale factor must be nonnegative");
+  for (SessionClass& sc : mixes_[period]) sc.volume *= factor;
+}
+
+}  // namespace tdp

@@ -1,0 +1,58 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tdp {
+
+double residue_spread(const std::vector<double>& profile) {
+  TDP_REQUIRE(!profile.empty(), "profile must be nonempty");
+  double total = 0.0;
+  for (double v : profile) total += v;
+  const double mean = total / static_cast<double>(profile.size());
+  double spread = 0.0;
+  for (double v : profile) spread += std::abs(v - mean);
+  return spread;
+}
+
+double area_between(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  TDP_REQUIRE(a.size() == b.size() && !a.empty(),
+              "profiles must be nonempty and equal-length");
+  double area = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) area += std::abs(a[i] - b[i]);
+  return area;
+}
+
+double peak_to_valley(const std::vector<double>& profile) {
+  TDP_REQUIRE(!profile.empty(), "profile must be nonempty");
+  const auto [lo, hi] = std::minmax_element(profile.begin(), profile.end());
+  return *hi - *lo;
+}
+
+double redistributed_fraction(const std::vector<double>& tip,
+                              const std::vector<double>& tdp) {
+  double total = 0.0;
+  for (double v : tip) total += v;
+  TDP_REQUIRE(total > 0.0, "total traffic must be positive");
+  return 0.5 * area_between(tip, tdp) / total;
+}
+
+double unit_periods_to_mb(double unit_periods) {
+  return unit_periods * kMBpsPerDemandUnit * kSecondsPerPeriod;
+}
+
+double unit_periods_to_gb(double unit_periods) {
+  return unit_periods_to_mb(unit_periods) / 1000.0;
+}
+
+double per_user_daily_cost_dollars(double cost_money_units,
+                                   std::size_t users) {
+  TDP_REQUIRE(users > 0, "need at least one user");
+  return to_dollars(cost_money_units) / static_cast<double>(users);
+}
+
+}  // namespace tdp

@@ -1,0 +1,43 @@
+// Traffic-profile metrics used throughout the evaluation (Section V).
+//
+// "Residue spread" is the paper's measure of how uneven a traffic profile
+// is: the area between the profile and the constant profile with the same
+// total usage. We compute it in demand-unit-periods (10 MBps sustained for
+// one period) and provide conversions to MB/GB. The paper's absolute GB
+// figures use an unstated time convention (see DESIGN.md); all comparisons
+// in EXPERIMENTS.md are therefore made on ratios, which are unit-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tdp {
+
+/// Area between `profile` and the constant profile with equal total usage,
+/// in (demand units) x (periods).
+double residue_spread(const std::vector<double>& profile);
+
+/// Area between two profiles of equal length: sum_i |a_i - b_i|.
+double area_between(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+/// max_i profile_i - min_i profile_i.
+double peak_to_valley(const std::vector<double>& profile);
+
+/// Fraction of total traffic moved between periods: half the area between
+/// the TIP and TDP profiles divided by total traffic (every moved unit
+/// leaves one period and enters another, so the area double-counts it).
+double redistributed_fraction(const std::vector<double>& tip,
+                              const std::vector<double>& tdp);
+
+/// Convert demand-unit-periods to megabytes (10 MBps * 1800 s per unit).
+double unit_periods_to_mb(double unit_periods);
+
+/// Convert demand-unit-periods to gigabytes.
+double unit_periods_to_gb(double unit_periods);
+
+/// Per-user daily cost in dollars from a cost in money units ($0.10).
+double per_user_daily_cost_dollars(double cost_money_units,
+                                   std::size_t users);
+
+}  // namespace tdp

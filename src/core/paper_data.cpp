@@ -1,0 +1,209 @@
+#include "core/paper_data.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "math/piecewise_linear.hpp"
+
+namespace tdp::paper {
+namespace {
+
+// Table VII rows; each covers two consecutive periods.
+constexpr std::array<MixRow, 24> kTable7 = {{
+    {5, 5, 7, 1, 1, 0, 2, 0, 0, 2},    // periods 1 & 2
+    {4, 3, 7, 0, 0, 0, 2, 0, 0, 4},    // 3 & 4
+    {3, 2, 5, 1, 1, 0, 1, 0, 0, 3},    // 5 & 6
+    {1, 2, 4, 2, 2, 1, 1, 0, 0, 0},    // 7 & 8
+    {1, 2, 3, 1, 1, 0, 1, 0, 0, 0},    // 9 & 10
+    {1, 2, 2, 0, 0, 0, 1, 0, 1, 1},    // 11 & 12
+    {1, 2, 1, 0, 0, 0, 1, 0, 1, 1},    // 13 & 14
+    {0, 1, 2, 0, 0, 2, 1, 0, 1, 1},    // 15 & 16
+    {1, 3, 2, 0, 1, 0, 1, 1, 1, 1},    // 17 & 18
+    {2, 1, 3, 0, 1, 0, 1, 3, 1, 1},    // 19 & 20
+    {2, 5, 3, 0, 1, 0, 2, 0, 2, 2},    // 21 & 22
+    {5, 5, 7, 1, 1, 0, 2, 0, 0, 2},    // 23 & 24
+    {3, 6, 4, 2, 1, 0, 2, 0, 2, 0},    // 25 & 26
+    {3, 4, 4, 0, 3, 0, 2, 0, 2, 2},    // 27 & 28
+    {3, 4, 4, 2, 1, 0, 2, 0, 2, 2},    // 29 & 30
+    {6, 3, 5, 0, 1, 1, 2, 2, 0, 2},    // 31 & 32
+    {8, 2, 5, 0, 1, 0, 2, 1, 1, 2},    // 33 & 34
+    {4, 7, 2, 0, 1, 0, 2, 5, 0, 2},    // 35 & 36
+    {6, 5, 2, 2, 2, 1, 2, 1, 0, 1},    // 37 & 38
+    {4, 7, 5, 0, 0, 0, 2, 0, 4, 2},    // 39 & 40
+    {7, 6, 7, 0, 1, 2, 0, 0, 0, 0},    // 41 & 42
+    {9, 5, 5, 0, 1, 0, 3, 3, 0, 0},    // 43 & 44
+    {7, 8, 5, 0, 1, 0, 1, 0, 1, 3},    // 45 & 46
+    {8, 11, 5, 0, 0, 0, 0, 3, 0, 0},   // 47 & 48
+}};
+
+// Table VIII: 12 periods.
+constexpr std::array<MixRow, 12> kTable8 = {{
+    {4, 4, 7, 1, 1, 0, 2, 0, 0, 3},
+    {2, 2, 4, 1, 1, 0, 1, 0, 0, 2},
+    {1, 2, 2, 0, 1, 0, 1, 0, 1, 0},
+    {1, 2, 1, 0, 0, 1, 1, 0, 1, 1},
+    {1, 2, 2, 0, 1, 0, 1, 2, 1, 1},
+    {3, 3, 3, 1, 1, 1, 2, 1, 2, 2},
+    {3, 5, 4, 1, 2, 0, 2, 0, 2, 1},
+    {5, 4, 5, 1, 1, 1, 2, 1, 1, 2},
+    {6, 5, 4, 0, 1, 0, 2, 3, 1, 2},
+    {5, 6, 4, 1, 1, 1, 2, 1, 2, 2},
+    {8, 5, 6, 0, 1, 1, 1, 1, 0, 0},
+    {7, 9, 5, 0, 1, 0, 1, 1, 1, 1},
+}};
+
+// Table XI: period-1 mixes for total demand 18..26 units.
+constexpr std::array<MixRow, 9> kTable11 = {{
+    {4, 3, 6, 0, 0, 0, 2, 0, 0, 3},   // 18
+    {3, 3, 6, 1, 0, 0, 2, 0, 0, 4},   // 19
+    {3, 3, 6, 1, 1, 0, 2, 0, 0, 4},   // 20
+    {3, 3, 7, 1, 1, 0, 2, 0, 0, 4},   // 21
+    {3, 4, 7, 1, 1, 0, 2, 0, 0, 4},   // 22 (baseline study row)
+    {3, 4, 7, 1, 1, 0, 2, 0, 0, 5},   // 23
+    {3, 4, 8, 1, 1, 0, 2, 0, 0, 5},   // 24
+    {4, 4, 8, 1, 1, 0, 2, 0, 0, 5},   // 25
+    {4, 4, 8, 1, 1, 0, 3, 0, 0, 5},   // 26
+}};
+
+// Table XIII: period-1 mis-estimated mix (users less willing to defer).
+constexpr MixRow kTable13 = {3, 4, 5, 0, 1, 2, 2, 0, 0, 5};
+
+// Table XV: all-period mis-estimated mixes.
+constexpr std::array<MixRow, 12> kTable15 = {{
+    {3, 4, 5, 0, 1, 2, 2, 0, 0, 5},
+    {2, 2, 4, 1, 1, 0, 1, 0, 0, 2},
+    {1, 2, 2, 0, 1, 0, 1, 0, 1, 0},
+    {0, 2, 1, 0, 1, 1, 1, 0, 1, 1},
+    {1, 2, 2, 0, 1, 0, 1, 2, 1, 1},
+    {3, 3, 3, 1, 1, 1, 2, 1, 2, 2},
+    {3, 5, 2, 1, 2, 0, 2, 0, 2, 3},
+    {2, 4, 5, 1, 1, 1, 2, 1, 3, 2},
+    {4, 2, 4, 0, 1, 0, 2, 4, 4, 2},
+    {2, 5, 5, 1, 0, 1, 2, 2, 3, 3},
+    {5, 4, 2, 3, 1, 1, 2, 1, 2, 1},
+    {6, 8, 5, 0, 1, 0, 1, 1, 2, 3},
+}};
+
+constexpr std::array<std::string_view, 10> kSessionExamples = {
+    "File backup",
+    "Non-critical software update",
+    "Non-critical file download (e.g. peer-to-peer)",
+    "Website browsing",
+    "Online purchases",
+    "Movie download for immediate viewing",
+    "Critical file download or software update",
+    "Checking email",
+    "Television program streaming",
+    "Live sporting event",
+};
+
+math::PiecewiseLinearCost static_cost() {
+  return math::PiecewiseLinearCost::hinge(kStaticCostSlope, 0.0);
+}
+
+}  // namespace
+
+std::string_view session_example(std::size_t patience_slot) {
+  TDP_REQUIRE(patience_slot < kSessionExamples.size(),
+              "patience slot out of range");
+  return kSessionExamples[patience_slot];
+}
+
+std::vector<MixRow> table7_mix_48() {
+  std::vector<MixRow> rows;
+  rows.reserve(48);
+  for (const MixRow& pair_row : kTable7) {
+    rows.push_back(pair_row);
+    rows.push_back(pair_row);
+  }
+  return rows;
+}
+
+std::vector<MixRow> table8_mix_12() {
+  return {kTable8.begin(), kTable8.end()};
+}
+
+std::vector<double> table5_demand_48() {
+  std::vector<double> demand;
+  demand.reserve(48);
+  for (const MixRow& row : table7_mix_48()) {
+    double total = 0.0;
+    for (double v : row) total += v;
+    demand.push_back(total);
+  }
+  return demand;
+}
+
+std::vector<double> table9_demand_12() {
+  std::vector<double> demand;
+  demand.reserve(12);
+  for (const MixRow& row : kTable8) {
+    double total = 0.0;
+    for (double v : row) total += v;
+    demand.push_back(total);
+  }
+  return demand;
+}
+
+MixRow table11_period1_mix(int total_units) {
+  TDP_REQUIRE(total_units >= 18 && total_units <= 26,
+              "Table XI covers totals 18..26");
+  return kTable11[static_cast<std::size_t>(total_units - 18)];
+}
+
+MixRow table13_period1_mix() { return kTable13; }
+
+std::vector<MixRow> table15_mix_12() {
+  return {kTable15.begin(), kTable15.end()};
+}
+
+DemandProfile make_profile(const std::vector<MixRow>& mix,
+                           double max_reward,
+                           LagNormalization normalization) {
+  TDP_REQUIRE(mix.size() >= 2, "need at least two periods");
+  const std::size_t n = mix.size();
+
+  // One shared waiting function per patience index (they are identical
+  // across periods for a fixed n and normalization).
+  std::array<WaitingFunctionPtr, 10> waiting;
+  for (std::size_t s = 0; s < kPatienceIndices.size(); ++s) {
+    waiting[s] = std::make_shared<PowerLawWaitingFunction>(
+        kPatienceIndices[s], n, max_reward, 1.0, normalization);
+  }
+
+  DemandProfile profile(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < kPatienceIndices.size(); ++s) {
+      if (mix[i][s] <= 0.0) continue;
+      profile.add_class(i, SessionClass{waiting[s], mix[i][s]});
+    }
+  }
+  return profile;
+}
+
+StaticModel static_model_48() {
+  return StaticModel(
+      make_profile(table7_mix_48(), kStaticNormalizationReward),
+      kStaticCapacityUnits, static_cost());
+}
+
+StaticModel static_model_12() {
+  return StaticModel(
+      make_profile(table8_mix_12(), kStaticNormalizationReward),
+      kStaticCapacityUnits, static_cost());
+}
+
+StaticModel static_model_12_with_period1(const MixRow& period1_mix) {
+  std::vector<MixRow> mix = table8_mix_12();
+  mix[0] = period1_mix;
+  return static_model_12_with_mix(mix);
+}
+
+StaticModel static_model_12_with_mix(const std::vector<MixRow>& mix) {
+  TDP_REQUIRE(mix.size() == 12, "12-period model needs 12 mix rows");
+  return StaticModel(
+      make_profile(mix, kStaticNormalizationReward),
+      kStaticCapacityUnits, static_cost());
+}
+
+}  // namespace tdp::paper

@@ -1,0 +1,26 @@
+#include "core/profit.hpp"
+
+#include "common/error.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+ProfitBreakdown evaluate_profit(const StaticModel& model,
+                                const math::Vector& rewards,
+                                double flat_usage_price,
+                                double marginal_op_cost) {
+  TDP_REQUIRE(flat_usage_price >= 0.0, "flat price must be nonnegative");
+  TDP_REQUIRE(marginal_op_cost >= 0.0, "marginal cost must be nonnegative");
+
+  ProfitBreakdown out;
+  const math::Vector x = model.usage(rewards);
+  out.revenue = flat_usage_price * model.demand().total_demand();
+  out.reward_cost = model.reward_cost(rewards);
+  out.operational_cost = marginal_op_cost * math::sum(x);
+  out.capacity_cost = model.capacity_cost_value(x);
+  out.profit = out.revenue - out.reward_cost - out.operational_cost -
+               out.capacity_cost;
+  return out;
+}
+
+}  // namespace tdp

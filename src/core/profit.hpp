@@ -1,0 +1,32 @@
+// Profit accounting (Prop. 2): minimizing cost == maximizing profit.
+//
+// Profit under TDP (eq. 12):
+//   pi = p_flat * sum_i X_i                (revenue under TIP)
+//        - sum_i p_i * (deferred into i)   (cost of rewards)
+//        - d * sum_i x_i                   (operational cost)
+//        - sum_i f(x_i - A_i)              (cost of exceeding capacity).
+// Because sessions never disappear, sum x_i == sum X_i, so pi differs from
+// -C by a constant and the two optimization problems coincide.
+#pragma once
+
+#include "core/static_model.hpp"
+
+namespace tdp {
+
+struct ProfitBreakdown {
+  double revenue = 0.0;          ///< p_flat * total TIP demand
+  double reward_cost = 0.0;      ///< sum p_i * deferred-in
+  double operational_cost = 0.0; ///< d * total usage
+  double capacity_cost = 0.0;    ///< sum f(x_i - A_i)
+  double profit = 0.0;
+};
+
+/// Evaluate the TDP profit (eq. 12) for a reward vector.
+/// @param flat_usage_price  p: TIP usage price per demand unit (money units)
+/// @param marginal_op_cost  d: cost of carrying one demand unit (money units)
+ProfitBreakdown evaluate_profit(const StaticModel& model,
+                                const math::Vector& rewards,
+                                double flat_usage_price,
+                                double marginal_op_cost);
+
+}  // namespace tdp

@@ -1,0 +1,64 @@
+#include "core/two_period.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+TwoPeriodSolution optimize_two_period_prices(const StaticModel& model,
+                                             const TwoPeriodOptions& options) {
+  TDP_REQUIRE(options.reward_levels >= 2 && options.threshold_levels >= 2,
+              "need at least two grid levels");
+  const std::size_t n = model.periods();
+  const auto tip = model.demand().tip_demand_vector();
+  const double demand_lo = *std::min_element(tip.begin(), tip.end());
+  const double demand_hi = *std::max_element(tip.begin(), tip.end());
+  // Rational rewards never exceed half the marginal capacity cost for
+  // linear-in-p waiting functions (Appendix C).
+  const double reward_hi = 0.5 * model.max_reward();
+
+  TwoPeriodSolution best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+
+  for (std::size_t t = 0; t < options.threshold_levels; ++t) {
+    const double threshold =
+        demand_lo + (demand_hi - demand_lo) * static_cast<double>(t + 1) /
+                        static_cast<double>(options.threshold_levels + 1);
+    std::vector<bool> off_peak(n, false);
+    bool any_off = false;
+    bool any_peak = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      off_peak[i] = tip[i] < threshold;
+      any_off = any_off || off_peak[i];
+      any_peak = any_peak || !off_peak[i];
+    }
+    if (!any_off || !any_peak) continue;  // degenerate classification
+
+    for (std::size_t r = 0; r < options.reward_levels; ++r) {
+      const double reward = reward_hi * static_cast<double>(r) /
+                            static_cast<double>(options.reward_levels - 1);
+      math::Vector schedule(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (off_peak[i]) schedule[i] = reward;
+      }
+      const double cost = model.total_cost(schedule);
+      if (cost < best.total_cost) {
+        best.total_cost = cost;
+        best.off_peak_reward = reward;
+        best.demand_threshold = threshold;
+        best.off_peak = off_peak;
+        best.rewards = schedule;
+      }
+    }
+  }
+
+  TDP_REQUIRE(best.total_cost < std::numeric_limits<double>::infinity(),
+              "no valid 2-period classification exists");
+  best.usage = model.usage(best.rewards);
+  best.tip_cost = model.tip_cost();
+  return best;
+}
+
+}  // namespace tdp

@@ -1,0 +1,40 @@
+// Two-period TDP baseline (the day/evening schemes of Table I).
+//
+// The paper argues that "the multiple peaks and valleys in bandwidth usage
+// over one day make 2 period TDP inadequate." This module implements the
+// classical scheme as a constrained special case of the static model: the
+// day is pre-classified into peak and off-peak periods (by TIP demand
+// against a threshold), a single reward level applies to every off-peak
+// period, and peak periods get none. The optimizer brute-forces the
+// (threshold, reward) pair — exactly the design space a 2-period tariff
+// has — so the gap to the n-period optimum quantifies the intro's claim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/static_model.hpp"
+
+namespace tdp {
+
+struct TwoPeriodSolution {
+  double off_peak_reward = 0.0;
+  double demand_threshold = 0.0;    ///< periods with TIP demand below this
+                                    ///< are off-peak (reward targets)
+  std::vector<bool> off_peak;       ///< classification per period
+  math::Vector rewards;             ///< expanded per-period schedule
+  math::Vector usage;
+  double total_cost = 0.0;
+  double tip_cost = 0.0;
+};
+
+struct TwoPeriodOptions {
+  std::size_t reward_levels = 64;     ///< grid on [0, max rational reward]
+  std::size_t threshold_levels = 24;  ///< grid between min and max demand
+};
+
+/// Best 2-period tariff for the given model.
+TwoPeriodSolution optimize_two_period_prices(
+    const StaticModel& model, const TwoPeriodOptions& options = {});
+
+}  // namespace tdp

@@ -1,0 +1,218 @@
+#include "dynamic/dynamic_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+/// Smoothed hinge and its derivative (same blend as PiecewiseLinearCost).
+double smooth_hinge(double y, double mu) {
+  if (y <= 0.0) return 0.0;
+  if (y >= mu) return y - 0.5 * mu;
+  return y * y / (2.0 * mu);
+}
+
+double smooth_hinge_derivative(double y, double mu) {
+  if (y <= 0.0) return 0.0;
+  if (y >= mu) return 1.0;
+  return y / mu;
+}
+
+}  // namespace
+
+DynamicModel::DynamicModel(DemandProfile arrivals,
+                           std::vector<double> capacity,
+                           math::PiecewiseLinearCost backlog_cost,
+                           std::size_t warmup_days)
+    : arrivals_(std::move(arrivals)),
+      capacity_(std::move(capacity)),
+      cost_(std::move(backlog_cost)),
+      kernel_(arrivals_, LagConvention::kUniformArrival),
+      warmup_days_(warmup_days) {
+  TDP_REQUIRE(capacity_.size() == arrivals_.periods(),
+              "capacity vector must cover every period");
+  TDP_REQUIRE(warmup_days_ >= 1, "need at least one warmup day");
+  double total_capacity = 0.0;
+  for (double a : capacity_) {
+    TDP_REQUIRE(a >= 0.0, "capacity must be nonnegative");
+    total_capacity += a;
+  }
+  TDP_REQUIRE(arrivals_.total_demand() < total_capacity,
+              "daily demand must not exceed daily capacity or the backlog "
+              "diverges and no steady state exists");
+}
+
+DynamicModel::DynamicModel(DemandProfile arrivals, double capacity,
+                           math::PiecewiseLinearCost backlog_cost,
+                           std::size_t warmup_days)
+    : arrivals_(std::move(arrivals)),
+      capacity_(arrivals_.periods(), capacity),
+      cost_(std::move(backlog_cost)),
+      kernel_(arrivals_, LagConvention::kUniformArrival),
+      warmup_days_(warmup_days) {
+  TDP_REQUIRE(capacity >= 0.0, "capacity must be nonnegative");
+  TDP_REQUIRE(warmup_days_ >= 1, "need at least one warmup day");
+  TDP_REQUIRE(arrivals_.total_demand() <
+                  capacity * static_cast<double>(periods()),
+              "daily demand must not exceed daily capacity or the backlog "
+              "diverges and no steady state exists");
+}
+
+void DynamicModel::arrivals_after_deferral(const math::Vector& rewards,
+                                           math::Vector& out) const {
+  const std::size_t n = periods();
+  out.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = arrivals_.tip_demand(i) - kernel_.outflow(i, rewards) +
+             kernel_.inflow(i, rewards[i]);
+  }
+}
+
+DynamicModel::Evaluation DynamicModel::evaluate(
+    const math::Vector& rewards) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+
+  Evaluation ev;
+  arrivals_after_deferral(rewards, ev.arrivals);
+  ev.backlog.assign(n, 0.0);
+  ev.served.assign(n, 0.0);
+
+  double backlog = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double load = backlog + ev.arrivals[i];
+      const double served = std::min(load, capacity_[i]);
+      backlog = load - served;
+      if (last) {
+        ev.backlog[i] = backlog;
+        ev.served[i] = served;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.reward_cost += rewards[i] * kernel_.inflow(i, rewards[i]);
+    ev.backlog_cost += cost_.value(ev.backlog[i]);
+  }
+  ev.total_cost = ev.reward_cost + ev.backlog_cost;
+  return ev;
+}
+
+double DynamicModel::total_cost(const math::Vector& rewards) const {
+  return evaluate(rewards).total_cost;
+}
+
+double DynamicModel::tip_cost() const {
+  return total_cost(math::Vector(periods(), 0.0));
+}
+
+double DynamicModel::smoothed_cost(const math::Vector& rewards,
+                                   double mu) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+  TDP_REQUIRE(mu > 0.0, "smoothing parameter must be positive");
+
+  math::Vector arr;
+  arrivals_after_deferral(rewards, arr);
+
+  double cost = 0.0;
+  double backlog = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      backlog = smooth_hinge(backlog + arr[i] - capacity_[i], mu);
+      if (last) cost += cost_.smoothed_value(backlog, mu);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    cost += rewards[i] * kernel_.inflow(i, rewards[i]);
+  }
+  return cost;
+}
+
+void DynamicModel::smoothed_gradient(const math::Vector& rewards, double mu,
+                                     math::Vector& grad) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+  TDP_REQUIRE(grad.size() == n, "gradient vector size mismatch");
+  TDP_REQUIRE(mu > 0.0, "smoothing parameter must be positive");
+
+  math::Vector arr;
+  arrivals_after_deferral(rewards, arr);
+
+  // Jacobian of post-deferral arrivals: darr[i][m] = d a_i / d p_m.
+  std::vector<math::Vector> darr(n, math::Vector(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < n; ++m) {
+      if (m == i) {
+        darr[i][m] = kernel_.inflow_derivative(i, rewards[i]);
+      } else {
+        darr[i][m] = -kernel_.pair_volume_derivative(i, m, rewards[m]);
+      }
+    }
+  }
+
+  // Forward accumulation of backlog sensitivities through the warmup chain.
+  std::fill(grad.begin(), grad.end(), 0.0);
+  math::Vector dbacklog(n, 0.0);
+  double backlog = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pre = backlog + arr[i] - capacity_[i];
+      const double sigma = smooth_hinge_derivative(pre, mu);
+      backlog = smooth_hinge(pre, mu);
+      for (std::size_t m = 0; m < n; ++m) {
+        dbacklog[m] = sigma * (dbacklog[m] + darr[i][m]);
+      }
+      if (last) {
+        const double fprime = cost_.smoothed_derivative(backlog, mu);
+        for (std::size_t m = 0; m < n; ++m) {
+          grad[m] += fprime * dbacklog[m];
+        }
+      }
+    }
+  }
+
+  // Reward-cost gradient: d/dp_m [ p_m * inflow(m, p_m) ].
+  for (std::size_t m = 0; m < n; ++m) {
+    grad[m] += kernel_.inflow(m, rewards[m]) +
+               rewards[m] * kernel_.inflow_derivative(m, rewards[m]);
+  }
+}
+
+double DynamicModel::reward_cap() const {
+  // Longest run (cyclically) of periods whose TIP load keeps the link
+  // saturated, under the no-deferral backlog recursion.
+  const std::size_t n = periods();
+  math::Vector arr(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) arr[i] = arrivals_.tip_demand(i);
+
+  double backlog = 0.0;
+  std::size_t run = 0;
+  std::size_t longest = 1;
+  // Two warmed-up days to capture cyclic runs.
+  for (std::size_t pass = 0; pass < 2 + warmup_days_; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      backlog = std::max(backlog + arr[i] - capacity_[i], 0.0);
+      if (backlog > 0.0) {
+        ++run;
+        longest = std::max(longest, run);
+      } else {
+        run = 0;
+      }
+    }
+  }
+  longest = std::min(longest, n);
+  const double run_cap = static_cast<double>(longest) * cost_.max_slope();
+  // Never exceed the probabilistic validity bound: beyond it some period
+  // would "defer out" more traffic than it has.
+  return std::min(run_cap, kernel_.max_safe_reward());
+}
+
+}  // namespace tdp

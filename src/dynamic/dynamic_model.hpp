@@ -1,0 +1,98 @@
+// The offline dynamic session model (Section III-A, Props. 4-5).
+//
+// For a single bottleneck the dynamic model reduces to a fluid model
+// (Prop. 5): arrivals within a period are uniformly distributed, the link
+// serves up to A_i units of work per period, and *unserved work carries
+// over* into the next period as backlog. The per-period cost is
+//
+//   C_i = p_i * (work deferred into i) + f(backlog at the end of i),
+//
+// where f(b N(i)) penalizes sessions still in the network at the period
+// boundary. Deferral uses the uniform-arrival lag convention: a session
+// arriving at offset u in its period and deferring by L periods waits
+// L - 1 + u periods, so the aggregate weight is the integral of w over
+// [L-1, L].
+//
+// The backlog recursion B_i = max(B_{i-1} + a_i(p) - A_i, 0) composes a
+// nondecreasing convex hinge with affine functions of the rewards, so the
+// total cost remains convex in p (for waiting functions linear/concave in
+// p) and the smoothing + FISTA machinery of the static model carries over.
+// The model is evaluated in day-cyclic steady state: the recursion is
+// warmed up over several identical days and only the final day is costed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/deferral_kernel.hpp"
+#include "core/demand_profile.hpp"
+#include "math/piecewise_linear.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+class DynamicModel {
+ public:
+  /// @param arrivals     work arriving in each period under TIP, by class
+  ///                     (demand units of work per period).
+  /// @param capacity     A_i: work the bottleneck can serve per period.
+  /// @param backlog_cost f, applied to the end-of-period backlog.
+  DynamicModel(DemandProfile arrivals, std::vector<double> capacity,
+               math::PiecewiseLinearCost backlog_cost,
+               std::size_t warmup_days = 6);
+
+  DynamicModel(DemandProfile arrivals, double capacity,
+               math::PiecewiseLinearCost backlog_cost,
+               std::size_t warmup_days = 6);
+
+  std::size_t periods() const { return arrivals_.periods(); }
+  const DemandProfile& arrivals() const { return arrivals_; }
+  const std::vector<double>& capacity() const { return capacity_; }
+  const math::PiecewiseLinearCost& backlog_cost() const { return cost_; }
+  const DeferralKernel& kernel() const { return kernel_; }
+  std::size_t warmup_days() const { return warmup_days_; }
+
+  /// Full steady-state day evaluation at a reward vector.
+  struct Evaluation {
+    math::Vector arrivals;  ///< post-deferral work arriving per period
+    math::Vector backlog;   ///< end-of-period backlog (steady-state day)
+    math::Vector served;    ///< work served per period
+    double reward_cost = 0.0;
+    double backlog_cost = 0.0;
+    double total_cost = 0.0;
+  };
+  Evaluation evaluate(const math::Vector& rewards) const;
+
+  /// Exact steady-state daily cost.
+  double total_cost(const math::Vector& rewards) const;
+
+  /// Cost with no rewards — the TIP baseline.
+  double tip_cost() const;
+
+  /// Smoothed objective: hinges in both the backlog recursion and f are
+  /// mu-smoothed so the objective is C^1; used by the optimizer.
+  double smoothed_cost(const math::Vector& rewards, double mu) const;
+
+  /// Analytic gradient of smoothed_cost via forward accumulation through
+  /// the warmed-up backlog recursion (grad pre-sized to periods()).
+  void smoothed_gradient(const math::Vector& rewards, double mu,
+                         math::Vector& grad) const;
+
+  /// Rational reward cap: with carry-over, one deferred unit can save
+  /// backlog cost in up to `longest congested run` consecutive periods, so
+  /// the cap is that run length times f's max slope (evaluated under TIP).
+  double reward_cap() const;
+
+ private:
+  /// Post-deferral arrivals a_i(p) and optionally their Jacobian rows.
+  void arrivals_after_deferral(const math::Vector& rewards,
+                               math::Vector& out) const;
+
+  DemandProfile arrivals_;
+  std::vector<double> capacity_;
+  math::PiecewiseLinearCost cost_;
+  DeferralKernel kernel_;
+  std::size_t warmup_days_;
+};
+
+}  // namespace tdp

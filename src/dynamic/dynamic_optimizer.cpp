@@ -1,0 +1,56 @@
+#include "dynamic/dynamic_optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace tdp {
+
+DynamicPricingSolution optimize_dynamic_prices(
+    const DynamicModel& model, const DynamicOptimizerOptions& options) {
+  TDP_REQUIRE(options.mu_initial >= options.mu_final && options.mu_final > 0.0,
+              "invalid smoothing schedule");
+  TDP_REQUIRE(options.mu_decay > 0.0 && options.mu_decay < 1.0,
+              "mu decay must be in (0, 1)");
+  TDP_REQUIRE(options.reward_cap_factor > 0.0, "reward cap must be positive");
+
+  const std::size_t n = model.periods();
+  const double cap = model.reward_cap() * options.reward_cap_factor;
+  const math::BoxBounds box = math::uniform_box(n, 0.0, cap);
+
+  math::Vector p(n, 0.0);
+  DynamicPricingSolution solution;
+  bool all_converged = true;
+
+  for (double mu = options.mu_initial;; mu *= options.mu_decay) {
+    mu = std::max(mu, options.mu_final);
+
+    math::SmoothObjective objective;
+    objective.value = [&model, mu](const math::Vector& rewards) {
+      return model.smoothed_cost(rewards, mu);
+    };
+    objective.gradient = [&model, mu](const math::Vector& rewards,
+                                      math::Vector& grad) {
+      model.smoothed_gradient(rewards, mu, grad);
+    };
+
+    const math::FistaResult stage =
+        math::minimize_box(objective, box, p, options.fista);
+    p = stage.x;
+    solution.iterations += stage.iterations;
+    all_converged = all_converged && stage.converged;
+    TDP_LOG_DEBUG << "dynamic stage mu=" << mu << " cost=" << stage.value
+                  << " iters=" << stage.iterations;
+
+    if (mu <= options.mu_final) break;
+  }
+
+  solution.rewards = p;
+  solution.evaluation = model.evaluate(p);
+  solution.tip_cost = model.tip_cost();
+  solution.converged = all_converged;
+  return solution;
+}
+
+}  // namespace tdp

@@ -1,0 +1,185 @@
+#include "dynamic/fixed_duration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+FixedDurationModel::FixedDurationModel(DemandProfile arrivals,
+                                       double departure_rate,
+                                       double capacity,
+                                       math::PiecewiseLinearCost quality_cost,
+                                       std::size_t warmup_days)
+    : arrivals_(std::move(arrivals)),
+      departure_rate_(departure_rate),
+      capacity_(arrivals_.periods(), capacity),
+      cost_(std::move(quality_cost)),
+      kernel_(arrivals_, LagConvention::kUniformArrival),
+      warmup_days_(warmup_days) {
+  TDP_REQUIRE(departure_rate_ > 0.0, "departure rate must be positive");
+  TDP_REQUIRE(capacity >= 0.0, "capacity must be nonnegative");
+  TDP_REQUIRE(warmup_days_ >= 1, "need at least one warmup day");
+  // dN/dt = nu - d N over a unit period:
+  //   end  = e^{-d} y0 + (1 - e^{-d})/d * a
+  //   mean = (1-e^{-d})/d * y0 + (1/d)(1 - (1-e^{-d})/d) * a
+  const double d = departure_rate_;
+  const double decay = std::exp(-d);
+  coef_e_ = decay;
+  coef_g_ = (1.0 - decay) / d;
+  coef_m_ = (1.0 - decay) / d;
+  coef_h_ = (1.0 - coef_m_) / d;
+}
+
+FixedDurationModel::Step FixedDurationModel::advance(double y0,
+                                                     double a) const {
+  return Step{coef_e_ * y0 + coef_g_ * a, coef_m_ * y0 + coef_h_ * a};
+}
+
+FixedDurationModel::Evaluation FixedDurationModel::evaluate(
+    const math::Vector& rewards) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+
+  Evaluation ev;
+  ev.arrivals.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.arrivals[i] = arrivals_.tip_demand(i) - kernel_.outflow(i, rewards) +
+                     kernel_.inflow(i, rewards[i]);
+  }
+  ev.mean_demand.assign(n, 0.0);
+  ev.end_demand.assign(n, 0.0);
+
+  double y = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Step step = advance(y, ev.arrivals[i]);
+      y = step.end;
+      if (last) {
+        ev.end_demand[i] = step.end;
+        ev.mean_demand[i] = step.mean;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.reward_cost += rewards[i] * kernel_.inflow(i, rewards[i]);
+    ev.quality_cost += cost_.value(ev.mean_demand[i] - capacity_[i]);
+  }
+  ev.total_cost = ev.reward_cost + ev.quality_cost;
+  return ev;
+}
+
+double FixedDurationModel::total_cost(const math::Vector& rewards) const {
+  return evaluate(rewards).total_cost;
+}
+
+double FixedDurationModel::tip_cost() const {
+  return total_cost(math::Vector(periods(), 0.0));
+}
+
+double FixedDurationModel::smoothed_cost(const math::Vector& rewards,
+                                         double mu) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(mu > 0.0, "smoothing parameter must be positive");
+  const Evaluation ev = evaluate(rewards);  // dynamics are exact (affine)
+  double cost = ev.reward_cost;
+  for (std::size_t i = 0; i < n; ++i) {
+    cost += cost_.smoothed_value(ev.mean_demand[i] - capacity_[i], mu);
+  }
+  return cost;
+}
+
+void FixedDurationModel::smoothed_gradient(const math::Vector& rewards,
+                                           double mu,
+                                           math::Vector& grad) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+  TDP_REQUIRE(grad.size() == n, "gradient vector size mismatch");
+
+  // Arrival Jacobian.
+  std::vector<math::Vector> darr(n, math::Vector(n, 0.0));
+  math::Vector arr(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    arr[i] = arrivals_.tip_demand(i) - kernel_.outflow(i, rewards) +
+             kernel_.inflow(i, rewards[i]);
+    for (std::size_t m = 0; m < n; ++m) {
+      darr[i][m] = (m == i)
+                       ? kernel_.inflow_derivative(i, rewards[i])
+                       : -kernel_.pair_volume_derivative(i, m, rewards[m]);
+    }
+  }
+
+  std::fill(grad.begin(), grad.end(), 0.0);
+  double y = 0.0;
+  math::Vector dy(n, 0.0);
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Step step = advance(y, arr[i]);
+      if (last) {
+        const double fprime = cost_.smoothed_derivative(
+            step.mean - capacity_[i], mu);
+        for (std::size_t m = 0; m < n; ++m) {
+          grad[m] += fprime * (coef_m_ * dy[m] + coef_h_ * darr[i][m]);
+        }
+      }
+      for (std::size_t m = 0; m < n; ++m) {
+        dy[m] = coef_e_ * dy[m] + coef_g_ * darr[i][m];
+      }
+      y = step.end;
+    }
+  }
+
+  for (std::size_t m = 0; m < n; ++m) {
+    grad[m] += kernel_.inflow(m, rewards[m]) +
+               rewards[m] * kernel_.inflow_derivative(m, rewards[m]);
+  }
+}
+
+double FixedDurationModel::reward_cap() const {
+  const double validity = kernel_.max_safe_reward();
+  const double run_cap =
+      static_cast<double>(periods()) * cost_.max_slope();
+  return std::min(validity, run_cap);
+}
+
+FixedDurationSolution optimize_fixed_duration_prices(
+    const FixedDurationModel& model) {
+  const std::size_t n = model.periods();
+  const math::BoxBounds box = math::uniform_box(n, 0.0, model.reward_cap());
+  math::Vector p(n, 0.0);
+  FixedDurationSolution solution;
+  bool all_converged = true;
+
+  for (double mu = 1.0;; mu *= 0.1) {
+    mu = std::max(mu, 1e-5);
+    math::SmoothObjective objective;
+    objective.value = [&model, mu](const math::Vector& rewards) {
+      return model.smoothed_cost(rewards, mu);
+    };
+    objective.gradient = [&model, mu](const math::Vector& rewards,
+                                      math::Vector& grad) {
+      model.smoothed_gradient(rewards, mu, grad);
+    };
+    math::FistaOptions options;
+    options.max_iterations = 6000;
+    options.step_tolerance = 1e-10;
+    const math::FistaResult stage =
+        math::minimize_box(objective, box, p, options);
+    p = stage.x;
+    solution.iterations += stage.iterations;
+    all_converged = all_converged && stage.converged;
+    if (mu <= 1e-5) break;
+  }
+
+  solution.rewards = p;
+  solution.evaluation = model.evaluate(p);
+  solution.tip_cost = model.tip_cost();
+  solution.converged = all_converged;
+  return solution;
+}
+
+}  // namespace tdp

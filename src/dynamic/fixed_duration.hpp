@@ -1,0 +1,103 @@
+// Dynamic model for fixed-time sessions (Appendix G).
+//
+// Streaming-style sessions "stay in the network for a fixed amount of time
+// and then leave; low bandwidth availability is reflected in sound and
+// image quality and not session completion." The session count follows
+//
+//   dN/dt = nu_i - d_i * N(t)
+//
+// within period i (arrival rate nu_i after deferral, exponential departures
+// at rate d_i), with deferred sessions re-entering at their target period's
+// start (eq. 38). Each active session demands a fixed rate r, so quality
+// degradation costs f(r * Nbar_i - A_i) per period, where Nbar_i is the
+// time-averaged session count (the integral of the closed-form exponential
+// solution).
+//
+// Because N(t) is affine in the (post-deferral) arrival rates and the
+// initial counts, and f is convex nondecreasing, the objective stays convex
+// in the rewards for waiting functions linear/concave in p — the same
+// smoothing + FISTA machinery applies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/deferral_kernel.hpp"
+#include "core/demand_profile.hpp"
+#include "math/fista.hpp"
+#include "math/piecewise_linear.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+class FixedDurationModel {
+ public:
+  /// @param arrivals       session-arrival volume per period, by class
+  ///                       (sessions x rate, i.e. demand units).
+  /// @param departure_rate d_i > 0: inverse mean session duration, in
+  ///                       1/periods (same for every period here).
+  /// @param capacity       A_i (demand units the link can carry).
+  /// @param quality_cost   f, applied to (demand rate - capacity).
+  FixedDurationModel(DemandProfile arrivals, double departure_rate,
+                     double capacity, math::PiecewiseLinearCost quality_cost,
+                     std::size_t warmup_days = 6);
+
+  std::size_t periods() const { return arrivals_.periods(); }
+  const DemandProfile& arrivals() const { return arrivals_; }
+  double departure_rate() const { return departure_rate_; }
+
+  struct Evaluation {
+    math::Vector arrivals;       ///< post-deferral arrival volume per period
+    math::Vector mean_demand;    ///< time-averaged active demand per period
+    math::Vector end_demand;     ///< active demand at each period's end
+    double reward_cost = 0.0;
+    double quality_cost = 0.0;
+    double total_cost = 0.0;
+  };
+  Evaluation evaluate(const math::Vector& rewards) const;
+
+  double total_cost(const math::Vector& rewards) const;
+  double tip_cost() const;
+
+  /// Smoothed objective and analytic gradient (for the optimizer). The
+  /// dynamics are affine, so only f needs smoothing.
+  double smoothed_cost(const math::Vector& rewards, double mu) const;
+  void smoothed_gradient(const math::Vector& rewards, double mu,
+                         math::Vector& grad) const;
+
+  /// Reward search bound (probabilistic validity, as in DynamicModel).
+  double reward_cap() const;
+
+ private:
+  /// One period of the exponential dynamics: given starting demand y0 and
+  /// arrival volume a (spread uniformly over the period), returns
+  /// {end demand, mean demand}. Both are affine in (y0, a).
+  struct Step {
+    double end;
+    double mean;
+  };
+  Step advance(double y0, double a) const;
+
+  DemandProfile arrivals_;
+  double departure_rate_;
+  std::vector<double> capacity_;
+  math::PiecewiseLinearCost cost_;
+  DeferralKernel kernel_;
+  std::size_t warmup_days_;
+  // Precomputed dynamics coefficients: end = e*y0 + g*a; mean = m*y0 + h*a.
+  double coef_e_, coef_g_, coef_m_, coef_h_;
+};
+
+struct FixedDurationSolution {
+  math::Vector rewards;
+  FixedDurationModel::Evaluation evaluation;
+  double tip_cost = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// FISTA + smoothing continuation, as for the other convex models.
+FixedDurationSolution optimize_fixed_duration_prices(
+    const FixedDurationModel& model);
+
+}  // namespace tdp

@@ -1,0 +1,68 @@
+#include "dynamic/online_pricer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "math/golden_section.hpp"
+
+namespace tdp {
+
+OnlinePricer::OnlinePricer(DynamicModel model,
+                           DynamicOptimizerOptions offline_options)
+    : model_(std::move(model)), reward_cap_(0.0) {
+  const DynamicPricingSolution offline =
+      optimize_dynamic_prices(model_, offline_options);
+  rewards_ = offline.rewards;
+  reward_cap_ = model_.reward_cap() * offline_options.reward_cap_factor;
+}
+
+OnlinePricer::StepResult OnlinePricer::observe_period(
+    std::size_t period, double measured_arrivals) {
+  TDP_REQUIRE(period < model_.periods(), "period out of range");
+  TDP_REQUIRE(measured_arrivals >= 0.0, "arrivals must be nonnegative");
+
+  // Rescale the period's demand estimate to the measurement. A surge
+  // measurement must not push total daily demand to (or past) total daily
+  // capacity — the backlog would have no steady state — so the update is
+  // clamped to keep a 2% stability margin; the excess is treated as
+  // transient burst rather than recurring demand.
+  const double previous = model_.arrivals().tip_demand(period);
+  if (previous > 0.0) {
+    double total_capacity = 0.0;
+    for (double a : model_.capacity()) total_capacity += a;
+    const double other_demand = model_.arrivals().total_demand() - previous;
+    const double max_period_demand =
+        std::max(0.98 * total_capacity - other_demand, 0.0);
+    const double target = std::min(measured_arrivals, max_period_demand);
+    if (target < measured_arrivals) {
+      TDP_LOG_WARN << "online update clamps period " << period
+                   << " demand from " << measured_arrivals << " to "
+                   << target << " to preserve a stable backlog";
+    }
+    DemandProfile updated = model_.arrivals();
+    updated.scale_period(period, target / previous);
+    model_ = DynamicModel(std::move(updated), model_.capacity(),
+                          model_.backlog_cost(), model_.warmup_days());
+  }
+
+  // 1-D re-optimization of this period's reward, all others fixed.
+  StepResult result;
+  result.period = period;
+  result.old_reward = rewards_[period];
+  math::Vector trial = rewards_;
+  const auto objective = [this, &trial, period](double candidate) {
+    trial[period] = candidate;
+    return model_.total_cost(trial);
+  };
+  const math::GoldenSectionResult best =
+      math::minimize_golden_section(objective, 0.0, reward_cap_, 1e-7);
+  rewards_[period] = best.x;
+  result.new_reward = best.x;
+  result.expected_cost = best.value;
+  TDP_LOG_DEBUG << "online update period " << period << ": reward "
+                << result.old_reward << " -> " << result.new_reward;
+  return result;
+}
+
+}  // namespace tdp

@@ -1,0 +1,58 @@
+// The online price-determination algorithm (Section III-B).
+//
+//   1. Start with rewards for the next n periods from the offline model.
+//   2. After each period, update the demand estimate with the measured
+//      arrivals and recompute the optimal reward for the n-th period after
+//      the current one, holding the other n-1 rewards fixed.
+//
+// Holding all but one reward fixed makes each step a 1-D convex problem,
+// solved exactly by golden section on the true (unsmoothed) dynamic cost —
+// "while sub-optimal, this algorithm is easy to implement and avoids the
+// high dimensionality of a full dynamic programming solution."
+#pragma once
+
+#include <cstddef>
+
+#include "dynamic/dynamic_model.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+
+namespace tdp {
+
+class OnlinePricer {
+ public:
+  /// Initializes rewards by solving the offline dynamic model.
+  explicit OnlinePricer(DynamicModel model,
+                        DynamicOptimizerOptions offline_options = {});
+
+  std::size_t periods() const { return model_.periods(); }
+
+  /// Rewards currently published for the next day (cyclic by period index).
+  const math::Vector& rewards() const { return rewards_; }
+
+  /// The model with all demand updates applied so far.
+  const DynamicModel& model() const { return model_; }
+
+  struct StepResult {
+    std::size_t period = 0;       ///< period index whose reward was updated
+    double old_reward = 0.0;
+    double new_reward = 0.0;
+    double expected_cost = 0.0;   ///< daily cost at the updated rewards
+  };
+
+  /// Report the arrivals measured in `period` (demand units under TIP, i.e.
+  /// what the waiting-function estimator attributes to the baseline). The
+  /// period's demand estimate is rescaled to match, and the reward for that
+  /// period index — which next binds one full day ahead — is re-optimized
+  /// with the other n-1 rewards fixed.
+  StepResult observe_period(std::size_t period, double measured_arrivals);
+
+  /// Daily cost of the current rewards under the current demand estimate.
+  double expected_cost() const { return model_.total_cost(rewards_); }
+
+ private:
+  DynamicModel model_;
+  math::Vector rewards_;
+  double reward_cap_;
+};
+
+}  // namespace tdp

@@ -1,0 +1,148 @@
+#include "dynamic/stochastic_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/cyclic.hpp"
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+/// One session arrival within a period: offset in [0,1) and work amount.
+struct Arrival {
+  double offset = 0.0;
+  double work = 0.0;
+};
+
+}  // namespace
+
+StochasticSimResult simulate_stochastic(const DynamicModel& model,
+                                        const math::Vector& rewards,
+                                        const StochasticSimOptions& options) {
+  const std::size_t n = model.periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+  TDP_REQUIRE(options.mean_session_size > 0.0,
+              "mean session size must be positive");
+  TDP_REQUIRE(options.days > 0, "need at least one measured day");
+
+  Rng rng(options.seed);
+  const double b = options.mean_session_size;
+  const std::size_t total_days = options.warmup_days + options.days;
+
+  // Work deferred into future periods, indexed by lag from "now".
+  // ring[l] = work arriving at the start of the period l periods ahead.
+  std::vector<double> deferred_ring(n, 0.0);
+  std::size_t ring_head = 0;
+  // Reward owed for deferred work, credited in the arrival period.
+  std::vector<double> reward_ring(n, 0.0);
+
+  StochasticSimResult result;
+  result.mean_arrivals.assign(n, 0.0);
+  result.mean_backlog.assign(n, 0.0);
+
+  double backlog = 0.0;
+  std::vector<Arrival> arrivals;
+  std::vector<double> defer_prob(n, 0.0);
+
+  for (std::size_t day = 0; day < total_days; ++day) {
+    const bool measured = day >= options.warmup_days;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double capacity = model.capacity()[i];
+      arrivals.clear();
+
+      // Deferred work arrives at the period start.
+      const double deferred_in = deferred_ring[ring_head];
+      const double reward_due = reward_ring[ring_head];
+      deferred_ring[ring_head] = 0.0;
+      reward_ring[ring_head] = 0.0;
+      if (deferred_in > 0.0) arrivals.push_back({0.0, deferred_in});
+
+      // Fresh Poisson arrivals per class, with per-session deferral draws.
+      for (const SessionClass& sc : model.arrivals().classes(i)) {
+        const double rate = sc.volume / b;  // sessions per period
+        const std::uint64_t count = rng.poisson(rate);
+        for (std::uint64_t s = 0; s < count; ++s) {
+          const double offset = rng.uniform();
+          const double work = rng.exponential(b);
+          ++result.sessions_simulated;
+
+          // Deferral probabilities to each lag 1..n-1, using the same
+          // uniform-arrival-averaged weights as the fluid kernel so the
+          // simulation matches the model exactly in expectation.
+          double total_prob = 0.0;
+          for (std::size_t lag = 1; lag < n; ++lag) {
+            const std::size_t target = cyclic_advance(i, lag, n);
+            defer_prob[lag] = lag_weight(*sc.waiting, rewards[target], lag,
+                                         model.kernel().convention());
+            total_prob += defer_prob[lag];
+          }
+          if (total_prob > 1.0) {
+            // Rewards above the probabilistic validity bound; renormalize
+            // defensively and report it.
+            ++result.probability_clamps;
+            for (std::size_t lag = 1; lag < n; ++lag) {
+              defer_prob[lag] /= total_prob;
+            }
+            total_prob = 1.0;
+          }
+
+          double draw = rng.uniform();
+          std::size_t chosen_lag = 0;  // 0 = stay
+          for (std::size_t lag = 1; lag < n; ++lag) {
+            if (draw < defer_prob[lag]) {
+              chosen_lag = lag;
+              break;
+            }
+            draw -= defer_prob[lag];
+          }
+
+          if (chosen_lag == 0) {
+            arrivals.push_back({offset, work});
+          } else {
+            ++result.sessions_deferred;
+            const std::size_t target = cyclic_advance(i, chosen_lag, n);
+            const std::size_t slot = (ring_head + chosen_lag) % n;
+            deferred_ring[slot] += work;
+            reward_ring[slot] += rewards[target] * work;
+          }
+        }
+      }
+
+      // Continuous-time work-conserving service within the period.
+      std::sort(arrivals.begin(), arrivals.end(),
+                [](const Arrival& a, const Arrival& c) {
+                  return a.offset < c.offset;
+                });
+      double clock = 0.0;
+      double arrived_total = 0.0;
+      for (const Arrival& a : arrivals) {
+        backlog = std::max(backlog - capacity * (a.offset - clock), 0.0);
+        clock = a.offset;
+        backlog += a.work;
+        arrived_total += a.work;
+      }
+      backlog = std::max(backlog - capacity * (1.0 - clock), 0.0);
+
+      if (measured) {
+        result.mean_arrivals[i] += arrived_total;
+        result.mean_backlog[i] += backlog;
+        result.mean_backlog_cost += model.backlog_cost().value(backlog);
+        result.mean_reward_cost += reward_due;
+      }
+      ring_head = (ring_head + 1) % n;
+    }
+  }
+
+  const double days = static_cast<double>(options.days);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.mean_arrivals[i] /= days;
+    result.mean_backlog[i] /= days;
+  }
+  result.mean_reward_cost /= days;
+  result.mean_backlog_cost /= days;
+  result.mean_total_cost = result.mean_reward_cost + result.mean_backlog_cost;
+  return result;
+}
+
+}  // namespace tdp

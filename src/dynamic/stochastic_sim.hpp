@@ -1,0 +1,49 @@
+// Stochastic validation of the fluid dynamic model (Section III-A).
+//
+// The paper's dynamic model assumes Poisson session arrivals with
+// exponentially distributed sizes and uniformly distributed arrival times,
+// served by a single bottleneck. This simulator realizes that process
+// exactly — individual sessions, random sizes, per-session probabilistic
+// deferral decisions, continuous-time work-conserving service within each
+// period — and measures the realized per-day costs. Tests verify that the
+// long-run averages converge to the fluid model's predictions, validating
+// the Prop. 4/5 reduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dynamic/dynamic_model.hpp"
+
+namespace tdp {
+
+struct StochasticSimOptions {
+  /// Mean session size b (demand units of work).
+  double mean_session_size = 0.5;
+  /// Measured days (after warmup).
+  std::size_t days = 50;
+  /// Warmup days excluded from statistics.
+  std::size_t warmup_days = 5;
+  std::uint64_t seed = 20110611;  // ICDCS'11 vintage
+};
+
+struct StochasticSimResult {
+  math::Vector mean_arrivals;  ///< post-deferral work arriving per period
+  math::Vector mean_backlog;   ///< end-of-period backlog
+  double mean_reward_cost = 0.0;   ///< per day
+  double mean_backlog_cost = 0.0;  ///< per day
+  double mean_total_cost = 0.0;    ///< per day
+  std::size_t sessions_simulated = 0;
+  std::size_t sessions_deferred = 0;
+  /// Sessions whose deferral probabilities summed above one and had to be
+  /// renormalized — nonzero only when rewards exceed the validity bound.
+  std::size_t probability_clamps = 0;
+};
+
+/// Run the session-level simulation of `model` under a reward vector.
+StochasticSimResult simulate_stochastic(const DynamicModel& model,
+                                        const math::Vector& rewards,
+                                        const StochasticSimOptions& options = {});
+
+}  // namespace tdp

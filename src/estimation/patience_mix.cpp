@@ -1,0 +1,87 @@
+#include "estimation/patience_mix.hpp"
+
+#include <cmath>
+
+#include "common/cyclic.hpp"
+#include "common/error.hpp"
+#include "core/waiting_function.hpp"
+
+namespace tdp {
+
+PatienceMix::PatienceMix(std::size_t periods, std::size_t types,
+                         double max_reward)
+    : periods_(periods),
+      types_(types),
+      max_reward_(max_reward),
+      alpha_(periods * types, 0.0),
+      beta_(periods * types, 1.0),
+      normalization_(periods * types, 0.0) {
+  TDP_REQUIRE(periods >= 2, "need at least two periods");
+  TDP_REQUIRE(types >= 1, "need at least one session type");
+  TDP_REQUIRE(max_reward > 0.0, "max reward must be positive");
+  for (std::size_t k = 0; k < normalization_.size(); ++k) {
+    normalization_[k] =
+        1.0 / (max_reward_ *
+               PowerLawWaitingFunction::lag_sum(beta_[k], periods_));
+  }
+}
+
+void PatienceMix::set(std::size_t period, std::size_t type, double alpha,
+                      double beta) {
+  TDP_REQUIRE(period < periods_ && type < types_, "index out of range");
+  TDP_REQUIRE(alpha >= 0.0, "proportion must be nonnegative");
+  TDP_REQUIRE(beta >= 0.0, "patience index must be nonnegative");
+  alpha_[period * types_ + type] = alpha;
+  beta_[period * types_ + type] = beta;
+  normalization_[period * types_ + type] =
+      1.0 / (max_reward_ *
+             PowerLawWaitingFunction::lag_sum(beta, periods_));
+}
+
+double PatienceMix::alpha(std::size_t period, std::size_t type) const {
+  TDP_REQUIRE(period < periods_ && type < types_, "index out of range");
+  return alpha_[period * types_ + type];
+}
+
+double PatienceMix::beta(std::size_t period, std::size_t type) const {
+  TDP_REQUIRE(period < periods_ && type < types_, "index out of range");
+  return beta_[period * types_ + type];
+}
+
+double PatienceMix::omega(std::size_t from, std::size_t to,
+                          double reward) const {
+  TDP_REQUIRE(from < periods_ && to < periods_ && from != to,
+              "invalid period pair");
+  if (reward <= 0.0) return 0.0;
+  const double lag = static_cast<double>(cyclic_lag(from, to, periods_));
+  double total = 0.0;
+  for (std::size_t j = 0; j < types_; ++j) {
+    const std::size_t k = from * types_ + j;
+    total += alpha_[k] * normalization_[k] * reward *
+             std::pow(lag + 1.0, -beta_[k]);
+  }
+  return total;
+}
+
+double PatienceMix::deferred(std::size_t from, std::size_t to,
+                             double tip_demand, double reward) const {
+  TDP_REQUIRE(tip_demand >= 0.0, "demand must be nonnegative");
+  return tip_demand * omega(from, to, reward);
+}
+
+double PatienceMix::net_outflow(std::size_t period,
+                                const std::vector<double>& tip_demand,
+                                const math::Vector& rewards) const {
+  TDP_REQUIRE(tip_demand.size() == periods_, "demand vector size mismatch");
+  TDP_REQUIRE(rewards.size() == periods_, "reward vector size mismatch");
+  double out = 0.0;
+  double in = 0.0;
+  for (std::size_t k = 0; k < periods_; ++k) {
+    if (k == period) continue;
+    out += deferred(period, k, tip_demand[period], rewards[k]);
+    in += deferred(k, period, tip_demand[k], rewards[period]);
+  }
+  return out - in;
+}
+
+}  // namespace tdp

@@ -1,0 +1,66 @@
+// Parametrized per-period traffic mixes for waiting-function estimation
+// (Section IV).
+//
+// In each period i there are m session types; type j takes proportion
+// alpha_ji of the period's traffic and defers according to the power law
+// with patience index beta_ji:
+//
+//   Q_ik = X_i * sum_j alpha_ji * C(beta_ji) * p_k / (lag(i,k)+1)^beta_ji,
+//
+// the amount of traffic deferred from period i to period k at reward p_k
+// (eq. 6). C(beta) is the standard normalization at the maximum reward P.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+class PatienceMix {
+ public:
+  /// @param periods     n
+  /// @param types       m session types per period
+  /// @param max_reward  P used in the normalization constant C(beta)
+  PatienceMix(std::size_t periods, std::size_t types, double max_reward);
+
+  std::size_t periods() const { return periods_; }
+  std::size_t types() const { return types_; }
+  double max_reward() const { return max_reward_; }
+
+  /// Set type j's parameters in period i. Proportions need not be
+  /// normalized here; callers usually keep sum_j alpha_ji == 1.
+  void set(std::size_t period, std::size_t type, double alpha, double beta);
+
+  double alpha(std::size_t period, std::size_t type) const;
+  double beta(std::size_t period, std::size_t type) const;
+
+  /// Aggregate normalized waiting value of period i's mix for deferring to
+  /// period k (cyclic lag) at reward p: sum_j alpha_ji C(beta_ji)
+  /// p / (lag+1)^beta_ji.
+  double omega(std::size_t from, std::size_t to, double reward) const;
+
+  /// Q_ik (eq. 6): traffic deferred from `from` to `to`, given the TIP
+  /// demand of the source period.
+  double deferred(std::size_t from, std::size_t to, double tip_demand,
+                  double reward) const;
+
+  /// T_i (eq. 7): net traffic leaving period i under a reward vector,
+  /// given all periods' TIP demands. sum_i net_outflow(...) == 0.
+  double net_outflow(std::size_t period,
+                     const std::vector<double>& tip_demand,
+                     const math::Vector& rewards) const;
+
+ private:
+  std::size_t periods_;
+  std::size_t types_;
+  double max_reward_;
+  std::vector<double> alpha_;  // period-major [period * types + type]
+  std::vector<double> beta_;
+  /// Cached normalization constants C(beta) = 1/(P * lag_sum(beta)),
+  /// refreshed by set(); omega() is on the estimator's hot path.
+  std::vector<double> normalization_;
+};
+
+}  // namespace tdp

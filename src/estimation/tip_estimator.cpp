@@ -1,0 +1,49 @@
+#include "estimation/tip_estimator.hpp"
+
+#include "common/error.hpp"
+#include "math/matrix.hpp"
+
+namespace tdp {
+
+math::Vector predict_tdp_usage(const PatienceMix& mix,
+                               const std::vector<double>& tip_demand,
+                               const math::Vector& rewards) {
+  const std::size_t n = mix.periods();
+  TDP_REQUIRE(tip_demand.size() == n, "demand vector size mismatch");
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+  math::Vector x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = tip_demand[i] - mix.net_outflow(i, tip_demand, rewards);
+  }
+  return x;
+}
+
+math::Vector estimate_tip_baseline(
+    const PatienceMix& mix, const std::vector<TipObservation>& windows) {
+  const std::size_t n = mix.periods();
+  TDP_REQUIRE(!windows.empty(), "need at least one observation window");
+  for (const TipObservation& w : windows) {
+    TDP_REQUIRE(w.rewards.size() == n && w.usage.size() == n,
+                "observation size mismatch");
+  }
+
+  math::Matrix system(windows.size() * n, n, 0.0);
+  math::Vector rhs(windows.size() * n, 0.0);
+  std::size_t row = 0;
+  for (const TipObservation& w : windows) {
+    for (std::size_t i = 0; i < n; ++i, ++row) {
+      double omega_out = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == i) continue;
+        omega_out += mix.omega(i, k, w.rewards[k]);
+        // Inflow from period k at period i's reward.
+        system(row, k) += mix.omega(k, i, w.rewards[i]);
+      }
+      system(row, i) += 1.0 - omega_out;
+      rhs[row] = w.usage[i];
+    }
+  }
+  return math::solve_least_squares(std::move(system), std::move(rhs));
+}
+
+}  // namespace tdp

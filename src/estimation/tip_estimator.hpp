@@ -1,0 +1,42 @@
+// Baseline (TIP) demand re-estimation (Section IV, eq. 9).
+//
+// Once waiting functions are known, the ISP can recover the demand-under-TIP
+// baseline X_i from TDP-era measurements alone: with known deferral weights
+// omega_ik (the mix's waiting value from i to k at the offered rewards), the
+// observed TDP usage satisfies the linear balance
+//
+//   x_i = X_i (1 - sum_k omega_ik) + sum_k X_k omega_ki.
+//
+// Each observation window (reward vector + measured usage) contributes n
+// equations; multiple windows are stacked and solved in least squares —
+// "different sets of rewards may give different X_i; the ISP can take an
+// average", which least squares does optimally.
+#pragma once
+
+#include <vector>
+
+#include "estimation/patience_mix.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+/// One TDP observation window.
+struct TipObservation {
+  math::Vector rewards;  ///< rewards offered during the window
+  math::Vector usage;    ///< measured TDP usage x_i per period
+};
+
+/// Recover the TIP baseline demand X from TDP observations, given the
+/// (estimated) waiting-function mix. Throws NumericalError if the stacked
+/// system is rank-deficient (e.g. all rewards zero makes X unidentifiable
+/// beyond x itself).
+math::Vector estimate_tip_baseline(const PatienceMix& mix,
+                                   const std::vector<TipObservation>& windows);
+
+/// Forward model used by estimate_tip_baseline and tests: the TDP usage
+/// that baseline `tip_demand` produces under `rewards`.
+math::Vector predict_tdp_usage(const PatienceMix& mix,
+                               const std::vector<double>& tip_demand,
+                               const math::Vector& rewards);
+
+}  // namespace tdp

@@ -1,0 +1,58 @@
+// Box-constrained first-order minimization: FISTA (accelerated projected
+// gradient with backtracking line search) and plain projected gradient
+// descent (kept for the ablation bench).
+//
+// The static-model price optimization (Prop. 1-3) is convex with simple box
+// constraints 0 <= p_i <= P and at most a few hundred variables, so an
+// accelerated first-order method with a smoothing continuation loop (see
+// core/static_optimizer) reaches the global optimum quickly and without any
+// external solver dependency.
+#pragma once
+
+#include <functional>
+
+#include "math/vector_ops.hpp"
+
+namespace tdp::math {
+
+/// A differentiable objective: value and gradient at a point.
+struct SmoothObjective {
+  std::function<double(const Vector&)> value;
+  /// Writes the gradient of `value` at x into `grad` (pre-sized to x.size()).
+  std::function<void(const Vector&, Vector&)> gradient;
+};
+
+struct BoxBounds {
+  Vector lower;
+  Vector upper;
+};
+
+/// Uniform box [lo, hi]^n.
+BoxBounds uniform_box(std::size_t n, double lo, double hi);
+
+struct FistaOptions {
+  std::size_t max_iterations = 5000;
+  /// Stop when the projected-gradient step has infinity norm below this.
+  double step_tolerance = 1e-9;
+  /// Initial Lipschitz estimate; grows by `backtrack_factor` on failure.
+  double initial_lipschitz = 1.0;
+  double backtrack_factor = 2.0;
+  /// Shrink L between iterations to adapt downward (1.0 disables).
+  double lipschitz_decay = 0.9;
+  /// false => plain projected gradient descent (ablation baseline).
+  bool accelerated = true;
+};
+
+struct FistaResult {
+  Vector x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize a convex smooth objective over a box from starting point x0.
+FistaResult minimize_box(const SmoothObjective& objective,
+                         const BoxBounds& bounds, Vector x0,
+                         const FistaOptions& options = {});
+
+}  // namespace tdp::math

@@ -1,0 +1,60 @@
+#include "math/golden_section.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp::math {
+
+GoldenSectionResult minimize_golden_section(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tolerance, std::size_t max_iterations) {
+  TDP_REQUIRE(static_cast<bool>(f), "objective must be set");
+  TDP_REQUIRE(lo <= hi, "interval must be ordered");
+  TDP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+
+  GoldenSectionResult result;
+  for (std::size_t iter = 0; iter < max_iterations && (b - a) > tolerance;
+       ++iter) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    result.iterations = iter + 1;
+  }
+
+  result.x = 0.5 * (a + b);
+  result.value = f(result.x);
+  // Endpoints can beat the midpoint when the minimizer sits on the boundary.
+  const double f_lo = f(lo);
+  const double f_hi = f(hi);
+  if (f_lo < result.value) {
+    result.x = lo;
+    result.value = f_lo;
+  }
+  if (f_hi < result.value) {
+    result.x = hi;
+    result.value = f_hi;
+  }
+  return result;
+}
+
+}  // namespace tdp::math

@@ -1,0 +1,23 @@
+// Golden-section search for 1-D unimodal minimization.
+//
+// Used by the online price-determination algorithm (Section III-B), which
+// re-optimizes a single period's reward with all other rewards held fixed —
+// a 1-D convex subproblem.
+#pragma once
+
+#include <functional>
+
+namespace tdp::math {
+
+struct GoldenSectionResult {
+  double x = 0.0;
+  double value = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Minimize `f` over [lo, hi] to within `tolerance` on x.
+GoldenSectionResult minimize_golden_section(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tolerance = 1e-8, std::size_t max_iterations = 200);
+
+}  // namespace tdp::math

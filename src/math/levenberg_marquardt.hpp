@@ -1,0 +1,46 @@
+// Levenberg-Marquardt nonlinear least squares with box constraints.
+//
+// The waiting-function estimation algorithm (Section IV) fits patience
+// indices beta_ji and traffic proportions alpha_ji by "nonlinear least
+// squares" on the single reduced equation in the offered rewards. LM with a
+// numeric Jacobian and projection onto simple bounds (alpha in [0,1],
+// beta >= 0) is exactly the tool that calls for.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "math/vector_ops.hpp"
+
+namespace tdp::math {
+
+struct LmOptions {
+  std::size_t max_iterations = 200;
+  /// Stop when ||J^T r||_inf drops below this.
+  double gradient_tolerance = 1e-10;
+  /// Stop when the step is smaller than this (infinity norm).
+  double step_tolerance = 1e-12;
+  /// Initial damping; adapted multiplicatively.
+  double initial_lambda = 1e-3;
+  double lambda_increase = 10.0;
+  double lambda_decrease = 0.3;
+  /// Finite-difference step for the numeric Jacobian.
+  double jacobian_step = 1e-6;
+  /// Optional element-wise bounds; steps are projected onto them.
+  std::optional<Vector> lower_bounds;
+  std::optional<Vector> upper_bounds;
+};
+
+struct LmResult {
+  Vector parameters;
+  double residual_norm2 = 0.0;  // ||r||_2^2 at the solution
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize ||residuals(theta)||_2^2 starting from theta0.
+LmResult minimize_levenberg_marquardt(
+    const std::function<Vector(const Vector&)>& residuals, Vector theta0,
+    const LmOptions& options = {});
+
+}  // namespace tdp::math

@@ -1,0 +1,80 @@
+#include "math/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp::math {
+namespace {
+
+// 8-point Gauss-Legendre nodes/weights on [-1, 1].
+constexpr std::array<double, 8> kNodes = {
+    -0.9602898564975363, -0.7966664774136267, -0.5255324099163290,
+    -0.1834346424956498, 0.1834346424956498,  0.5255324099163290,
+    0.7966664774136267,  0.9602898564975363};
+constexpr std::array<double, 8> kWeights = {
+    0.1012285362903763, 0.2223810344533745, 0.3137066458778873,
+    0.3626837833783620, 0.3626837833783620, 0.3137066458778873,
+    0.2223810344533745, 0.1012285362903763};
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(const std::function<double(double)>& f, double a,
+                     double fa, double b, double fb, double m, double fm,
+                     double whole, double tolerance, std::size_t depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth == 0 || std::abs(delta) <= 15.0 * tolerance) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_step(f, a, fa, m, fm, lm, flm, left, 0.5 * tolerance,
+                       depth - 1) +
+         adaptive_step(f, m, fm, b, fb, rm, frm, right, 0.5 * tolerance,
+                       depth - 1);
+}
+
+}  // namespace
+
+double integrate_gauss(const std::function<double(double)>& f, double a,
+                       double b, std::size_t segments) {
+  TDP_REQUIRE(static_cast<bool>(f), "integrand must be set");
+  TDP_REQUIRE(segments > 0, "need at least one segment");
+  if (a == b) return 0.0;
+  const double h = (b - a) / static_cast<double>(segments);
+  double total = 0.0;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const double lo = a + h * static_cast<double>(s);
+    const double mid = lo + 0.5 * h;
+    const double half = 0.5 * h;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < kNodes.size(); ++k) {
+      acc += kWeights[k] * f(mid + half * kNodes[k]);
+    }
+    total += acc * half;
+  }
+  return total;
+}
+
+double integrate_adaptive_simpson(const std::function<double(double)>& f,
+                                  double a, double b, double tolerance,
+                                  std::size_t max_depth) {
+  TDP_REQUIRE(static_cast<bool>(f), "integrand must be set");
+  TDP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive_step(f, a, fa, b, fb, m, fm, whole, tolerance, max_depth);
+}
+
+}  // namespace tdp::math

@@ -1,0 +1,24 @@
+// Numerical integration.
+//
+// The dynamic session model (Section III / Appendix E-F) integrates waiting
+// functions over uniformly distributed arrival times within a period. The
+// integrands are smooth, so composite Gauss-Legendre is accurate and cheap;
+// adaptive Simpson is provided as an independent cross-check for tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tdp::math {
+
+/// Integrate f over [a, b] with composite 8-point Gauss-Legendre on
+/// `segments` equal subintervals.
+double integrate_gauss(const std::function<double(double)>& f, double a,
+                       double b, std::size_t segments = 4);
+
+/// Integrate f over [a, b] with adaptive Simpson to absolute tolerance.
+double integrate_adaptive_simpson(const std::function<double(double)>& f,
+                                  double a, double b, double tolerance = 1e-10,
+                                  std::size_t max_depth = 30);
+
+}  // namespace tdp::math

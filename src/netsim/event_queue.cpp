@@ -1,0 +1,46 @@
+#include "netsim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp::netsim {
+
+EventId EventQueue::schedule(double when, EventCallback callback) {
+  TDP_REQUIRE(static_cast<bool>(callback), "callback must be set");
+  const EventId id = callbacks_.size();
+  callbacks_.push_back(std::move(callback));
+  cancelled_.push_back(false);
+  queue_.push(Entry{when, id});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id] || !callbacks_[id]) return;
+  cancelled_[id] = true;
+  --live_count_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!queue_.empty() && cancelled_[queue_.top().id]) {
+    queue_.pop();
+  }
+}
+
+double EventQueue::next_time() const {
+  drop_cancelled();
+  TDP_REQUIRE(!queue_.empty(), "event queue is empty");
+  return queue_.top().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  TDP_REQUIRE(!queue_.empty(), "event queue is empty");
+  const Entry entry = queue_.top();
+  queue_.pop();
+  --live_count_;
+  EventCallback callback = std::move(callbacks_[entry.id]);
+  callbacks_[entry.id] = nullptr;  // release captured state
+  return Popped{entry.when, std::move(callback)};
+}
+
+}  // namespace tdp::netsim

@@ -1,0 +1,66 @@
+// Time-ordered event queue for the discrete-event network emulator.
+//
+// Events at equal times fire in insertion order (a stable tiebreak keeps
+// runs deterministic). Cancellation is supported through tokens because the
+// link cancels and reschedules flow-completion events whenever fair-share
+// rates change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tdp::netsim {
+
+using EventCallback = std::function<void()>;
+
+/// Token identifying a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `callback` at absolute time `when` (seconds).
+  EventId schedule(double when, EventCallback callback);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (lazy deletion).
+  void cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+
+  /// Time of the next live event; only valid when not empty().
+  double next_time() const;
+
+  /// Pop the next live event without running it. The caller advances its
+  /// clock first, then invokes the callback, so callbacks observe the
+  /// correct current time.
+  struct Popped {
+    double when;
+    EventCallback callback;
+  };
+  Popped pop();
+
+  std::size_t size() const { return live_count_; }
+
+ private:
+  struct Entry {
+    double when;
+    EventId id;
+    // Order by time, then by id (insertion order).
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+      queue_;
+  std::vector<EventCallback> callbacks_;  // indexed by id
+  std::vector<bool> cancelled_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tdp::netsim

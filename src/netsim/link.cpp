@@ -1,0 +1,143 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tdp::netsim {
+
+namespace {
+constexpr double kEpsilon = 1e-9;
+}
+
+BottleneckLink::BottleneckLink(Simulator& sim, double capacity_mbps)
+    : sim_(sim), capacity_(capacity_mbps) {
+  TDP_REQUIRE(capacity_mbps > 0.0, "capacity must be positive");
+}
+
+FlowId BottleneckLink::start_flow(const FlowSpec& spec,
+                                  FlowDoneCallback done) {
+  if (spec.kind == FlowKind::kElastic) {
+    TDP_REQUIRE(spec.size_mb > 0.0, "elastic flow needs a positive size");
+  } else {
+    TDP_REQUIRE(spec.rate_mbps > 0.0 && spec.duration_s > 0.0,
+                "streaming flow needs a positive rate and duration");
+  }
+
+  integrate_service();
+  const FlowId id = next_id_++;
+  ActiveFlow flow;
+  flow.spec = spec;
+  flow.done = std::move(done);
+  flow.remaining_mb = spec.size_mb;
+  flow.end_time = sim_.now() + spec.duration_s;
+  flows_.emplace(id, std::move(flow));
+
+  if (spec.kind == FlowKind::kStreaming) {
+    // Streaming flows always leave at their end time.
+    flows_[id].completion_event =
+        sim_.at(flows_[id].end_time, [this, id] { finish_flow(id); });
+    flows_[id].has_completion_event = true;
+  }
+  recompute();
+  return id;
+}
+
+void BottleneckLink::set_background_rate(double rate_mbps) {
+  TDP_REQUIRE(rate_mbps >= 0.0, "background rate must be nonnegative");
+  integrate_service();
+  background_ = std::min(rate_mbps, capacity_);
+  recompute();
+}
+
+double BottleneckLink::served_mb(std::size_t user,
+                                 std::size_t traffic_class) const {
+  const auto it = served_.find({user, traffic_class});
+  return it == served_.end() ? 0.0 : it->second;
+}
+
+double BottleneckLink::utilization() const {
+  double used = background_;
+  for (const auto& [id, flow] : flows_) used += flow.current_rate;
+  return std::min(used / capacity_, 1.0);
+}
+
+void BottleneckLink::integrate_service() {
+  const double now = sim_.now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const double served = flow.current_rate * dt;
+    flow.served_mb += served;
+    served_[{flow.spec.user, flow.spec.traffic_class}] += served;
+    if (flow.spec.kind == FlowKind::kElastic) {
+      flow.remaining_mb = std::max(flow.remaining_mb - served, 0.0);
+    }
+  }
+}
+
+void BottleneckLink::recompute() {
+  // Max-min waterfill: streaming flows are rate-capped; elastic flows are
+  // uncapped and split what remains equally.
+  double available = std::max(capacity_ - background_, 0.0);
+
+  std::vector<std::pair<FlowId, double>> capped;  // (id, demanded rate)
+  std::size_t elastic_count = 0;
+  for (auto& [id, flow] : flows_) {
+    if (flow.spec.kind == FlowKind::kStreaming) {
+      capped.emplace_back(id, flow.spec.rate_mbps);
+    } else {
+      ++elastic_count;
+    }
+  }
+  // Allocate to capped flows in ascending demand order.
+  std::sort(capped.begin(), capped.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::size_t sharers = capped.size() + elastic_count;
+  for (const auto& [id, demand] : capped) {
+    const double share = sharers > 0
+                             ? available / static_cast<double>(sharers)
+                             : 0.0;
+    const double rate = std::min(demand, share);
+    flows_[id].current_rate = rate;
+    available -= rate;
+    --sharers;
+  }
+  const double elastic_share =
+      elastic_count > 0 ? available / static_cast<double>(elastic_count)
+                        : 0.0;
+
+  for (auto& [id, flow] : flows_) {
+    if (flow.spec.kind == FlowKind::kElastic) {
+      flow.current_rate = elastic_share;
+      // Reschedule the completion event at the new rate.
+      if (flow.has_completion_event) {
+        sim_.cancel(flow.completion_event);
+        flow.has_completion_event = false;
+      }
+      if (flow.current_rate > kEpsilon) {
+        const double eta = flow.remaining_mb / flow.current_rate;
+        const FlowId flow_id = id;
+        flow.completion_event =
+            sim_.after(eta, [this, flow_id] { finish_flow(flow_id); });
+        flow.has_completion_event = true;
+      }
+    }
+  }
+}
+
+void BottleneckLink::finish_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // already gone (stale event)
+  integrate_service();
+
+  ActiveFlow flow = std::move(it->second);
+  flows_.erase(it);
+  recompute();
+  if (flow.done) flow.done(id, flow.spec, flow.served_mb);
+}
+
+}  // namespace tdp::netsim

@@ -1,0 +1,102 @@
+// Bottleneck link with max-min fair sharing (flow-level fluid model).
+//
+// The TUBE testbed (Fig. 10) funnels all user and background traffic
+// through one bottleneck. We model it at flow granularity:
+//
+//  - elastic flows (web objects, ftp transfers) have a fixed size and
+//    receive a max-min fair share of the capacity;
+//  - streaming flows (video) have a fixed duration and demand a fixed rate;
+//    they receive min(rate, fair share) — congestion shows up as degraded
+//    throughput rather than delayed completion (Appendix G's fixed-time
+//    sessions);
+//  - background traffic is a time-varying rate reservation set by the
+//    traffic module.
+//
+// Rates are recomputed by waterfilling on every arrival/departure/rate
+// event; per-flow served bytes are integrated exactly between events. This
+// substitutes for the testbed's packet FIFO + 120-packet buffer: the
+// Fig. 11/12 measurements are per-class byte volumes per period, which the
+// fluid model preserves (see DESIGN.md's substitution table).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "netsim/simulator.hpp"
+
+namespace tdp::netsim {
+
+using FlowId = std::uint64_t;
+
+enum class FlowKind { kElastic, kStreaming };
+
+/// Immutable description of a flow offered to the link.
+struct FlowSpec {
+  FlowKind kind = FlowKind::kElastic;
+  std::size_t user = 0;      ///< user index for accounting
+  std::size_t traffic_class = 0;  ///< class index (web/ftp/video/...)
+  double size_mb = 0.0;      ///< elastic: total bytes to move (MB)
+  double rate_mbps = 0.0;    ///< streaming: demanded rate (MBps)
+  double duration_s = 0.0;   ///< streaming: how long the stream lasts
+};
+
+/// Callback invoked when a flow leaves the link (elastic: finished;
+/// streaming: duration elapsed). Receives the bytes it actually moved.
+using FlowDoneCallback = std::function<void(FlowId, const FlowSpec&,
+                                            double served_mb)>;
+
+class BottleneckLink {
+ public:
+  /// @param sim       the simulator driving events
+  /// @param capacity  link capacity in MBps (the testbed uses 10 MBps)
+  BottleneckLink(Simulator& sim, double capacity_mbps);
+
+  /// Offer a flow now; returns its id. `done` may be null.
+  FlowId start_flow(const FlowSpec& spec, FlowDoneCallback done = nullptr);
+
+  /// Set the background-traffic reservation (MBps, clamped to capacity).
+  void set_background_rate(double rate_mbps);
+
+  double capacity_mbps() const { return capacity_; }
+  double background_rate() const { return background_; }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total bytes served so far for (user, class); used by measurement.
+  double served_mb(std::size_t user, std::size_t traffic_class) const;
+
+  /// Current utilization in [0, 1] (including background).
+  double utilization() const;
+
+ private:
+  struct ActiveFlow {
+    FlowSpec spec;
+    FlowDoneCallback done;
+    double remaining_mb = 0.0;   // elastic
+    double end_time = 0.0;       // streaming
+    double served_mb = 0.0;
+    double current_rate = 0.0;   // MBps, set by waterfill
+    EventId completion_event = 0;
+    bool has_completion_event = false;
+  };
+
+  /// Integrate served bytes since last update, recompute fair shares, and
+  /// reschedule completion events.
+  void recompute();
+
+  /// Serve bytes from last_update_ to now at current rates.
+  void integrate_service();
+
+  void finish_flow(FlowId id);
+
+  Simulator& sim_;
+  double capacity_;
+  double background_ = 0.0;
+  double last_update_ = 0.0;
+  FlowId next_id_ = 1;
+  std::map<FlowId, ActiveFlow> flows_;
+  std::map<std::pair<std::size_t, std::size_t>, double> served_;
+};
+
+}  // namespace tdp::netsim

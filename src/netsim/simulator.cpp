@@ -1,0 +1,27 @@
+#include "netsim/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp::netsim {
+
+EventId Simulator::at(double when, EventCallback callback) {
+  TDP_REQUIRE(when >= now_, "cannot schedule in the past");
+  return queue_.schedule(when, std::move(callback));
+}
+
+EventId Simulator::after(double delay, EventCallback callback) {
+  TDP_REQUIRE(delay >= 0.0, "delay must be nonnegative");
+  return queue_.schedule(now_ + delay, std::move(callback));
+}
+
+void Simulator::run_until(double horizon) {
+  TDP_REQUIRE(horizon >= now_, "horizon is in the past");
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    EventQueue::Popped event = queue_.pop();
+    now_ = event.when;
+    event.callback();
+  }
+  now_ = horizon;
+}
+
+}  // namespace tdp::netsim

@@ -1,0 +1,35 @@
+// Discrete-event simulator: clock + event queue.
+//
+// Single-threaded by design; all model state is advanced from event
+// callbacks. Time is in seconds.
+#pragma once
+
+#include "netsim/event_queue.hpp"
+
+namespace tdp::netsim {
+
+class Simulator {
+ public:
+  double now() const { return now_; }
+
+  /// Schedule at an absolute time >= now().
+  EventId at(double when, EventCallback callback);
+
+  /// Schedule after a delay >= 0.
+  EventId after(double delay, EventCallback callback);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run events until the queue is empty or the clock would pass `horizon`.
+  /// The clock finishes exactly at `horizon`.
+  void run_until(double horizon);
+
+  /// True if any events remain.
+  bool pending() const { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+};
+
+}  // namespace tdp::netsim

@@ -1,0 +1,99 @@
+#include "netsim/traffic.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp::netsim {
+
+SessionSource::SessionSource(Simulator& sim, std::uint64_t seed,
+                             std::size_t user, std::size_t traffic_class,
+                             TrafficClassConfig config, RateProfile profile,
+                             SessionHandler handler)
+    : sim_(sim),
+      rng_(seed),
+      user_(user),
+      class_(traffic_class),
+      config_(std::move(config)),
+      profile_(std::move(profile)),
+      handler_(std::move(handler)) {
+  TDP_REQUIRE(static_cast<bool>(handler_), "session handler must be set");
+  TDP_REQUIRE(config_.arrivals_per_hour >= 0.0,
+              "arrival rate must be nonnegative");
+  TDP_REQUIRE(static_cast<bool>(profile_.multiplier),
+              "rate profile must be set");
+  TDP_REQUIRE(profile_.peak > 0.0, "profile peak must be positive");
+}
+
+FlowSpec SessionSource::draw_spec() {
+  FlowSpec spec;
+  spec.kind = config_.kind;
+  spec.user = user_;
+  spec.traffic_class = class_;
+  if (config_.kind == FlowKind::kElastic) {
+    spec.size_mb = rng_.exponential(config_.mean_size_mb);
+  } else {
+    spec.rate_mbps = config_.rate_mbps;
+    spec.duration_s = rng_.exponential(config_.mean_duration_s);
+  }
+  return spec;
+}
+
+void SessionSource::start(double until) {
+  TDP_REQUIRE(until >= sim_.now(), "horizon is in the past");
+  until_ = until;
+  if (config_.arrivals_per_hour > 0.0) schedule_next();
+}
+
+void SessionSource::schedule_next() {
+  // Thinning for the nonhomogeneous Poisson process: candidate arrivals at
+  // the peak rate, accepted with probability multiplier(t)/peak.
+  const double peak_rate_per_s =
+      config_.arrivals_per_hour * profile_.peak / 3600.0;
+  const double gap = rng_.exponential(1.0 / peak_rate_per_s);
+  const double when = sim_.now() + gap;
+  if (when > until_) return;
+  sim_.at(when, [this] {
+    const double accept =
+        profile_.multiplier(sim_.now()) / profile_.peak;
+    if (rng_.bernoulli(accept)) {
+      ++generated_;
+      handler_(draw_spec());
+    }
+    schedule_next();
+  });
+}
+
+BackgroundTraffic::BackgroundTraffic(Simulator& sim, BottleneckLink& link,
+                                     Config config, std::uint64_t seed)
+    : sim_(sim), link_(link), config_(config), rng_(seed) {
+  TDP_REQUIRE(config.mean_on_s > 0.0 && config.mean_off_s > 0.0,
+              "phase durations must be positive");
+  TDP_REQUIRE(config.min_rate_mbps >= 0.0 &&
+                  config.max_rate_mbps >= config.min_rate_mbps,
+              "invalid background rate range");
+}
+
+void BackgroundTraffic::start(double until) {
+  TDP_REQUIRE(until >= sim_.now(), "horizon is in the past");
+  until_ = until;
+  enter_off();
+}
+
+void BackgroundTraffic::enter_on() {
+  if (sim_.now() >= until_) {
+    link_.set_background_rate(0.0);
+    return;
+  }
+  link_.set_background_rate(
+      rng_.uniform(config_.min_rate_mbps, config_.max_rate_mbps));
+  const double duration = rng_.exponential(config_.mean_on_s);
+  sim_.at(std::min(sim_.now() + duration, until_), [this] { enter_off(); });
+}
+
+void BackgroundTraffic::enter_off() {
+  link_.set_background_rate(0.0);
+  if (sim_.now() >= until_) return;
+  const double duration = rng_.exponential(config_.mean_off_s);
+  sim_.at(std::min(sim_.now() + duration, until_), [this] { enter_on(); });
+}
+
+}  // namespace tdp::netsim

@@ -1,0 +1,103 @@
+// Traffic generation for the TUBE testbed emulation (Fig. 10).
+//
+// Each (user, class) pair has a SessionSource producing sessions from a
+// nonhomogeneous Poisson process (thinning) whose intensity follows a
+// time-of-day multiplier profile — Fig. 11's "traffic is high at the
+// beginning of the hour ... lower at the end" is such a profile. Session
+// sizes are exponential (elastic classes) or fixed-rate/exponential-duration
+// (streaming).
+//
+// Sessions are delivered to a handler at their arrival instant; the TUBE
+// layer decides whether to start them immediately or defer them to a later
+// period (the GUI agent's reaction to prices). Background traffic is an
+// on-off process that reserves a time-varying slice of the bottleneck,
+// standing in for the testbed's background flows ([25]/[26] parameters).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+
+namespace tdp::netsim {
+
+/// Configuration of one traffic class for one user.
+struct TrafficClassConfig {
+  std::string name;                     ///< "web", "ftp", "video", ...
+  FlowKind kind = FlowKind::kElastic;
+  double arrivals_per_hour = 0.0;       ///< base Poisson intensity
+  double mean_size_mb = 0.0;            ///< elastic: exponential mean
+  double rate_mbps = 0.0;               ///< streaming: demanded rate
+  double mean_duration_s = 0.0;         ///< streaming: exponential mean
+};
+
+/// Time-of-day intensity multiplier (must be bounded by `peak`).
+struct RateProfile {
+  std::function<double(double time_s)> multiplier;
+  double peak = 1.0;
+};
+
+/// A session intent: what wants to start now.
+using SessionHandler = std::function<void(const FlowSpec&)>;
+
+class SessionSource {
+ public:
+  SessionSource(Simulator& sim, std::uint64_t seed, std::size_t user,
+                std::size_t traffic_class, TrafficClassConfig config,
+                RateProfile profile, SessionHandler handler);
+
+  /// Begin generating sessions from now until `until` (absolute seconds).
+  void start(double until);
+
+  /// Draw the flow parameters for one session (public so deferral can
+  /// re-materialize a session later with identical statistics).
+  FlowSpec draw_spec();
+
+  std::size_t sessions_generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Rng rng_;
+  std::size_t user_;
+  std::size_t class_;
+  TrafficClassConfig config_;
+  RateProfile profile_;
+  SessionHandler handler_;
+  double until_ = 0.0;
+  std::size_t generated_ = 0;
+};
+
+/// On-off background traffic: alternates exponential on/off phases; during
+/// an on-phase it reserves a uniform random rate on the link.
+class BackgroundTraffic {
+ public:
+  struct Config {
+    double mean_on_s = 30.0;
+    double mean_off_s = 20.0;
+    double min_rate_mbps = 0.5;
+    double max_rate_mbps = 3.0;
+  };
+
+  BackgroundTraffic(Simulator& sim, BottleneckLink& link, Config config,
+                    std::uint64_t seed);
+
+  /// Start alternating phases until `until`.
+  void start(double until);
+
+ private:
+  void enter_on();
+  void enter_off();
+
+  Simulator& sim_;
+  BottleneckLink& link_;
+  Config config_;
+  Rng rng_;
+  double until_ = 0.0;
+};
+
+}  // namespace tdp::netsim

@@ -1,0 +1,60 @@
+#include "tube/autopilot.hpp"
+
+#include <algorithm>
+
+namespace tdp {
+
+CongestionPricer::CongestionPricer(double full_price,
+                                   double congestion_threshold,
+                                   double floor_price)
+    : full_price_(full_price),
+      threshold_(congestion_threshold),
+      floor_price_(floor_price) {
+  TDP_REQUIRE(full_price > 0.0, "full price must be positive");
+  TDP_REQUIRE(congestion_threshold > 0.0 && congestion_threshold <= 1.0,
+              "threshold must be in (0, 1]");
+  TDP_REQUIRE(floor_price >= 0.0 && floor_price <= full_price,
+              "floor price must be in [0, full price]");
+}
+
+double CongestionPricer::price(double utilization) const {
+  TDP_REQUIRE(utilization >= 0.0 && utilization <= 1.0 + 1e-9,
+              "utilization must be in [0, 1]");
+  const double u = std::min(utilization, 1.0);
+  if (u >= threshold_) return full_price_;
+  // Linear ramp from floor at idle to full price at the threshold.
+  return floor_price_ +
+         (full_price_ - floor_price_) * (u / threshold_);
+}
+
+AutopilotAgent::AutopilotAgent(Config config) : config_(std::move(config)) {
+  TDP_REQUIRE(config_.max_monthly_bill > 0.0, "budget must be positive");
+  TDP_REQUIRE(config_.price_ceiling >= 0.0, "ceiling must be nonnegative");
+}
+
+double AutopilotAgent::effective_ceiling() const {
+  // Shrink the ceiling linearly as spending approaches the budget; at the
+  // budget only free slots are acceptable.
+  const double remaining =
+      std::max(1.0 - spent_ / config_.max_monthly_bill, 0.0);
+  return config_.price_ceiling * remaining;
+}
+
+bool AutopilotAgent::should_start(std::size_t traffic_class,
+                                  double price_per_mb) const {
+  TDP_REQUIRE(price_per_mb >= 0.0, "price must be nonnegative");
+  if (traffic_class < config_.never_defer.size() &&
+      config_.never_defer[traffic_class]) {
+    return true;
+  }
+  return price_per_mb <= effective_ceiling() + 1e-15;
+}
+
+void AutopilotAgent::record_usage(double mb, double price_per_mb) {
+  TDP_REQUIRE(mb >= 0.0 && price_per_mb >= 0.0,
+              "usage and price must be nonnegative");
+  usage_mb_ += mb;
+  spent_ += mb * price_per_mb;
+}
+
+}  // namespace tdp

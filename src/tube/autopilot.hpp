@@ -1,0 +1,83 @@
+// Congestion-dependent pricing on "auto-pilot" (Section VII).
+//
+// "Time-dependent pricing can be further generalized to congestion-
+// dependent pricing when TDP's timescale is very short. Periods may be 30
+// seconds ... TDP can be put on 'auto-pilot' mode, where a user need not be
+// bothered once he or she specifies a basic configuration, e.g. the
+// maximum monthly bill, which applications should never be deferred ...
+// there is an opportunity to bridge the 'digital divide' by offering
+// extremely affordable, e.g. $5 a month, Internet access plans, where users
+// wait for time slots in which congestion conditions and prices are
+// sufficiently low."
+//
+// Two pieces:
+//  - CongestionPricer: fast-timescale price rule — the discount (reward)
+//    grows linearly as measured utilization falls below a congestion
+//    threshold, so quiet slots are cheap and busy slots cost full price.
+//  - AutopilotAgent: a policy, not a person: sessions of never-defer
+//    classes start immediately; everything else starts only when the
+//    current price is at or below the user's configured ceiling, and is
+//    otherwise parked until a cheap slot appears. A monthly budget guard
+//    tightens the ceiling as spending approaches the budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+/// Maps measured utilization to a price per MB.
+class CongestionPricer {
+ public:
+  /// @param full_price           price per MB at or above the threshold
+  /// @param congestion_threshold utilization above which no discount applies
+  /// @param floor_price          price when the link is idle
+  CongestionPricer(double full_price, double congestion_threshold,
+                   double floor_price);
+
+  /// Current price per MB for a measured utilization in [0, 1].
+  double price(double utilization) const;
+
+  double full_price() const { return full_price_; }
+  double floor_price() const { return floor_price_; }
+
+ private:
+  double full_price_;
+  double threshold_;
+  double floor_price_;
+};
+
+/// The auto-pilot policy: start-or-wait decisions plus budget tracking.
+class AutopilotAgent {
+ public:
+  struct Config {
+    double max_monthly_bill = 5.0;   ///< dollars
+    double price_ceiling = 0.002;    ///< $/MB the user is willing to pay
+    std::vector<bool> never_defer;   ///< per traffic class
+  };
+
+  explicit AutopilotAgent(Config config);
+
+  /// Should a session of `traffic_class` start at the current price?
+  bool should_start(std::size_t traffic_class, double price_per_mb) const;
+
+  /// Record `mb` delivered at `price_per_mb`.
+  void record_usage(double mb, double price_per_mb);
+
+  /// Effective ceiling after the budget guard: as spending approaches the
+  /// monthly budget, the ceiling shrinks toward the free tier.
+  double effective_ceiling() const;
+
+  double spent() const { return spent_; }
+  double usage_mb() const { return usage_mb_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double spent_ = 0.0;
+  double usage_mb_ = 0.0;
+};
+
+}  // namespace tdp

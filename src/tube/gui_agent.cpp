@@ -1,0 +1,76 @@
+#include "tube/gui_agent.hpp"
+
+#include <cmath>
+
+#include "common/cyclic.hpp"
+#include "common/error.hpp"
+
+namespace tdp {
+
+GuiAgent::GuiAgent(std::vector<double> patience, std::size_t periods,
+                   double max_reward, std::uint64_t seed)
+    : patience_(std::move(patience)),
+      periods_(periods),
+      max_reward_(max_reward),
+      rng_(seed),
+      decisions_(patience_.size(), 0),
+      deferrals_(patience_.size(), 0) {
+  TDP_REQUIRE(!patience_.empty(), "need at least one traffic class");
+  for (double beta : patience_) {
+    TDP_REQUIRE(beta >= 0.0, "patience index must be nonnegative");
+  }
+  TDP_REQUIRE(periods >= 2, "need at least two periods");
+  TDP_REQUIRE(max_reward > 0.0, "max reward must be positive");
+}
+
+GuiAgent::Decision GuiAgent::decide(std::size_t traffic_class,
+                                    std::size_t period,
+                                    const math::Vector& rewards) {
+  TDP_REQUIRE(traffic_class < patience_.size(), "unknown traffic class");
+  TDP_REQUIRE(period < periods_, "period out of range");
+  TDP_REQUIRE(rewards.size() == periods_, "reward schedule size mismatch");
+
+  ++decisions_[traffic_class];
+  const double beta = patience_[traffic_class];
+
+  // Unnormalized capped power law (see header).
+  std::vector<double> prob(periods_, 0.0);
+  double total = 0.0;
+  for (std::size_t lag = 1; lag < periods_; ++lag) {
+    const std::size_t target = cyclic_advance(period, lag, periods_);
+    const double price_factor =
+        std::min(std::max(rewards[target], 0.0) / max_reward_, 1.0);
+    prob[lag] =
+        price_factor * std::pow(static_cast<double>(lag) + 1.0, -beta);
+    total += prob[lag];
+  }
+  if (total > 1.0) {
+    for (std::size_t lag = 1; lag < periods_; ++lag) prob[lag] /= total;
+  }
+
+  Decision decision;
+  double draw = rng_.uniform();
+  for (std::size_t lag = 1; lag < periods_; ++lag) {
+    if (draw < prob[lag]) {
+      decision.lag = lag;
+      const std::size_t target = cyclic_advance(period, lag, periods_);
+      decision.reward_rate = rewards[target];
+      ++deferrals_[traffic_class];
+      return decision;
+    }
+    draw -= prob[lag];
+  }
+  return decision;  // start now
+}
+
+std::size_t GuiAgent::decisions(std::size_t traffic_class) const {
+  TDP_REQUIRE(traffic_class < decisions_.size(), "unknown traffic class");
+  return decisions_[traffic_class];
+}
+
+std::size_t GuiAgent::deferrals(std::size_t traffic_class) const {
+  TDP_REQUIRE(traffic_class < deferrals_.size(), "unknown traffic class");
+  return deferrals_[traffic_class];
+}
+
+}  // namespace tdp

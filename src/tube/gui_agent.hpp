@@ -1,0 +1,66 @@
+// TUBE GUI user agent.
+//
+// Stands in for a human reacting to the prices shown by the TUBE GUI: when
+// a session wants to start in period i, the agent looks at the published
+// rewards (pulled once per period through the PriceChannel) and defers the
+// session by lag L with probability
+//
+//   q_L = (p_target / P) * (L + 1)^{-beta_class},
+//
+// scaled down proportionally if the q_L sum above one. This is the paper's
+// power law WITHOUT the sum normalization: the patience index scales the
+// *total* willingness to defer, so impatient users (large beta) barely
+// defer at all — matching Section VI's observation that "user 1 never
+// defers due to high patience indices compared to the amount of reward
+// offered". (The Section II-V models normalize w so that every class
+// defers with total probability p/P at most; that choice makes the ISP-side
+// optimization well-posed but cannot express "too impatient to defer at
+// any price". The TUBE Optimizer still estimates effective normalized
+// parameters from aggregate behaviour — a deliberate model-vs-reality
+// mismatch that the online price adaptation absorbs.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+class GuiAgent {
+ public:
+  /// @param patience   per-class patience indices beta
+  /// @param periods    number of pricing periods in the cycle
+  /// @param max_reward normalization point P (the full-price reward)
+  /// @param seed       deterministic decision stream
+  GuiAgent(std::vector<double> patience, std::size_t periods,
+           double max_reward, std::uint64_t seed);
+
+  struct Decision {
+    std::size_t lag = 0;       ///< 0 = start now
+    double reward_rate = 0.0;  ///< reward per MB earned if deferred
+  };
+
+  /// Decide whether to defer a session of class `traffic_class` arriving in
+  /// period `period` (index within the cycle) under the published rewards.
+  Decision decide(std::size_t traffic_class, std::size_t period,
+                  const math::Vector& rewards);
+
+  std::size_t classes() const { return patience_.size(); }
+
+  /// Decisions made / deferrals chosen, per class (for reporting).
+  std::size_t decisions(std::size_t traffic_class) const;
+  std::size_t deferrals(std::size_t traffic_class) const;
+
+ private:
+  std::vector<double> patience_;
+  std::size_t periods_;
+  double max_reward_;
+  Rng rng_;
+  std::vector<std::size_t> decisions_;
+  std::vector<std::size_t> deferrals_;
+};
+
+}  // namespace tdp

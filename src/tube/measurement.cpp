@@ -1,0 +1,80 @@
+#include "tube/measurement.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+MeasurementEngine::MeasurementEngine(std::size_t users, std::size_t classes)
+    : users_(users), classes_(classes), baseline_(users * classes, 0.0) {
+  TDP_REQUIRE(users >= 1 && classes >= 1, "need users and classes");
+}
+
+std::size_t MeasurementEngine::index(std::size_t user,
+                                     std::size_t traffic_class) const {
+  TDP_REQUIRE(user < users_ && traffic_class < classes_,
+              "user/class out of range");
+  return user * classes_ + traffic_class;
+}
+
+void MeasurementEngine::close_period(const netsim::BottleneckLink& link) {
+  std::vector<double> usage(users_ * classes_, 0.0);
+  for (std::size_t u = 0; u < users_; ++u) {
+    for (std::size_t c = 0; c < classes_; ++c) {
+      const double cumulative = link.served_mb(u, c);
+      const std::size_t k = index(u, c);
+      usage[k] = cumulative - baseline_[k];
+      baseline_[k] = cumulative;
+    }
+  }
+  per_period_.push_back(std::move(usage));
+}
+
+double MeasurementEngine::usage_mb(std::size_t period, std::size_t user,
+                                   std::size_t traffic_class) const {
+  TDP_REQUIRE(period < per_period_.size(), "period not recorded");
+  return per_period_[period][index(user, traffic_class)];
+}
+
+double MeasurementEngine::user_usage_mb(std::size_t period,
+                                        std::size_t user) const {
+  TDP_REQUIRE(period < per_period_.size(), "period not recorded");
+  double total = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    total += per_period_[period][index(user, c)];
+  }
+  return total;
+}
+
+double MeasurementEngine::total_usage_mb(std::size_t period) const {
+  TDP_REQUIRE(period < per_period_.size(), "period not recorded");
+  double total = 0.0;
+  for (double v : per_period_[period]) total += v;
+  return total;
+}
+
+std::vector<double> MeasurementEngine::total_series() const {
+  std::vector<double> out(per_period_.size(), 0.0);
+  for (std::size_t i = 0; i < per_period_.size(); ++i) {
+    out[i] = total_usage_mb(i);
+  }
+  return out;
+}
+
+std::vector<double> MeasurementEngine::user_series(std::size_t user) const {
+  std::vector<double> out(per_period_.size(), 0.0);
+  for (std::size_t i = 0; i < per_period_.size(); ++i) {
+    out[i] = user_usage_mb(i, user);
+  }
+  return out;
+}
+
+void MeasurementEngine::reset(const netsim::BottleneckLink& link) {
+  per_period_.clear();
+  for (std::size_t u = 0; u < users_; ++u) {
+    for (std::size_t c = 0; c < classes_; ++c) {
+      baseline_[index(u, c)] = link.served_mb(u, c);
+    }
+  }
+}
+
+}  // namespace tdp

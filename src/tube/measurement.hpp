@@ -1,0 +1,62 @@
+// TUBE measurement engine.
+//
+// "The measurement engine keeps track of each user's aggregate history and
+// passes this information to the profiling engine." In the prototype this
+// was IPtables accounting; here it snapshots the bottleneck link's
+// cumulative per-(user, class) byte counters at period boundaries and
+// differences them into per-period usage — the same per-period aggregate
+// the estimator needs, and the per-user record needed for billing ("the ISP
+// only needs to record a user's TDP usage per period").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/link.hpp"
+
+namespace tdp {
+
+class MeasurementEngine {
+ public:
+  /// @param users    number of users behind the bottleneck
+  /// @param classes  number of traffic classes
+  MeasurementEngine(std::size_t users, std::size_t classes);
+
+  /// Snapshot the link's cumulative counters at a period boundary, closing
+  /// the current measurement period.
+  void close_period(const netsim::BottleneckLink& link);
+
+  std::size_t periods_recorded() const { return per_period_.size(); }
+  std::size_t users() const { return users_; }
+  std::size_t classes() const { return classes_; }
+
+  /// MB served to (user, class) during recorded period `period`.
+  double usage_mb(std::size_t period, std::size_t user,
+                  std::size_t traffic_class) const;
+
+  /// MB served to a user during a period (all classes).
+  double user_usage_mb(std::size_t period, std::size_t user) const;
+
+  /// MB served during a period (all users, all classes).
+  double total_usage_mb(std::size_t period) const;
+
+  /// Totals per period across the whole recording (aggregate series the
+  /// profiling engine consumes).
+  std::vector<double> total_series() const;
+
+  /// Per-user series (Fig. 11/12 traffic curves).
+  std::vector<double> user_series(std::size_t user) const;
+
+  /// Forget all recorded periods but keep counter baselines (phase reset).
+  void reset(const netsim::BottleneckLink& link);
+
+ private:
+  std::size_t index(std::size_t user, std::size_t traffic_class) const;
+
+  std::size_t users_;
+  std::size_t classes_;
+  std::vector<double> baseline_;                 ///< cumulative at phase start
+  std::vector<std::vector<double>> per_period_;  ///< period -> flat (u,c)
+};
+
+}  // namespace tdp

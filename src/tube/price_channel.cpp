@@ -1,0 +1,55 @@
+#include "tube/price_channel.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+PriceChannel::PriceChannel(std::size_t periods)
+    : periods_(periods), published_(periods, 0.0) {
+  TDP_REQUIRE(periods >= 1, "need at least one period");
+}
+
+void PriceChannel::publish(const math::Vector& rewards) {
+  TDP_REQUIRE(rewards.size() == periods_, "schedule size mismatch");
+  for (double p : rewards) {
+    TDP_REQUIRE(p >= 0.0, "rewards must be nonnegative");
+  }
+  published_ = rewards;
+  ++publish_count_;
+}
+
+std::size_t PriceChannel::subscribe() {
+  subscribers_.push_back(Subscriber{math::Vector(periods_, 0.0),
+                                    static_cast<std::size_t>(-1), false, 0,
+                                    0});
+  return subscribers_.size() - 1;
+}
+
+const math::Vector& PriceChannel::pull(std::size_t subscriber,
+                                       std::size_t abs_period) {
+  TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
+  Subscriber& sub = subscribers_[subscriber];
+  TDP_REQUIRE(!sub.pulled_ever || abs_period >= sub.last_pull_period,
+              "pulls must be time-ordered");
+  if (!sub.pulled_ever || abs_period != sub.last_pull_period) {
+    sub.cache = published_;
+    sub.last_pull_period = abs_period;
+    sub.pulled_ever = true;
+    ++sub.fetches;
+  } else {
+    ++sub.hits;
+  }
+  return sub.cache;
+}
+
+std::size_t PriceChannel::server_fetches(std::size_t subscriber) const {
+  TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
+  return subscribers_[subscriber].fetches;
+}
+
+std::size_t PriceChannel::cache_hits(std::size_t subscriber) const {
+  TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
+  return subscribers_[subscriber].hits;
+}
+
+}  // namespace tdp

@@ -1,0 +1,65 @@
+// Price publication channel between the TUBE Optimizer and TUBE GUIs.
+//
+// "The prices determined from the TUBE Optimizer are synced to the TUBE GUI
+// at every period. ... For security and scalability of the systems, the
+// TUBE GUI pulls the price information only once in each period."
+//
+// The channel stores the currently published reward schedule (one reward
+// per period index) and enforces the pull-once-per-period discipline per
+// subscriber: repeated pulls in the same period return the locally cached
+// copy and are counted, mirroring the prototype's behaviour of hitting the
+// server once and reading the RRD cache afterwards. (The prototype's
+// SSL/TLS transport is connection plumbing with no behavioral effect; this
+// in-process channel preserves the sync/caching semantics.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace tdp {
+
+class PriceChannel {
+ public:
+  explicit PriceChannel(std::size_t periods);
+
+  std::size_t periods() const { return periods_; }
+
+  /// Optimizer side: publish a full reward schedule (period-indexed).
+  void publish(const math::Vector& rewards);
+
+  /// Register a GUI subscriber; returns its id.
+  std::size_t subscribe();
+
+  /// GUI side: fetch the schedule during absolute period `abs_period`
+  /// (monotonically nondecreasing across the run, not wrapped to the day).
+  /// The first pull in a period goes "to the server" (copies the published
+  /// schedule into the subscriber cache); later pulls in the same period
+  /// hit the cache.
+  const math::Vector& pull(std::size_t subscriber, std::size_t abs_period);
+
+  /// Server fetches this subscriber performed (for scalability assertions).
+  std::size_t server_fetches(std::size_t subscriber) const;
+
+  /// Cache hits (redundant pulls within a period).
+  std::size_t cache_hits(std::size_t subscriber) const;
+
+  std::size_t publish_count() const { return publish_count_; }
+
+ private:
+  struct Subscriber {
+    math::Vector cache;
+    std::size_t last_pull_period = static_cast<std::size_t>(-1);
+    bool pulled_ever = false;
+    std::size_t fetches = 0;
+    std::size_t hits = 0;
+  };
+
+  std::size_t periods_;
+  math::Vector published_;
+  std::size_t publish_count_ = 0;
+  std::vector<Subscriber> subscribers_;
+};
+
+}  // namespace tdp

@@ -1,0 +1,71 @@
+#include "tube/profiling.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+ProfilingEngine::ProfilingEngine(std::size_t periods, std::size_t types,
+                                 double max_reward)
+    : periods_(periods), types_(types), max_reward_(max_reward) {
+  TDP_REQUIRE(periods >= 2, "need at least two periods");
+  TDP_REQUIRE(types >= 1, "need at least one type");
+  TDP_REQUIRE(max_reward > 0.0, "max reward must be positive");
+}
+
+void ProfilingEngine::set_tip_baseline(std::vector<double> per_period_usage) {
+  TDP_REQUIRE(per_period_usage.size() == periods_,
+              "baseline size mismatch");
+  for (double v : per_period_usage) {
+    TDP_REQUIRE(v >= 0.0, "usage must be nonnegative");
+  }
+  baseline_ = std::move(per_period_usage);
+}
+
+void ProfilingEngine::add_tdp_window(math::Vector rewards,
+                                     std::vector<double> usage) {
+  TDP_REQUIRE(!baseline_.empty(), "set the TIP baseline first");
+  TDP_REQUIRE(rewards.size() == periods_ && usage.size() == periods_,
+              "window size mismatch");
+  EstimationDataset dataset;
+  dataset.rewards = std::move(rewards);
+  dataset.usage_change.assign(periods_, 0.0);
+  for (std::size_t i = 0; i < periods_; ++i) {
+    // T_i = demand under TIP minus usage under TDP.
+    dataset.usage_change[i] = baseline_[i] - usage[i];
+  }
+  windows_.push_back(std::move(dataset));
+}
+
+WaitingFunctionEstimate ProfilingEngine::profile() const {
+  TDP_REQUIRE(!baseline_.empty(), "no TIP baseline recorded");
+  TDP_REQUIRE(!windows_.empty(), "no TDP windows recorded");
+  const WaitingFunctionEstimator estimator(periods_, types_, max_reward_);
+  // Time-invariant class parameters: "the profiling engine estimates a
+  // patience index for each traffic class".
+  return estimator.estimate_tied(baseline_, windows_);
+}
+
+DemandProfile ProfilingEngine::to_demand_profile(
+    const PatienceMix& mix, LagNormalization normalization) const {
+  TDP_REQUIRE(mix.periods() == periods_ && mix.types() == types_,
+              "mix shape mismatch");
+  TDP_REQUIRE(!baseline_.empty(), "no TIP baseline recorded");
+
+  DemandProfile profile(periods_);
+  for (std::size_t i = 0; i < periods_; ++i) {
+    for (std::size_t j = 0; j < types_; ++j) {
+      const double volume = mix.alpha(i, j) * baseline_[i];
+      if (volume <= 0.0) continue;
+      profile.add_class(
+          i, SessionClass{std::make_shared<PowerLawWaitingFunction>(
+                              mix.beta(i, j), periods_, max_reward_, 1.0,
+                              normalization),
+                          volume});
+    }
+  }
+  return profile;
+}
+
+}  // namespace tdp

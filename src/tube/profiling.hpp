@@ -1,0 +1,52 @@
+// TUBE profiling engine.
+//
+// "The profiling engine ... estimates a patience index (in the waiting
+// function) for each traffic class" from the measurement engine's aggregate
+// per-period usage: a TIP baseline window plus one or more TDP windows with
+// known offered rewards. Wraps the Section IV estimator and converts the
+// fitted mix into the DemandProfile the price engine optimizes over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+#include "estimation/wf_estimator.hpp"
+
+namespace tdp {
+
+class ProfilingEngine {
+ public:
+  /// @param periods     pricing periods per cycle
+  /// @param types       session types to fit (e.g. web/ftp/video = 3)
+  /// @param max_reward  normalization point P
+  ProfilingEngine(std::size_t periods, std::size_t types, double max_reward);
+
+  /// Provide the TIP baseline: total usage per period (MB or any consistent
+  /// volume unit).
+  void set_tip_baseline(std::vector<double> per_period_usage);
+
+  /// Add one TDP observation window: the rewards that were offered and the
+  /// measured total usage per period.
+  void add_tdp_window(math::Vector rewards, std::vector<double> usage);
+
+  /// Run the estimator over all windows. Throws if no baseline/windows.
+  WaitingFunctionEstimate profile() const;
+
+  /// Convert a fitted mix + the TIP baseline into a DemandProfile for the
+  /// price engine (volumes = alpha_ji * X_i).
+  DemandProfile to_demand_profile(const PatienceMix& mix,
+                                  LagNormalization normalization) const;
+
+  const std::vector<double>& tip_baseline() const { return baseline_; }
+  std::size_t window_count() const { return windows_.size(); }
+
+ private:
+  std::size_t periods_;
+  std::size_t types_;
+  double max_reward_;
+  std::vector<double> baseline_;
+  std::vector<EstimationDataset> windows_;
+};
+
+}  // namespace tdp

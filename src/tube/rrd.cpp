@@ -1,0 +1,65 @@
+#include "tube/rrd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+RrdStore::RrdStore(double step_seconds, std::size_t buckets)
+    : step_(step_seconds), ring_(buckets) {
+  TDP_REQUIRE(step_seconds > 0.0, "step must be positive");
+  TDP_REQUIRE(buckets > 0, "need at least one bucket");
+}
+
+std::size_t RrdStore::slot_for(long long bucket_index) const {
+  const long long m = static_cast<long long>(ring_.size());
+  return static_cast<std::size_t>(((bucket_index % m) + m) % m);
+}
+
+void RrdStore::add(double time_s, double value) {
+  const long long bucket = static_cast<long long>(std::floor(time_s / step_));
+  TDP_REQUIRE(!any_ || bucket + 1 >= newest_bucket_,
+              "samples must be (approximately) time-ordered");
+
+  if (!any_ || bucket > newest_bucket_) {
+    // Zero out every bucket between the old newest and the new one — those
+    // intervals had no samples and their ring slots hold stale data.
+    const long long start = any_ ? newest_bucket_ + 1 : bucket;
+    for (long long b = start; b <= bucket; ++b) {
+      Bucket& slot = ring_[slot_for(b)];
+      slot = Bucket{static_cast<double>(b) * step_, 0.0, 0};
+    }
+    newest_bucket_ = bucket;
+    any_ = true;
+  }
+
+  Bucket& slot = ring_[slot_for(bucket)];
+  const double expected_start = static_cast<double>(bucket) * step_;
+  if (slot.samples == 0 || slot.start_s != expected_start) {
+    // A backwards-jitter write can land on a slot never initialized for
+    // this bucket (it was skipped when the newer bucket arrived first).
+    slot = Bucket{expected_start, 0.0, 0};
+  }
+  // Running average.
+  slot.average = (slot.average * static_cast<double>(slot.samples) + value) /
+                 static_cast<double>(slot.samples + 1);
+  ++slot.samples;
+}
+
+std::vector<RrdStore::Bucket> RrdStore::series() const {
+  std::vector<Bucket> out;
+  if (!any_) return out;
+  const long long m = static_cast<long long>(ring_.size());
+  const long long oldest = newest_bucket_ - m + 1;
+  for (long long b = oldest; b <= newest_bucket_; ++b) {
+    const Bucket& slot = ring_[slot_for(b)];
+    const double expected_start = static_cast<double>(b) * step_;
+    if (slot.samples > 0 && slot.start_s == expected_start) {
+      out.push_back(slot);
+    }
+  }
+  return out;
+}
+
+}  // namespace tdp

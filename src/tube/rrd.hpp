@@ -1,0 +1,46 @@
+// Round-robin database (RRD) style time-series store.
+//
+// The TUBE GUI "uses a Round Robin Database to store the history of TDP
+// prices being offered and the average Internet usage" [24]. This is a
+// fixed-footprint ring of consolidated buckets: samples are averaged into
+// step-aligned buckets; when the ring is full the oldest bucket is
+// overwritten. Reads return the retained window in time order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tdp {
+
+class RrdStore {
+ public:
+  /// @param step_seconds  bucket width
+  /// @param buckets       ring capacity
+  RrdStore(double step_seconds, std::size_t buckets);
+
+  /// Record a sample at an absolute time (must not move backwards by more
+  /// than one bucket; RRD semantics are append-mostly).
+  void add(double time_s, double value);
+
+  struct Bucket {
+    double start_s = 0.0;
+    double average = 0.0;
+    std::size_t samples = 0;
+  };
+
+  /// Retained buckets, oldest first. Buckets with no samples are skipped.
+  std::vector<Bucket> series() const;
+
+  double step_seconds() const { return step_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  std::size_t slot_for(long long bucket_index) const;
+
+  double step_;
+  std::vector<Bucket> ring_;
+  long long newest_bucket_ = -1;  ///< absolute bucket index of newest data
+  bool any_ = false;
+};
+
+}  // namespace tdp

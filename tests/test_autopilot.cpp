@@ -1,0 +1,81 @@
+#include "tube/autopilot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(CongestionPricer, PriceRampsWithUtilization) {
+  const CongestionPricer pricer(0.004, 0.8, 0.0004);
+  EXPECT_DOUBLE_EQ(pricer.price(0.0), 0.0004);
+  EXPECT_DOUBLE_EQ(pricer.price(0.8), 0.004);
+  EXPECT_DOUBLE_EQ(pricer.price(1.0), 0.004);
+  // Monotone nondecreasing on [0, 1].
+  double previous = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.01) {
+    const double p = pricer.price(u);
+    EXPECT_GE(p, previous - 1e-15);
+    previous = p;
+  }
+  // Midpoint of the ramp.
+  EXPECT_NEAR(pricer.price(0.4), 0.0004 + 0.5 * (0.004 - 0.0004), 1e-12);
+}
+
+TEST(CongestionPricer, RejectsBadConfig) {
+  EXPECT_THROW(CongestionPricer(0.0, 0.5, 0.0), PreconditionError);
+  EXPECT_THROW(CongestionPricer(0.004, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(CongestionPricer(0.004, 0.5, 0.01), PreconditionError);
+  const CongestionPricer pricer(0.004, 0.5, 0.0);
+  EXPECT_THROW(pricer.price(1.5), PreconditionError);
+}
+
+TEST(Autopilot, StartsOnlyBelowCeiling) {
+  AutopilotAgent::Config config;
+  config.price_ceiling = 0.001;
+  config.never_defer = {false};
+  AutopilotAgent agent(config);
+  EXPECT_TRUE(agent.should_start(0, 0.0005));
+  EXPECT_TRUE(agent.should_start(0, 0.001));
+  EXPECT_FALSE(agent.should_start(0, 0.002));
+}
+
+TEST(Autopilot, NeverDeferClassesIgnorePrice) {
+  AutopilotAgent::Config config;
+  config.price_ceiling = 0.0;
+  config.never_defer = {false, true};
+  AutopilotAgent agent(config);
+  EXPECT_FALSE(agent.should_start(0, 0.01));
+  EXPECT_TRUE(agent.should_start(1, 0.01));
+  // Classes beyond the vector default to deferrable.
+  EXPECT_FALSE(agent.should_start(5, 0.01));
+}
+
+TEST(Autopilot, BudgetGuardTightensTheCeiling) {
+  AutopilotAgent::Config config;
+  config.max_monthly_bill = 10.0;
+  config.price_ceiling = 0.002;
+  AutopilotAgent agent(config);
+  EXPECT_DOUBLE_EQ(agent.effective_ceiling(), 0.002);
+  agent.record_usage(2500.0, 0.002);  // $5 spent: half the budget
+  EXPECT_NEAR(agent.effective_ceiling(), 0.001, 1e-12);
+  agent.record_usage(2500.0, 0.002);  // budget exhausted
+  EXPECT_DOUBLE_EQ(agent.effective_ceiling(), 0.0);
+  EXPECT_FALSE(agent.should_start(0, 0.0005));
+  EXPECT_TRUE(agent.should_start(0, 0.0));  // free slots always fine
+  EXPECT_DOUBLE_EQ(agent.spent(), 10.0);
+  EXPECT_DOUBLE_EQ(agent.usage_mb(), 5000.0);
+}
+
+TEST(Autopilot, RejectsBadInput) {
+  AutopilotAgent::Config config;
+  config.max_monthly_bill = 0.0;
+  EXPECT_THROW(AutopilotAgent{config}, PreconditionError);
+  AutopilotAgent agent({5.0, 0.001, {}});
+  EXPECT_THROW(agent.record_usage(-1.0, 0.0), PreconditionError);
+  EXPECT_THROW(agent.should_start(0, -0.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,77 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows) {
+  const CsvTable t = parse_csv("period,beta,volume\n1,0.5,4\n2,2.0,3\n",
+                               /*has_header=*/true);
+  ASSERT_EQ(t.header.size(), 3u);
+  EXPECT_EQ(t.header[1], "beta");
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.number(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.number(1, 1), 2.0);
+  EXPECT_EQ(t.cell(1, 2), "3");
+  EXPECT_EQ(t.column_index("volume"), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+}
+
+TEST(Csv, SkipsCommentsAndBlanksAndTrimsWhitespace) {
+  const CsvTable t = parse_csv(
+      "# a comment\n\n a , b \n # another\n 1 , 2 \n", true);
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.number(0, 1), 2.0);
+}
+
+TEST(Csv, HandlesCrLfAndNoHeader) {
+  const CsvTable t = parse_csv("1,2\r\n3,4\r\n", false);
+  EXPECT_TRUE(t.header.empty());
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.number(1, 0), 3.0);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Csv, RejectsRaggedAndMalformed) {
+  EXPECT_THROW(parse_csv("a,b\n1,2\n3\n", true), PreconditionError);
+  const CsvTable t = parse_csv("x,y\n1,foo\n", true);
+  EXPECT_THROW(t.number(0, 1), PreconditionError);
+  EXPECT_THROW(t.cell(5, 0), PreconditionError);
+  EXPECT_THROW(t.column_index("nope"), PreconditionError);
+}
+
+TEST(Csv, RoundTripsThroughText) {
+  const std::vector<std::string> header = {"period", "reward"};
+  const std::vector<std::vector<std::string>> rows = {{"1", "0.5"},
+                                                      {"2", "0.25"}};
+  const std::string text = to_csv(header, rows);
+  const CsvTable t = parse_csv(text, true);
+  EXPECT_EQ(t.header, header);
+  EXPECT_EQ(t.rows, rows);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = "/tmp/tdp_csv_test.csv";
+  save_csv(path, {"a"}, {{"42"}});
+  const CsvTable t = load_csv(path, true);
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.number(0, 0), 42.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_csv("/nonexistent/nope.csv", true), Error);
+}
+
+TEST(Csv, TrailingCommaMakesEmptyCell) {
+  const CsvTable t = parse_csv("a,b\n1,\n", true);
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.cell(0, 1), "");
+}
+
+}  // namespace
+}  // namespace tdp

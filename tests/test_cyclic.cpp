@@ -1,0 +1,67 @@
+#include "common/cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Cyclic, ForwardLagWithinDay) {
+  EXPECT_EQ(cyclic_lag(0, 1, 12), 1u);
+  EXPECT_EQ(cyclic_lag(0, 11, 12), 11u);
+  EXPECT_EQ(cyclic_lag(3, 7, 48), 4u);
+}
+
+TEST(Cyclic, WrapAroundLag) {
+  // "If k > i, i - k is the time between period k on one day and period i
+  // on the next."
+  EXPECT_EQ(cyclic_lag(11, 0, 12), 1u);
+  EXPECT_EQ(cyclic_lag(47, 2, 48), 3u);
+  EXPECT_EQ(cyclic_lag(7, 3, 12), 8u);
+}
+
+TEST(Cyclic, SamePeriodIsFullDay) {
+  EXPECT_EQ(cyclic_lag(5, 5, 12), 12u);
+}
+
+TEST(Cyclic, AdvanceInvertsLag) {
+  const std::size_t n = 48;
+  for (std::size_t from = 0; from < n; from += 5) {
+    for (std::size_t lag = 1; lag < n; lag += 7) {
+      const std::size_t to = cyclic_advance(from, lag, n);
+      EXPECT_EQ(cyclic_lag(from, to, n), lag);
+    }
+  }
+}
+
+TEST(Cyclic, RejectsOutOfRange) {
+  EXPECT_THROW(cyclic_lag(12, 0, 12), PreconditionError);
+  EXPECT_THROW(cyclic_lag(0, 12, 12), PreconditionError);
+  EXPECT_THROW(cyclic_advance(12, 1, 12), PreconditionError);
+  EXPECT_THROW(cyclic_lag(0, 0, 0), PreconditionError);
+}
+
+class CyclicRingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CyclicRingProperty, LagsPartitionTheRing) {
+  const std::size_t n = GetParam();
+  for (std::size_t from = 0; from < n; ++from) {
+    std::size_t lag_sum = 0;
+    for (std::size_t to = 0; to < n; ++to) {
+      if (to == from) continue;
+      const std::size_t lag = cyclic_lag(from, to, n);
+      EXPECT_GE(lag, 1u);
+      EXPECT_LE(lag, n - 1);
+      lag_sum += lag;
+    }
+    // Each lag 1..n-1 appears exactly once.
+    EXPECT_EQ(lag_sum, n * (n - 1) / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, CyclicRingProperty,
+                         ::testing::Values(2, 3, 5, 12, 48));
+
+}  // namespace
+}  // namespace tdp

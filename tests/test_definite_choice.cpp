@@ -1,0 +1,143 @@
+#include "core/definite_choice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/paper_data.hpp"
+#include "core/static_optimizer.hpp"
+
+namespace tdp {
+namespace {
+
+DefiniteChoiceModel small_model() {
+  DemandProfile demand(4);
+  auto patient = std::make_shared<PowerLawWaitingFunction>(0.5, 4, 1.0);
+  auto impatient = std::make_shared<PowerLawWaitingFunction>(4.0, 4, 1.0);
+  demand.add_class(0, {patient, 10.0});
+  demand.add_class(0, {impatient, 5.0});
+  demand.add_class(1, {patient, 2.0});
+  demand.add_class(2, {impatient, 3.0});
+  demand.add_class(3, {patient, 12.0});
+  return DefiniteChoiceModel(std::move(demand), 8.0,
+                             math::PiecewiseLinearCost::hinge(2.0));
+}
+
+TEST(DefiniteChoice, ZeroRewardsNobodyMoves) {
+  const DefiniteChoiceModel model = small_model();
+  const math::Vector zero(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t c = 0; c < model.demand().classes(i).size(); ++c) {
+      EXPECT_EQ(model.chosen_lag(i, c, zero), 0u);
+    }
+  }
+  const math::Vector x = model.usage(zero);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(x[i], model.demand().tip_demand(i));
+  }
+}
+
+TEST(DefiniteChoice, WholeClassMovesToArgmax) {
+  const DefiniteChoiceModel model = small_model();
+  // Only period 1 offers a reward: every mover lands there, entirely.
+  math::Vector rewards(4, 0.0);
+  rewards[1] = 0.8;
+  const math::Vector x = model.usage(rewards);
+  double total = 0.0;
+  for (double v : x) total += v;
+  EXPECT_DOUBLE_EQ(total, model.demand().total_demand());
+  // Period 0's classes defer lag 1 into period 1 (highest w at shortest
+  // wait); period 1 gains their full volumes.
+  EXPECT_EQ(model.chosen_lag(0, 0, rewards), 1u);
+  EXPECT_EQ(model.chosen_lag(0, 1, rewards), 1u);
+  EXPECT_GT(x[1], model.demand().tip_demand(1));
+  EXPECT_DOUBLE_EQ(x[0], 0.0);  // all of period 0 moved
+}
+
+TEST(DefiniteChoice, ShorterLagWinsTies) {
+  const DefiniteChoiceModel model = small_model();
+  // Equal rewards everywhere: w decreases in t, so lag 1 maximizes.
+  const math::Vector uniform(4, 0.5);
+  EXPECT_EQ(model.chosen_lag(0, 0, uniform), 1u);
+}
+
+TEST(DefiniteChoice, StayThresholdBlocksWeakIncentives) {
+  DemandProfile demand(4);
+  auto impatient = std::make_shared<PowerLawWaitingFunction>(4.0, 4, 1.0);
+  demand.add_class(0, {impatient, 10.0});
+  const DefiniteChoiceModel model(std::move(demand), 8.0,
+                                  math::PiecewiseLinearCost::hinge(2.0),
+                                  /*stay_threshold=*/0.5);
+  math::Vector rewards(4, 0.0);
+  rewards[1] = 0.3;  // w(0.3, 1) below the threshold for beta = 4
+  EXPECT_EQ(model.chosen_lag(0, 0, rewards), 0u);
+  rewards[1] = 1.0;
+  EXPECT_NE(model.chosen_lag(0, 0, rewards), 0u);
+}
+
+TEST(DefiniteChoice, ObjectiveIsNonConvex) {
+  // Appendix D: "This model's optimization problem is likely non-convex."
+  // Exhibit a midpoint convexity violation: at p the whole period-0 mass
+  // moves; at zero nothing moves; at the midpoint the argmax flips
+  // discontinuously.
+  const DefiniteChoiceModel model = small_model();
+  math::Vector a(4, 0.0);
+  math::Vector b(4, 0.0);
+  b[1] = 1.0;
+  math::Vector mid(4, 0.0);
+  mid[1] = 0.5;
+  const double ca = model.total_cost(a);
+  const double cb = model.total_cost(b);
+  const double cm = model.total_cost(mid);
+  // Convexity would require cost(mid) <= (cost(a) + cost(b)) / 2; the
+  // argmax flip makes the midpoint JUMP above the chord here (the whole
+  // period-0 mass already moves at half the reward, overloading period 1
+  // while earning only half the payout reduction).
+  EXPECT_GT(cm, 0.5 * (ca + cb) + 1e-9);
+}
+
+TEST(DefiniteChoice, OptimizerBeatsTipAndProbabilisticComparison) {
+  const DefiniteChoiceModel model = small_model();
+  const DefiniteChoiceSolution sol = optimize_definite_choice(model);
+  EXPECT_LE(sol.total_cost, sol.tip_cost + 1e-9);
+  EXPECT_GT(sol.evaluations, 0u);
+  // Sanity: traffic conserved at the solution.
+  double total = 0.0;
+  for (double v : sol.usage) total += v;
+  EXPECT_NEAR(total, model.demand().total_demand(), 1e-9);
+}
+
+TEST(DefiniteChoice, PaperScaleRunIsTractable) {
+  // 12-period paper data under definite choice.
+  DemandProfile profile = paper::make_profile(
+      paper::table8_mix_12(), paper::kStaticNormalizationReward);
+  const DefiniteChoiceModel model(std::move(profile),
+                                  paper::kStaticCapacityUnits,
+                                  math::PiecewiseLinearCost::hinge(3.0));
+  DefiniteChoiceOptions options;
+  options.starts = 2;
+  options.max_sweeps = 4;
+  const DefiniteChoiceSolution sol = optimize_definite_choice(model, options);
+  // At paper scale the all-or-nothing deferral overshoots: ANY single
+  // nonzero reward attracts entire classes from every period, so no
+  // single-coordinate move improves on TIP — the search must at least
+  // terminate at a point no worse than TIP. (This instability is exactly
+  // why the paper prefers the probabilistic model; see the ablation
+  // bench.)
+  EXPECT_LE(sol.total_cost, sol.tip_cost + 1e-9);
+  EXPECT_GT(sol.evaluations, 100u);
+}
+
+TEST(DefiniteChoice, RejectsBadInput) {
+  const DefiniteChoiceModel model = small_model();
+  EXPECT_THROW(model.usage(math::Vector(3, 0.0)), PreconditionError);
+  EXPECT_THROW(model.chosen_lag(9, 0, math::Vector(4, 0.0)),
+               PreconditionError);
+  DefiniteChoiceOptions bad;
+  bad.grid_levels = 1;
+  EXPECT_THROW(optimize_definite_choice(model, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

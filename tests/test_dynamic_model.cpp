@@ -1,0 +1,197 @@
+#include "dynamic/dynamic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/paper_data.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/paper_dynamic.hpp"
+#include "math/numdiff.hpp"
+
+namespace tdp {
+namespace {
+
+DynamicModel tiny_model(double capacity, std::size_t warmup = 6) {
+  DemandProfile arrivals(4);
+  auto patient = std::make_shared<PowerLawWaitingFunction>(
+      0.5, 4, 1.0, 1.0, LagNormalization::kContinuous);
+  auto impatient = std::make_shared<PowerLawWaitingFunction>(
+      3.0, 4, 1.0, 1.0, LagNormalization::kContinuous);
+  arrivals.add_class(0, {patient, 8.0});
+  arrivals.add_class(0, {impatient, 4.0});
+  arrivals.add_class(1, {patient, 2.0});
+  arrivals.add_class(2, {impatient, 1.0});
+  arrivals.add_class(3, {patient, 3.0});
+  return DynamicModel(std::move(arrivals), capacity,
+                      math::PiecewiseLinearCost::hinge(1.0), warmup);
+}
+
+TEST(DynamicModel, BacklogRecursionKnownValues) {
+  // Arrivals 12, 2, 1, 3 against capacity 5: backlog 7, 4, 0, 0.
+  const DynamicModel model = tiny_model(5.0);
+  const auto ev = model.evaluate(math::Vector(4, 0.0));
+  EXPECT_NEAR(ev.arrivals[0], 12.0, 1e-12);
+  EXPECT_NEAR(ev.backlog[0], 7.0, 1e-9);
+  EXPECT_NEAR(ev.backlog[1], 4.0, 1e-9);
+  EXPECT_NEAR(ev.backlog[2], 0.0, 1e-9);
+  EXPECT_NEAR(ev.backlog[3], 0.0, 1e-9);
+  EXPECT_NEAR(ev.backlog_cost, 11.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ev.reward_cost, 0.0);
+}
+
+TEST(DynamicModel, SteadyStateIndependentOfExtraWarmup) {
+  const DynamicModel short_warmup = tiny_model(5.0, 6);
+  const DynamicModel long_warmup = tiny_model(5.0, 30);
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    math::Vector rewards(4);
+    for (double& r : rewards) r = rng.uniform(0.0, 0.8);
+    EXPECT_NEAR(short_warmup.total_cost(rewards),
+                long_warmup.total_cost(rewards), 1e-9);
+  }
+}
+
+TEST(DynamicModel, RejectsOverloadedSystem) {
+  // Daily demand 18 against capacity 4 * 4 = 16: backlog diverges.
+  EXPECT_THROW(tiny_model(4.0), PreconditionError);
+}
+
+TEST(DynamicModel, AmpleCapacityMeansRewardOnlyCost) {
+  const DynamicModel model = tiny_model(15.0);
+  const math::Vector rewards(4, 0.5);
+  const auto ev = model.evaluate(rewards);
+  EXPECT_DOUBLE_EQ(ev.backlog_cost, 0.0);
+  EXPECT_GT(ev.reward_cost, 0.0);
+  EXPECT_NEAR(ev.total_cost, ev.reward_cost, 1e-12);
+}
+
+class DynamicGradient : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicGradient, AnalyticMatchesNumeric) {
+  const DynamicModel model = tiny_model(5.0);
+  Rng rng(static_cast<std::uint64_t>(40 + GetParam()));
+  math::Vector rewards(4);
+  for (double& r : rewards) r = rng.uniform(0.05, 0.9);
+  const double mu = 0.05;
+  math::Vector analytic(4, 0.0);
+  model.smoothed_gradient(rewards, mu, analytic);
+  const math::Vector numeric = math::numeric_gradient(
+      [&model, mu](const math::Vector& p) {
+        return model.smoothed_cost(p, mu);
+      },
+      rewards, 1e-6);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-5) << "coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGradient, ::testing::Range(1, 9));
+
+class DynamicConvexity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicConvexity, MidpointConvex) {
+  // The backlog recursion composes max(0, affine) monotonically, so the
+  // exact dynamic objective stays convex.
+  const DynamicModel model = tiny_model(5.0);
+  Rng rng(static_cast<std::uint64_t>(60 + GetParam()));
+  math::Vector a(4);
+  math::Vector b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a[i] = rng.uniform(0.0, 1.0);
+    b[i] = rng.uniform(0.0, 1.0);
+  }
+  math::Vector mid(4);
+  for (std::size_t i = 0; i < 4; ++i) mid[i] = 0.5 * (a[i] + b[i]);
+  EXPECT_LE(model.total_cost(mid),
+            0.5 * (model.total_cost(a) + model.total_cost(b)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicConvexity, ::testing::Range(1, 17));
+
+TEST(DynamicModel, RewardCapBoundedByValidityAndRunLength) {
+  const DynamicModel congested = tiny_model(5.0);
+  // Longest congested run under TIP is 2 periods (backlog 7 then 4), slope
+  // 1 => run cap 2; validity bound is the normalization point 1.0.
+  EXPECT_NEAR(congested.reward_cap(), 1.0, 1e-6);
+
+  const DynamicModel paper_model = paper::dynamic_model_48();
+  EXPECT_LE(paper_model.reward_cap(),
+            paper::kStaticNormalizationReward + 1e-9);
+}
+
+TEST(DynamicOptimizer, BeatsTipAndBreaksSinglePeriodCap) {
+  // Section V-B: carry-over makes deferral more valuable, so rewards exceed
+  // the static one-period bound (a/2 = 0.5 here) and cost drops sharply.
+  const DynamicModel model = paper::dynamic_model_48();
+  const DynamicPricingSolution sol = optimize_dynamic_prices(model);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_LT(sol.evaluation.total_cost, 0.5 * sol.tip_cost);
+  double max_reward = 0.0;
+  for (double p : sol.rewards) max_reward = std::max(max_reward, p);
+  EXPECT_GT(max_reward, paper::kDynamicCostSlope / 2.0);
+  EXPECT_LE(max_reward, model.reward_cap() + 1e-9);
+}
+
+TEST(DynamicOptimizer, BacklogMostlyEliminatedAtOptimum) {
+  // Fig. 8: "deferred traffic from initially overused periods no longer
+  // carries over into subsequent periods."
+  const DynamicModel model = paper::dynamic_model_48();
+  const DynamicPricingSolution sol = optimize_dynamic_prices(model);
+  const auto tip = model.evaluate(math::Vector(48, 0.0));
+  double tip_backlog = 0.0;
+  double tdp_backlog = 0.0;
+  for (std::size_t i = 0; i < 48; ++i) {
+    tip_backlog += tip.backlog[i];
+    tdp_backlog += sol.evaluation.backlog[i];
+  }
+  EXPECT_LT(tdp_backlog, 0.1 * tip_backlog);
+}
+
+TEST(DynamicModel, PerPeriodCapacityVector) {
+  // Time-varying capacity (the Section II usage-cap cushion carries over
+  // to the dynamic model): a single tight period creates backlog that the
+  // next, wider period absorbs.
+  DemandProfile arrivals(3);
+  auto w = std::make_shared<PowerLawWaitingFunction>(
+      1.0, 3, 1.0, 1.0, LagNormalization::kContinuous);
+  arrivals.add_class(0, {w, 9.0});
+  arrivals.add_class(1, {w, 2.0});
+  arrivals.add_class(2, {w, 2.0});
+  const DynamicModel model(std::move(arrivals), {6.0, 8.0, 8.0},
+                           math::PiecewiseLinearCost::hinge(1.0));
+  const auto ev = model.evaluate(math::Vector(3, 0.0));
+  EXPECT_NEAR(ev.backlog[0], 3.0, 1e-9);  // 9 against 6
+  EXPECT_NEAR(ev.backlog[1], 0.0, 1e-9);  // 3 + 2 against 8
+  EXPECT_NEAR(ev.backlog[2], 0.0, 1e-9);
+  EXPECT_NEAR(ev.backlog_cost, 3.0, 1e-9);
+}
+
+TEST(DynamicModel, VectorCapacityMustCoverEveryPeriod) {
+  DemandProfile arrivals(3);
+  auto w = std::make_shared<PowerLawWaitingFunction>(1.0, 3, 1.0);
+  arrivals.add_class(0, {w, 1.0});
+  EXPECT_THROW(DynamicModel(arrivals, std::vector<double>{5.0, 5.0},
+                            math::PiecewiseLinearCost::hinge(1.0)),
+               PreconditionError);
+}
+
+TEST(DynamicModel, EvaluationBalancesServiceAndArrivals) {
+  const DynamicModel model = tiny_model(5.0);
+  const math::Vector rewards(4, 0.3);
+  const auto ev = model.evaluate(rewards);
+  // In steady state, served + backlog growth must equal arrivals per day;
+  // with a cyclic steady state, total served == total arrivals.
+  double served = 0.0;
+  double arrived = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    served += ev.served[i];
+    arrived += ev.arrivals[i];
+  }
+  EXPECT_NEAR(served, arrived, 1e-9);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "estimation/tip_estimator.hpp"
+#include "estimation/wf_estimator.hpp"
+
+namespace tdp {
+namespace {
+
+/// The paper's Table III ground truth: 2 types, 3 periods.
+PatienceMix table3_truth() {
+  PatienceMix truth(3, 2, 1.0);
+  truth.set(0, 0, 0.17, 1.0);
+  truth.set(0, 1, 0.83, 2.0);
+  truth.set(1, 0, 0.50, 1.0);
+  truth.set(1, 1, 0.50, 2.33);
+  truth.set(2, 0, 0.83, 1.0);
+  truth.set(2, 1, 0.17, 2.67);
+  return truth;
+}
+
+std::vector<EstimationDataset> table3_data(
+    const WaitingFunctionEstimator& est, const PatienceMix& truth,
+    const std::vector<double>& demand, int datasets, double noise = 0.0) {
+  // "We generate data for the estimation by evaluating (8) at sets of
+  // offered rewards p_i in [0, 1]."
+  Rng rng(2011);
+  std::vector<EstimationDataset> data;
+  for (int d = 0; d < datasets; ++d) {
+    math::Vector rewards(3);
+    for (double& p : rewards) p = rng.uniform(0.0, 1.0);
+    data.push_back(est.synthesize(truth, demand, rewards, noise,
+                                  1000 + static_cast<std::uint64_t>(d)));
+  }
+  return data;
+}
+
+/// Worst-case percent error between two mixes' aggregate waiting values.
+double max_waiting_percent_error(const PatienceMix& truth,
+                                 const PatienceMix& fitted) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < truth.periods(); ++i) {
+    for (std::size_t k = 0; k < truth.periods(); ++k) {
+      if (k == i) continue;
+      for (double p = 0.1; p <= 1.001; p += 0.1) {
+        const double actual = truth.omega(i, k, p);
+        if (actual < 1e-12) continue;
+        const double estimated = fitted.omega(i, k, p);
+        worst = std::max(worst,
+                         100.0 * std::abs(actual - estimated) / actual);
+      }
+    }
+  }
+  return worst;
+}
+
+TEST(PatienceMix, NetOutflowSumsToZero) {
+  // Eq. 7 with sum_i T_i = 0 ("sessions never disappear").
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    math::Vector rewards(3);
+    for (double& p : rewards) p = rng.uniform(0.0, 1.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      total += truth.net_outflow(i, demand, rewards);
+    }
+    EXPECT_NEAR(total, 0.0, 1e-10);
+  }
+}
+
+TEST(Estimation, Table3ReducedEstimatorUnder12PercentError) {
+  // Table III: "The percent difference between actual and estimated waiting
+  // functions for each period remains small at under 12 percent."
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const WaitingFunctionEstimator est(3, 2, 1.0);
+  const auto data = table3_data(est, truth, demand, 60);
+  const auto fit = est.estimate_reduced3(demand, data);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 12.0);
+  // Patience indices land near the truth even when the proportions alias
+  // (the paper's Table III shows the same alpha misidentification).
+  EXPECT_NEAR(fit.mix.beta(0, 0), 1.0, 0.35);
+}
+
+TEST(Estimation, FullEstimatorRecoversWaitingFunctions) {
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const WaitingFunctionEstimator est(3, 2, 1.0);
+  const auto data = table3_data(est, truth, demand, 60);
+  const auto fit = est.estimate(demand, data);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 1.0);
+  EXPECT_LT(fit.residual_norm2, 1e-12);
+}
+
+class NoisyEstimation : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoisyEstimation, DegradesGracefullyWithNoise) {
+  const double noise = GetParam();
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const WaitingFunctionEstimator est(3, 2, 1.0);
+  const auto data = table3_data(est, truth, demand, 120, noise);
+  const auto fit = est.estimate(demand, data);
+  // Noise is in demand units (~1% to ~5% of T magnitudes).
+  EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 8.0 + 400.0 * noise);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoisyEstimation,
+                         ::testing::Values(0.005, 0.02, 0.05));
+
+TEST(Estimation, TiedEstimatorRecoversSharedParameters) {
+  // Ground truth with the same (alpha, beta) in every period.
+  const std::size_t n = 6;
+  PatienceMix truth(n, 2, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth.set(i, 0, 0.3, 0.8);
+    truth.set(i, 1, 0.7, 2.5);
+  }
+  std::vector<double> demand = {20.0, 12.0, 8.0, 10.0, 16.0, 22.0};
+  const WaitingFunctionEstimator est(n, 2, 1.0);
+  Rng rng(31);
+  std::vector<EstimationDataset> data;
+  for (int d = 0; d < 10; ++d) {
+    math::Vector rewards(n);
+    for (double& p : rewards) p = rng.uniform(0.0, 1.0);
+    data.push_back(est.synthesize(truth, demand, rewards));
+  }
+  const auto fit = est.estimate_tied(demand, data);
+  EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 1.0);
+}
+
+TEST(Estimation, PaperScaleTiedFitTenTypes) {
+  // Full paper scale: 12 periods, all ten Table IV patience indices, tied
+  // parameters. The estimator must recover the aggregate waiting behaviour
+  // from a week of trial windows.
+  const std::size_t n = 12;
+  const std::size_t m = 10;
+  PatienceMix truth(n, m, 1.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      truth.set(i, j, 1.0 / static_cast<double>(m),
+                0.5 + 0.5 * static_cast<double>(j));
+    }
+  }
+  std::vector<double> demand = {22, 13, 8, 8, 11, 19, 20, 23, 24, 25, 23, 26};
+  const WaitingFunctionEstimator est(n, m, 1.5);
+  Rng rng(61);
+  std::vector<EstimationDataset> data;
+  for (int d = 0; d < 7; ++d) {
+    math::Vector rewards(n);
+    for (double& p : rewards) p = rng.uniform(0.0, 1.5);
+    data.push_back(est.synthesize(truth, demand, rewards));
+  }
+  const auto fit = est.estimate_tied(demand, data);
+  // With ten overlapping power laws the individual parameters alias
+  // heavily; the identifiable object is the aggregate waiting function,
+  // which must fit tightly.
+  EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 5.0);
+}
+
+TEST(Estimation, TipBaselineRecovery) {
+  // Eq. 9: with known waiting functions, X is recovered from TDP usage.
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  Rng rng(47);
+  std::vector<TipObservation> windows;
+  for (int d = 0; d < 6; ++d) {
+    math::Vector rewards(3);
+    for (double& p : rewards) p = rng.uniform(0.2, 1.0);
+    windows.push_back({rewards, predict_tdp_usage(truth, demand, rewards)});
+  }
+  const math::Vector recovered = estimate_tip_baseline(truth, windows);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(recovered[i], demand[i], 1e-8);
+  }
+}
+
+TEST(Estimation, TipBaselineAveragesNoisyWindows) {
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  Rng rng(53);
+  std::vector<TipObservation> windows;
+  for (int d = 0; d < 40; ++d) {
+    math::Vector rewards(3);
+    for (double& p : rewards) p = rng.uniform(0.2, 1.0);
+    math::Vector usage = predict_tdp_usage(truth, demand, rewards);
+    for (double& u : usage) u += rng.normal(0.0, 0.2);
+    windows.push_back({rewards, usage});
+  }
+  const math::Vector recovered = estimate_tip_baseline(truth, windows);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(recovered[i], demand[i], 0.5);
+  }
+}
+
+TEST(Estimation, PredictTdpUsageConservesTraffic) {
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const math::Vector usage = predict_tdp_usage(truth, demand, {0.5, 0.9, 0.2});
+  double total = 0.0;
+  for (double u : usage) total += u;
+  EXPECT_NEAR(total, 43.0, 1e-10);
+}
+
+TEST(Estimation, RejectsBadSetups) {
+  const WaitingFunctionEstimator est(3, 2, 1.0);
+  EXPECT_THROW(est.estimate({1.0, 2.0}, {}), PreconditionError);
+  const WaitingFunctionEstimator est4(4, 2, 1.0);
+  std::vector<EstimationDataset> dummy(1);
+  dummy[0].rewards = math::Vector(4, 0.5);
+  dummy[0].usage_change = math::Vector(4, 0.0);
+  EXPECT_THROW(est4.estimate_reduced3({1, 2, 3, 4}, dummy),
+               PreconditionError);
+  EXPECT_THROW(WaitingFunctionEstimator(1, 2, 1.0), PreconditionError);
+  EXPECT_THROW(WaitingFunctionEstimator(3, 0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,112 @@
+#include "netsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "netsim/simulator.hpp"
+
+namespace tdp::netsim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    auto popped = queue.pop();
+    popped.callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelIsLazyAndIdempotent) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId a = queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(2.0, [&] { ++fired; });
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  queue.cancel(a);       // double cancel: no-op
+  queue.cancel(999999);  // unknown id: no-op
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+  queue.pop().callback();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW(queue.pop(), PreconditionError);
+  EXPECT_THROW(queue.next_time(), PreconditionError);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.at(5.0, [&] { seen.push_back(sim.now()); });
+  sim.after(2.0, [&] { seen.push_back(sim.now()); });
+  sim.run_until(10.0);
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    ++chain;
+    if (chain < 5) sim.after(1.0, step);
+  };
+  sim.after(1.0, step);
+  sim.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_FALSE(sim.pending());
+}
+
+TEST(Simulator, HorizonStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(50.0, [&] { ++fired; });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.pending());
+  sim.run_until(100.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.at(4.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.after(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.run_until(4.0), PreconditionError);
+}
+
+TEST(Simulator, CancellationThroughSimulator) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.at(2.0, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace tdp::netsim

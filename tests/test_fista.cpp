@@ -1,0 +1,164 @@
+#include "math/fista.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tdp::math {
+namespace {
+
+SmoothObjective quadratic(const Vector& diag, const Vector& center) {
+  SmoothObjective obj;
+  obj.value = [diag, center](const Vector& x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - center[i];
+      acc += 0.5 * diag[i] * d * d;
+    }
+    return acc;
+  };
+  obj.gradient = [diag, center](const Vector& x, Vector& g) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      g[i] = diag[i] * (x[i] - center[i]);
+    }
+  };
+  return obj;
+}
+
+TEST(Fista, UnconstrainedQuadratic) {
+  const Vector diag = {1.0, 10.0, 100.0};
+  const Vector center = {1.0, -2.0, 0.5};
+  const auto result = minimize_box(quadratic(diag, center),
+                                   uniform_box(3, -10.0, 10.0),
+                                   Vector(3, 0.0));
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.x[i], center[i], 1e-6);
+  }
+}
+
+TEST(Fista, ActiveBoxConstraint) {
+  // Minimizer at x = 3 is outside the box; solution clamps to 1.
+  const auto result = minimize_box(quadratic({2.0}, {3.0}),
+                                   uniform_box(1, -1.0, 1.0), {0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+}
+
+TEST(Fista, StartOutsideBoxGetsProjected) {
+  const auto result = minimize_box(quadratic({1.0}, {0.0}),
+                                   uniform_box(1, -1.0, 1.0), {100.0});
+  EXPECT_NEAR(result.x[0], 0.0, 1e-6);
+}
+
+TEST(Fista, IllConditionedStillConverges) {
+  const std::size_t n = 20;
+  Vector diag(n);
+  Vector center(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = std::pow(10.0, static_cast<double>(i % 5));
+    center[i] = static_cast<double>(i) / 10.0 - 1.0;
+  }
+  FistaOptions options;
+  options.max_iterations = 20000;
+  options.step_tolerance = 1e-11;
+  const auto result = minimize_box(quadratic(diag, center),
+                                   uniform_box(n, -5.0, 5.0), Vector(n, 0.0),
+                                   options);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.x[i], center[i], 1e-5) << "coordinate " << i;
+  }
+}
+
+TEST(Fista, AcceleratedBeatsPlainOnIterations) {
+  const std::size_t n = 30;
+  Vector diag(n);
+  Vector center(n, 0.7);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = 1.0 + 99.0 * static_cast<double>(i) / (n - 1);
+  }
+  FistaOptions fast;
+  fast.step_tolerance = 1e-9;
+  FistaOptions plain = fast;
+  plain.accelerated = false;
+  const auto accel = minimize_box(quadratic(diag, center),
+                                  uniform_box(n, -2.0, 2.0), Vector(n, -2.0),
+                                  fast);
+  const auto pgd = minimize_box(quadratic(diag, center),
+                                uniform_box(n, -2.0, 2.0), Vector(n, -2.0),
+                                plain);
+  EXPECT_TRUE(accel.converged);
+  EXPECT_LT(accel.iterations, pgd.iterations);
+}
+
+TEST(Fista, NonsmoothSmoothedHingeObjective) {
+  // min |x - 2| smoothed: optimizer of the Huber-smoothed objective sits
+  // within O(mu) of 2.
+  const double mu = 1e-4;
+  SmoothObjective obj;
+  obj.value = [mu](const Vector& x) {
+    const double y = x[0] - 2.0;
+    const double a = std::abs(y);
+    return a >= mu ? a - 0.5 * mu : y * y / (2.0 * mu);
+  };
+  obj.gradient = [mu](const Vector& x, Vector& g) {
+    const double y = x[0] - 2.0;
+    if (y >= mu) {
+      g[0] = 1.0;
+    } else if (y <= -mu) {
+      g[0] = -1.0;
+    } else {
+      g[0] = y / mu;
+    }
+  };
+  FistaOptions options;
+  options.max_iterations = 50000;
+  const auto result =
+      minimize_box(obj, uniform_box(1, 0.0, 10.0), {9.0}, options);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-3);
+}
+
+class FistaRandomProblem : public ::testing::TestWithParam<int> {};
+
+TEST_P(FistaRandomProblem, KktAtBoxSolution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_index(10);
+  Vector diag(n);
+  Vector center(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = rng.uniform(0.5, 20.0);
+    center[i] = rng.uniform(-3.0, 3.0);
+  }
+  const auto obj = quadratic(diag, center);
+  const auto result =
+      minimize_box(obj, uniform_box(n, -1.0, 1.0), Vector(n, 0.0));
+  ASSERT_TRUE(result.converged);
+  // KKT: interior coordinates have ~zero gradient; boundary coordinates
+  // have inward-pointing gradient.
+  Vector g(n, 0.0);
+  obj.gradient(result.x, g);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.x[i] > -1.0 + 1e-7 && result.x[i] < 1.0 - 1e-7) {
+      EXPECT_NEAR(g[i], 0.0, 1e-5);
+    } else if (result.x[i] >= 1.0 - 1e-7) {
+      EXPECT_LE(g[i], 1e-7);
+    } else {
+      EXPECT_GE(g[i], -1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FistaRandomProblem, ::testing::Range(1, 13));
+
+TEST(Fista, RejectsInvalidSetup) {
+  SmoothObjective empty;
+  EXPECT_THROW(minimize_box(empty, uniform_box(1, 0.0, 1.0), {0.0}),
+               PreconditionError);
+  EXPECT_THROW(uniform_box(2, 1.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp::math

@@ -1,0 +1,133 @@
+#include "dynamic/fixed_duration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "math/numdiff.hpp"
+
+namespace tdp {
+namespace {
+
+FixedDurationModel streaming_model(double capacity, double departure = 1.5) {
+  DemandProfile arrivals(4);
+  auto patient = std::make_shared<PowerLawWaitingFunction>(
+      0.5, 4, 1.0, 1.0, LagNormalization::kContinuous);
+  auto impatient = std::make_shared<PowerLawWaitingFunction>(
+      3.0, 4, 1.0, 1.0, LagNormalization::kContinuous);
+  arrivals.add_class(0, {patient, 9.0});
+  arrivals.add_class(0, {impatient, 3.0});
+  arrivals.add_class(1, {patient, 2.0});
+  arrivals.add_class(2, {impatient, 2.0});
+  arrivals.add_class(3, {patient, 4.0});
+  return FixedDurationModel(std::move(arrivals), departure, capacity,
+                            math::PiecewiseLinearCost::hinge(1.0));
+}
+
+TEST(FixedDuration, SteadyStateMatchesClosedForm) {
+  // Constant arrivals a in every period => N converges to a/d and the mean
+  // demand approaches a/d as well.
+  DemandProfile arrivals(3);
+  auto w = std::make_shared<PowerLawWaitingFunction>(
+      1.0, 3, 1.0, 1.0, LagNormalization::kContinuous);
+  for (std::size_t i = 0; i < 3; ++i) arrivals.add_class(i, {w, 6.0});
+  const double d = 2.0;
+  const FixedDurationModel model(std::move(arrivals), d, 100.0,
+                                 math::PiecewiseLinearCost::hinge(1.0),
+                                 /*warmup_days=*/20);
+  const auto ev = model.evaluate(math::Vector(3, 0.0));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ev.end_demand[i], 6.0 / d, 1e-6);
+    EXPECT_NEAR(ev.mean_demand[i], 6.0 / d, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(ev.quality_cost, 0.0);  // ample capacity
+}
+
+TEST(FixedDuration, FasterDeparturesLowerTheLoad) {
+  const auto slow = streaming_model(100.0, 0.5);
+  const auto fast = streaming_model(100.0, 3.0);
+  const auto ev_slow = slow.evaluate(math::Vector(4, 0.0));
+  const auto ev_fast = fast.evaluate(math::Vector(4, 0.0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(ev_slow.mean_demand[i], ev_fast.mean_demand[i]);
+  }
+}
+
+class FixedDurationGradient : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedDurationGradient, AnalyticMatchesNumeric) {
+  const FixedDurationModel model = streaming_model(5.0);
+  Rng rng(static_cast<std::uint64_t>(70 + GetParam()));
+  math::Vector rewards(4);
+  for (double& r : rewards) r = rng.uniform(0.05, 0.9);
+  const double mu = 0.05;
+  math::Vector analytic(4, 0.0);
+  model.smoothed_gradient(rewards, mu, analytic);
+  const math::Vector numeric = math::numeric_gradient(
+      [&model, mu](const math::Vector& p) {
+        return model.smoothed_cost(p, mu);
+      },
+      rewards, 1e-6);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-5) << "coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedDurationGradient, ::testing::Range(1, 7));
+
+TEST(FixedDuration, ObjectiveIsConvex) {
+  const FixedDurationModel model = streaming_model(5.0);
+  Rng rng(5);
+  for (int trial = 0; trial < 12; ++trial) {
+    math::Vector a(4);
+    math::Vector b(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      a[i] = rng.uniform(0.0, 1.0);
+      b[i] = rng.uniform(0.0, 1.0);
+    }
+    math::Vector mid(4);
+    for (std::size_t i = 0; i < 4; ++i) mid[i] = 0.5 * (a[i] + b[i]);
+    EXPECT_LE(model.total_cost(mid),
+              0.5 * (model.total_cost(a) + model.total_cost(b)) + 1e-9);
+  }
+}
+
+TEST(FixedDuration, OptimizerRelievesQualityDegradation) {
+  const FixedDurationModel model = streaming_model(5.0);
+  const FixedDurationSolution sol = optimize_fixed_duration_prices(model);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_LT(sol.evaluation.total_cost, sol.tip_cost);
+  EXPECT_LT(sol.evaluation.quality_cost,
+            model.evaluate(math::Vector(4, 0.0)).quality_cost);
+  double max_reward = 0.0;
+  for (double p : sol.rewards) max_reward = std::max(max_reward, p);
+  EXPECT_LE(max_reward, model.reward_cap() + 1e-9);
+  EXPECT_GT(max_reward, 0.0);
+}
+
+TEST(FixedDuration, ArrivalConservation) {
+  const FixedDurationModel model = streaming_model(5.0);
+  const math::Vector rewards = {0.2, 0.6, 0.1, 0.4};
+  const auto ev = model.evaluate(rewards);
+  double total = 0.0;
+  for (double a : ev.arrivals) total += a;
+  EXPECT_NEAR(total, model.arrivals().total_demand(), 1e-9);
+}
+
+TEST(FixedDuration, RejectsBadParameters) {
+  DemandProfile arrivals(3);
+  auto w = std::make_shared<PowerLawWaitingFunction>(1.0, 3, 1.0);
+  arrivals.add_class(0, {w, 1.0});
+  EXPECT_THROW(FixedDurationModel(arrivals, 0.0, 10.0,
+                                  math::PiecewiseLinearCost::hinge(1.0)),
+               PreconditionError);
+  EXPECT_THROW(FixedDurationModel(arrivals, 1.0, -1.0,
+                                  math::PiecewiseLinearCost::hinge(1.0)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

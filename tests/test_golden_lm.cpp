@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "math/golden_section.hpp"
+#include "math/levenberg_marquardt.hpp"
+
+namespace tdp::math {
+namespace {
+
+TEST(GoldenSection, InteriorMinimum) {
+  const auto r = minimize_golden_section(
+      [](double x) { return (x - 1.7) * (x - 1.7) + 3.0; }, -5.0, 5.0, 1e-9);
+  EXPECT_NEAR(r.x, 1.7, 1e-6);
+  EXPECT_NEAR(r.value, 3.0, 1e-10);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const auto lo = minimize_golden_section([](double x) { return x; }, 2.0,
+                                          7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(lo.x, 2.0);
+  const auto hi = minimize_golden_section([](double x) { return -x; }, 2.0,
+                                          7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(hi.x, 7.0);
+}
+
+TEST(GoldenSection, NonsmoothVee) {
+  const auto r = minimize_golden_section(
+      [](double x) { return std::abs(x - 0.3); }, -1.0, 1.0, 1e-10);
+  EXPECT_NEAR(r.x, 0.3, 1e-7);
+}
+
+TEST(GoldenSection, DegenerateInterval) {
+  const auto r = minimize_golden_section([](double x) { return x * x; },
+                                         4.0, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.x, 4.0);
+}
+
+TEST(GoldenSection, RejectsBadInput) {
+  EXPECT_THROW(minimize_golden_section(nullptr, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(minimize_golden_section([](double) { return 0.0; }, 1.0, 0.0),
+               PreconditionError);
+}
+
+TEST(LevenbergMarquardt, LinearFitExact) {
+  // r_i = (c0 + c1 t_i) - y_i with y generated noiselessly.
+  const auto residuals = [](const Vector& theta) {
+    Vector r;
+    for (int i = 0; i < 10; ++i) {
+      const double t = 0.3 * i;
+      r.push_back(theta[0] + theta[1] * t - (2.0 - 0.7 * t));
+    }
+    return r;
+  };
+  const auto fit = minimize_levenberg_marquardt(residuals, {0.0, 0.0});
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.parameters[0], 2.0, 1e-6);
+  EXPECT_NEAR(fit.parameters[1], -0.7, 1e-6);
+  EXPECT_LT(fit.residual_norm2, 1e-12);
+}
+
+TEST(LevenbergMarquardt, NonlinearExponentialFit) {
+  // y = a * exp(-b t): classic curve fit.
+  const double a_true = 3.0;
+  const double b_true = 1.3;
+  const auto residuals = [a_true, b_true](const Vector& theta) {
+    Vector r;
+    for (int i = 0; i < 20; ++i) {
+      const double t = 0.2 * i;
+      const double y = a_true * std::exp(-b_true * t);
+      r.push_back(theta[0] * std::exp(-theta[1] * t) - y);
+    }
+    return r;
+  };
+  const auto fit = minimize_levenberg_marquardt(residuals, {1.0, 0.5});
+  EXPECT_NEAR(fit.parameters[0], a_true, 1e-5);
+  EXPECT_NEAR(fit.parameters[1], b_true, 1e-5);
+}
+
+TEST(LevenbergMarquardt, RosenbrockResiduals) {
+  // Rosenbrock as least squares: r = (1-x, 10(y-x^2)).
+  const auto residuals = [](const Vector& theta) {
+    return Vector{1.0 - theta[0],
+                  10.0 * (theta[1] - theta[0] * theta[0])};
+  };
+  const auto fit =
+      minimize_levenberg_marquardt(residuals, {-1.2, 1.0});
+  EXPECT_NEAR(fit.parameters[0], 1.0, 1e-6);
+  EXPECT_NEAR(fit.parameters[1], 1.0, 1e-6);
+}
+
+TEST(LevenbergMarquardt, RespectsBounds) {
+  // Unconstrained optimum at theta = -2; bounds force theta >= 0.
+  const auto residuals = [](const Vector& theta) {
+    return Vector{theta[0] + 2.0};
+  };
+  LmOptions options;
+  options.lower_bounds = Vector{0.0};
+  options.upper_bounds = Vector{5.0};
+  const auto fit = minimize_levenberg_marquardt(residuals, {3.0}, options);
+  EXPECT_NEAR(fit.parameters[0], 0.0, 1e-9);
+}
+
+TEST(LevenbergMarquardt, NoisyFitRecoversParameters) {
+  Rng rng(99);
+  std::vector<double> ts;
+  std::vector<double> ys;
+  for (int i = 0; i < 60; ++i) {
+    const double t = 0.1 * i;
+    ts.push_back(t);
+    ys.push_back(5.0 / (1.0 + t) + rng.normal(0.0, 0.01));
+  }
+  const auto residuals = [&ts, &ys](const Vector& theta) {
+    Vector r;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      r.push_back(theta[0] / (1.0 + ts[i] * theta[1]) - ys[i]);
+    }
+    return r;
+  };
+  const auto fit = minimize_levenberg_marquardt(residuals, {1.0, 2.0});
+  EXPECT_NEAR(fit.parameters[0], 5.0, 0.05);
+  EXPECT_NEAR(fit.parameters[1], 1.0, 0.05);
+}
+
+TEST(LevenbergMarquardt, RejectsBadInput) {
+  EXPECT_THROW(minimize_levenberg_marquardt(nullptr, {1.0}),
+               PreconditionError);
+  EXPECT_THROW(minimize_levenberg_marquardt(
+                   [](const Vector&) { return Vector{0.0}; }, {}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp::math

@@ -1,0 +1,102 @@
+#include "tube/gui_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(GuiAgent, NeverDefersAtZeroReward) {
+  GuiAgent agent({0.5, 5.0}, 12, 0.01, 1);
+  const math::Vector zero(12, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = agent.decide(0, i % 12, zero);
+    EXPECT_EQ(d.lag, 0u);
+    EXPECT_DOUBLE_EQ(d.reward_rate, 0.0);
+  }
+  EXPECT_EQ(agent.deferrals(0), 0u);
+  EXPECT_EQ(agent.decisions(0), 200u);
+}
+
+TEST(GuiAgent, PatientClassDefersFarMoreThanImpatient) {
+  // "User 1 never defers due to high patience indices compared to the
+  // amount of reward offered."
+  GuiAgent agent({0.5, 5.0}, 12, 0.01, 2);
+  const math::Vector generous(12, 0.005);  // half the max reward
+  for (int i = 0; i < 3000; ++i) {
+    agent.decide(0, 0, generous);  // patient class
+    agent.decide(1, 0, generous);  // impatient class
+  }
+  const double patient_rate =
+      static_cast<double>(agent.deferrals(0)) / 3000.0;
+  const double impatient_rate =
+      static_cast<double>(agent.deferrals(1)) / 3000.0;
+  EXPECT_GT(patient_rate, 0.5);
+  EXPECT_LT(impatient_rate, 0.05);
+}
+
+TEST(GuiAgent, DeferralRateIncreasesWithReward) {
+  double previous_rate = -1.0;
+  // beta = 2 keeps total willingness below the cap at every tested reward,
+  // so the rate strictly increases instead of saturating at 1.
+  for (double reward : {0.002, 0.005, 0.01}) {
+    GuiAgent agent({2.0}, 12, 0.01, 7);
+    const math::Vector schedule(12, reward);
+    for (int i = 0; i < 4000; ++i) agent.decide(0, 3, schedule);
+    const double rate = static_cast<double>(agent.deferrals(0)) / 4000.0;
+    EXPECT_GT(rate, previous_rate);
+    previous_rate = rate;
+  }
+}
+
+TEST(GuiAgent, TargetsRewardingPeriods) {
+  // Only period 6 offers a reward: every deferral must land there.
+  GuiAgent agent({0.5}, 12, 0.01, 11);
+  math::Vector schedule(12, 0.0);
+  schedule[6] = 0.01;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = agent.decide(0, 2, schedule);
+    if (d.lag != 0) {
+      EXPECT_EQ((2 + d.lag) % 12, 6u);
+      EXPECT_DOUBLE_EQ(d.reward_rate, 0.01);
+    }
+  }
+  EXPECT_GT(agent.deferrals(0), 0u);
+}
+
+TEST(GuiAgent, PrefersShorterLagsAtEqualReward) {
+  GuiAgent agent({1.5}, 12, 0.01, 13);
+  const math::Vector uniform(12, 0.01);
+  std::vector<std::size_t> lag_count(12, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto d = agent.decide(0, 0, uniform);
+    ++lag_count[d.lag];
+  }
+  EXPECT_GT(lag_count[1], lag_count[3]);
+  EXPECT_GT(lag_count[3], lag_count[8]);
+}
+
+TEST(GuiAgent, DeterministicBySeed) {
+  GuiAgent a({1.0}, 12, 0.01, 99);
+  GuiAgent b({1.0}, 12, 0.01, 99);
+  const math::Vector schedule(12, 0.006);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.decide(0, i % 12, schedule).lag,
+              b.decide(0, i % 12, schedule).lag);
+  }
+}
+
+TEST(GuiAgent, RejectsBadInput) {
+  EXPECT_THROW(GuiAgent({}, 12, 0.01, 1), PreconditionError);
+  EXPECT_THROW(GuiAgent({-1.0}, 12, 0.01, 1), PreconditionError);
+  EXPECT_THROW(GuiAgent({1.0}, 1, 0.01, 1), PreconditionError);
+  GuiAgent agent({1.0}, 12, 0.01, 1);
+  const math::Vector schedule(12, 0.0);
+  EXPECT_THROW(agent.decide(1, 0, schedule), PreconditionError);
+  EXPECT_THROW(agent.decide(0, 12, schedule), PreconditionError);
+  EXPECT_THROW(agent.decide(0, 0, math::Vector(5, 0.0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,162 @@
+#include "netsim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netsim/simulator.hpp"
+
+namespace tdp::netsim {
+namespace {
+
+TEST(Link, SingleElasticFlowServedAtFullCapacity) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  double done_at = -1.0;
+  double served = 0.0;
+  FlowSpec spec;
+  spec.kind = FlowKind::kElastic;
+  spec.size_mb = 50.0;
+  link.start_flow(spec, [&](FlowId, const FlowSpec&, double mb) {
+    done_at = sim.now();
+    served = mb;
+  });
+  sim.run_until(100.0);
+  EXPECT_NEAR(done_at, 5.0, 1e-9);  // 50 MB at 10 MBps
+  EXPECT_NEAR(served, 50.0, 1e-9);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+TEST(Link, TwoElasticFlowsShareFairly) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  std::vector<double> completions;
+  FlowSpec spec;
+  spec.size_mb = 50.0;
+  auto done = [&](FlowId, const FlowSpec&, double) {
+    completions.push_back(sim.now());
+  };
+  link.start_flow(spec, done);
+  link.start_flow(spec, done);
+  sim.run_until(100.0);
+  // Both progress at 5 MBps until the (simultaneous) finish at t = 10.
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 10.0, 1e-6);
+  EXPECT_NEAR(completions[1], 10.0, 1e-6);
+}
+
+TEST(Link, LateArrivalSlowsEarlierFlow) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  double first_done = -1.0;
+  FlowSpec spec;
+  spec.size_mb = 50.0;
+  link.start_flow(spec, [&](FlowId, const FlowSpec&, double) {
+    first_done = sim.now();
+  });
+  sim.at(2.5, [&] { link.start_flow(spec); });
+  sim.run_until(100.0);
+  // 25 MB served by t=2.5, then 5 MBps: 25/5 = 5 more seconds.
+  EXPECT_NEAR(first_done, 7.5, 1e-6);
+}
+
+TEST(Link, StreamingFlowIsRateCappedAndFixedDuration) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  double done_at = -1.0;
+  double served = 0.0;
+  FlowSpec video;
+  video.kind = FlowKind::kStreaming;
+  video.rate_mbps = 2.0;
+  video.duration_s = 30.0;
+  link.start_flow(video, [&](FlowId, const FlowSpec&, double mb) {
+    done_at = sim.now();
+    served = mb;
+  });
+  sim.run_until(100.0);
+  EXPECT_NEAR(done_at, 30.0, 1e-9);
+  EXPECT_NEAR(served, 60.0, 1e-9);  // 2 MBps for 30 s, uncongested
+}
+
+TEST(Link, StreamingDegradesUnderCongestion) {
+  Simulator sim;
+  BottleneckLink link(sim, 4.0);
+  double video_served = 0.0;
+  FlowSpec video;
+  video.kind = FlowKind::kStreaming;
+  video.rate_mbps = 3.0;
+  video.duration_s = 10.0;
+  video.user = 1;
+  link.start_flow(video, [&](FlowId, const FlowSpec&, double mb) {
+    video_served = mb;
+  });
+  // Two greedy elastic flows squeeze the stream to its fair share.
+  FlowSpec bulk;
+  bulk.size_mb = 500.0;
+  link.start_flow(bulk);
+  link.start_flow(bulk);
+  sim.run_until(10.5);
+  // Fair share is 4/3 < 3 demanded: "low bandwidth availability is
+  // reflected in sound and image quality and not session completion."
+  EXPECT_LT(video_served, 30.0 * 0.5);
+  EXPECT_GT(video_served, 0.0);
+}
+
+TEST(Link, BackgroundReservationReducesElasticRate) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  link.set_background_rate(6.0);
+  double done_at = -1.0;
+  FlowSpec spec;
+  spec.size_mb = 40.0;
+  link.start_flow(spec, [&](FlowId, const FlowSpec&, double) {
+    done_at = sim.now();
+  });
+  sim.run_until(100.0);
+  EXPECT_NEAR(done_at, 10.0, 1e-6);  // 40 MB at (10-6) MBps
+  EXPECT_DOUBLE_EQ(link.background_rate(), 0.0 + 6.0);
+}
+
+TEST(Link, PerUserClassAccounting) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  FlowSpec a;
+  a.size_mb = 20.0;
+  a.user = 0;
+  a.traffic_class = 1;
+  FlowSpec b;
+  b.size_mb = 30.0;
+  b.user = 1;
+  b.traffic_class = 2;
+  link.start_flow(a);
+  link.start_flow(b);
+  sim.run_until(100.0);
+  EXPECT_NEAR(link.served_mb(0, 1), 20.0, 1e-9);
+  EXPECT_NEAR(link.served_mb(1, 2), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(link.served_mb(3, 3), 0.0);
+}
+
+TEST(Link, UtilizationReflectsLoad) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  EXPECT_DOUBLE_EQ(link.utilization(), 0.0);
+  FlowSpec spec;
+  spec.size_mb = 1000.0;
+  link.start_flow(spec);
+  EXPECT_NEAR(link.utilization(), 1.0, 1e-12);
+}
+
+TEST(Link, RejectsInvalidFlows) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  FlowSpec bad;
+  bad.size_mb = 0.0;
+  EXPECT_THROW(link.start_flow(bad), tdp::PreconditionError);
+  FlowSpec bad_stream;
+  bad_stream.kind = FlowKind::kStreaming;
+  EXPECT_THROW(link.start_flow(bad_stream), tdp::PreconditionError);
+  EXPECT_THROW(BottleneckLink(sim, 0.0), tdp::PreconditionError);
+  EXPECT_THROW(link.set_background_rate(-1.0), tdp::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp::netsim

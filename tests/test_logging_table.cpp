@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Logging, ThresholdFilters) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (no crash, no output check
+  // needed — the macro short-circuits).
+  TDP_LOG_DEBUG << "dropped";
+  set_log_level(previous);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Period", "Reward"});
+  table.add_row({"1", "0.45"});
+  table.add_row({"10", "0.021"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Period  Reward"), std::string::npos);
+  EXPECT_NE(out.find("1       0.45"), std::string::npos);
+  EXPECT_NE(out.find("10      0.021"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(Error, HierarchyAndMessages) {
+  try {
+    throw NumericalError("diverged");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("diverged"), std::string::npos);
+  }
+  EXPECT_THROW(
+      { TDP_REQUIRE(false, "requirement text"); }, PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

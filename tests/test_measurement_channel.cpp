@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "tube/measurement.hpp"
+#include "tube/price_channel.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Measurement, DiffsCumulativeCounters) {
+  netsim::Simulator sim;
+  netsim::BottleneckLink link(sim, 10.0);
+  MeasurementEngine engine(2, 2);
+
+  netsim::FlowSpec a;
+  a.size_mb = 20.0;
+  a.user = 0;
+  a.traffic_class = 1;
+  link.start_flow(a);
+  sim.run_until(5.0);
+  engine.close_period(link);
+
+  netsim::FlowSpec b;
+  b.size_mb = 30.0;
+  b.user = 1;
+  b.traffic_class = 0;
+  link.start_flow(b);
+  sim.run_until(10.0);
+  engine.close_period(link);
+
+  ASSERT_EQ(engine.periods_recorded(), 2u);
+  EXPECT_NEAR(engine.usage_mb(0, 0, 1), 20.0, 1e-9);
+  EXPECT_NEAR(engine.usage_mb(1, 0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(engine.usage_mb(1, 1, 0), 30.0, 1e-9);
+  EXPECT_NEAR(engine.user_usage_mb(0, 0), 20.0, 1e-9);
+  EXPECT_NEAR(engine.total_usage_mb(1), 30.0, 1e-9);
+  EXPECT_EQ(engine.total_series().size(), 2u);
+  EXPECT_EQ(engine.user_series(1).size(), 2u);
+}
+
+TEST(Measurement, ResetKeepsBaseline) {
+  netsim::Simulator sim;
+  netsim::BottleneckLink link(sim, 10.0);
+  MeasurementEngine engine(1, 1);
+  netsim::FlowSpec a;
+  a.size_mb = 10.0;
+  link.start_flow(a);
+  sim.run_until(2.0);
+  engine.close_period(link);
+  engine.reset(link);
+  EXPECT_EQ(engine.periods_recorded(), 0u);
+  // New period sees only new traffic.
+  netsim::FlowSpec b;
+  b.size_mb = 5.0;
+  link.start_flow(b);
+  sim.run_until(4.0);
+  engine.close_period(link);
+  EXPECT_NEAR(engine.total_usage_mb(0), 5.0, 1e-9);
+}
+
+TEST(Measurement, RejectsBadIndices) {
+  MeasurementEngine engine(2, 3);
+  EXPECT_THROW(engine.usage_mb(0, 0, 0), PreconditionError);  // no periods
+  EXPECT_THROW(MeasurementEngine(0, 1), PreconditionError);
+}
+
+TEST(PriceChannel, PullOncePerPeriodDiscipline) {
+  PriceChannel channel(4);
+  channel.publish({0.1, 0.2, 0.3, 0.4});
+  const std::size_t gui = channel.subscribe();
+
+  const auto& first = channel.pull(gui, 7);
+  EXPECT_DOUBLE_EQ(first[2], 0.3);
+  EXPECT_EQ(channel.server_fetches(gui), 1u);
+
+  // Same period: cache, even if the server republished meanwhile.
+  channel.publish({0.5, 0.5, 0.5, 0.5});
+  const auto& cached = channel.pull(gui, 7);
+  EXPECT_DOUBLE_EQ(cached[2], 0.3);
+  EXPECT_EQ(channel.server_fetches(gui), 1u);
+  EXPECT_EQ(channel.cache_hits(gui), 1u);
+
+  // Next period: fresh fetch sees the new schedule.
+  const auto& fresh = channel.pull(gui, 8);
+  EXPECT_DOUBLE_EQ(fresh[2], 0.5);
+  EXPECT_EQ(channel.server_fetches(gui), 2u);
+}
+
+TEST(PriceChannel, SubscribersAreIndependent) {
+  PriceChannel channel(2);
+  channel.publish({0.1, 0.2});
+  const std::size_t a = channel.subscribe();
+  const std::size_t b = channel.subscribe();
+  channel.pull(a, 0);
+  EXPECT_EQ(channel.server_fetches(a), 1u);
+  EXPECT_EQ(channel.server_fetches(b), 0u);
+  channel.pull(b, 0);
+  EXPECT_EQ(channel.server_fetches(b), 1u);
+  EXPECT_EQ(channel.publish_count(), 1u);
+}
+
+TEST(PriceChannel, RejectsBadUse) {
+  PriceChannel channel(2);
+  EXPECT_THROW(channel.publish({0.1}), PreconditionError);
+  EXPECT_THROW(channel.publish({-0.1, 0.2}), PreconditionError);
+  EXPECT_THROW(channel.pull(0, 0), PreconditionError);  // no subscriber
+  const std::size_t gui = channel.subscribe();
+  channel.publish({0.0, 0.0});
+  channel.pull(gui, 5);
+  EXPECT_THROW(channel.pull(gui, 4), PreconditionError);  // time goes back
+}
+
+}  // namespace
+}  // namespace tdp

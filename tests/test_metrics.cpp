@@ -1,0 +1,64 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Metrics, ResidueSpreadOfFlatProfileIsZero) {
+  EXPECT_DOUBLE_EQ(residue_spread({5.0, 5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Metrics, ResidueSpreadKnownValue) {
+  // Profile {1, 3}: mean 2, spread |1-2| + |3-2| = 2.
+  EXPECT_DOUBLE_EQ(residue_spread({1.0, 3.0}), 2.0);
+}
+
+TEST(Metrics, ResidueSpreadInvariantToShift) {
+  const std::vector<double> a = {1.0, 4.0, 2.0, 9.0};
+  std::vector<double> shifted = a;
+  for (double& v : shifted) v += 100.0;
+  EXPECT_NEAR(residue_spread(a), residue_spread(shifted), 1e-12);
+}
+
+TEST(Metrics, AreaBetweenAndTriangleInequality) {
+  const std::vector<double> a = {1.0, 5.0, 2.0};
+  const std::vector<double> b = {2.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(area_between(a, b), 1.0 + 2.0 + 1.0);
+  // |spread(a) - spread(b)| <= area_between when totals match.
+  EXPECT_LE(std::abs(residue_spread(a) - residue_spread(b)),
+            area_between(a, b) + 1e-12);
+}
+
+TEST(Metrics, PeakToValley) {
+  EXPECT_DOUBLE_EQ(peak_to_valley({3.0, 7.0, 1.0}), 6.0);
+  EXPECT_DOUBLE_EQ(peak_to_valley({2.0}), 0.0);
+}
+
+TEST(Metrics, RedistributedFractionCountsMovesOnce) {
+  // One unit moved from period 0 to period 1 out of 10 total = 10%.
+  EXPECT_NEAR(redistributed_fraction({6.0, 4.0}, {5.0, 5.0}), 0.1, 1e-12);
+}
+
+TEST(Metrics, UnitConversions) {
+  // 1 demand unit-period = 10 MBps * 1800 s = 18000 MB = 18 GB.
+  EXPECT_DOUBLE_EQ(unit_periods_to_mb(1.0), 18000.0);
+  EXPECT_DOUBLE_EQ(unit_periods_to_gb(1.0), 18.0);
+  EXPECT_DOUBLE_EQ(per_user_daily_cost_dollars(426.0, 10), 4.26);
+  EXPECT_DOUBLE_EQ(to_dollars(1.5), 0.15);
+  EXPECT_DOUBLE_EQ(to_mbps(18.0), 180.0);
+  EXPECT_DOUBLE_EQ(from_mbps(180.0), 18.0);
+}
+
+TEST(Metrics, RejectsBadInput) {
+  EXPECT_THROW(residue_spread({}), PreconditionError);
+  EXPECT_THROW(area_between({1.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(redistributed_fraction({0.0}, {0.0}), PreconditionError);
+  EXPECT_THROW(per_user_daily_cost_dollars(1.0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

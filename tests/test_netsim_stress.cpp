@@ -1,0 +1,127 @@
+// Failure-injection and stress tests for the network emulator.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/traffic.hpp"
+
+namespace tdp::netsim {
+namespace {
+
+TEST(LinkStress, StarvedFlowResumesWhenBackgroundClears) {
+  // Background eats the whole link; the elastic flow must stall (no
+  // completion event) and finish once capacity returns.
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  link.set_background_rate(10.0);
+  double done_at = -1.0;
+  FlowSpec spec;
+  spec.size_mb = 20.0;
+  link.start_flow(spec, [&](FlowId, const FlowSpec&, double) {
+    done_at = sim.now();
+  });
+  sim.run_until(50.0);
+  EXPECT_LT(done_at, 0.0);  // still starving
+  link.set_background_rate(0.0);
+  sim.run_until(100.0);
+  EXPECT_NEAR(done_at, 52.0, 1e-6);  // 20 MB at 10 MBps from t = 50
+}
+
+TEST(LinkStress, ManyFlowsConserveWork) {
+  // 200 random flows: total served bytes equal total offered bytes, and
+  // the link is never oversubscribed at any sampling instant.
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  Rng rng(99);
+  double offered = 0.0;
+  double completed = 0.0;
+  for (int f = 0; f < 200; ++f) {
+    const double start = rng.uniform(0.0, 500.0);
+    sim.at(start, [&link, &rng, &offered, &completed] {
+      FlowSpec spec;
+      spec.size_mb = rng.uniform(0.5, 20.0);
+      offered += spec.size_mb;
+      link.start_flow(spec,
+                      [&completed](FlowId, const FlowSpec&, double mb) {
+                        completed += mb;
+                      });
+    });
+  }
+  for (double t = 1.0; t < 2000.0; t += 7.0) {
+    sim.at(t, [&link] { EXPECT_LE(link.utilization(), 1.0 + 1e-9); });
+  }
+  sim.run_until(5000.0);
+  EXPECT_EQ(link.active_flows(), 0u);
+  EXPECT_NEAR(completed, offered, 1e-6 * offered);
+}
+
+TEST(LinkStress, MixedStreamsAndBulkUnderOverload) {
+  // Offered load far above capacity: streams end on time with degraded
+  // bytes; the link stays fully utilized throughout.
+  Simulator sim;
+  BottleneckLink link(sim, 5.0);
+  std::size_t streams_done = 0;
+  double stream_bytes = 0.0;
+  for (int s = 0; s < 6; ++s) {
+    FlowSpec video;
+    video.kind = FlowKind::kStreaming;
+    video.rate_mbps = 2.0;
+    video.duration_s = 100.0;
+    link.start_flow(video, [&](FlowId, const FlowSpec&, double mb) {
+      ++streams_done;
+      stream_bytes += mb;
+    });
+  }
+  FlowSpec bulk;
+  bulk.size_mb = 10000.0;
+  link.start_flow(bulk);
+  sim.run_until(150.0);
+  EXPECT_EQ(streams_done, 6u);
+  // 6 streams demanding 12 MBps on a 5 MBps link shared with bulk: each
+  // gets the fair share 5/7, well below its 2 MBps demand.
+  EXPECT_LT(stream_bytes, 6 * 200.0 * 0.5);
+  EXPECT_GT(stream_bytes, 0.0);
+  EXPECT_NEAR(link.utilization(), 1.0, 1e-9);  // bulk still active
+}
+
+TEST(LinkStress, ZeroLengthPhasesAndImmediateCompletions) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  // Tiny flow completes essentially immediately without disturbing others.
+  FlowSpec tiny;
+  tiny.size_mb = 1e-9;
+  bool done = false;
+  link.start_flow(tiny,
+                  [&done](FlowId, const FlowSpec&, double) { done = true; });
+  sim.run_until(1.0);
+  EXPECT_TRUE(done);
+}
+
+TEST(SessionSourceStress, ManySourcesRemainIndependent) {
+  // Two sources with the same config but different seeds produce different
+  // arrival counts; same seeds produce identical ones.
+  Simulator sim;
+  TrafficClassConfig cfg;
+  cfg.arrivals_per_hour = 500.0;
+  cfg.mean_size_mb = 1.0;
+  RateProfile flat{[](double) { return 1.0; }, 1.0};
+  std::size_t count_a = 0;
+  std::size_t count_b = 0;
+  std::size_t count_c = 0;
+  SessionSource a(sim, 1, 0, 0, cfg, flat,
+                  [&](const FlowSpec&) { ++count_a; });
+  SessionSource b(sim, 2, 0, 0, cfg, flat,
+                  [&](const FlowSpec&) { ++count_b; });
+  SessionSource c(sim, 1, 0, 0, cfg, flat,
+                  [&](const FlowSpec&) { ++count_c; });
+  a.start(3600.0);
+  b.start(3600.0);
+  c.start(3600.0);
+  sim.run_until(3600.0);
+  EXPECT_EQ(count_a, count_c);
+  EXPECT_NE(count_a, count_b);
+}
+
+}  // namespace
+}  // namespace tdp::netsim

@@ -1,0 +1,101 @@
+#include "dynamic/online_pricer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dynamic/paper_dynamic.hpp"
+
+namespace tdp {
+namespace {
+
+DynamicOptimizerOptions fast_options() {
+  DynamicOptimizerOptions opts;
+  opts.fista.max_iterations = 1500;
+  opts.mu_final = 1e-4;
+  return opts;
+}
+
+TEST(OnlinePricer, InitializesFromOfflineSolution) {
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  EXPECT_EQ(pricer.rewards().size(), 48u);
+  double max_reward = 0.0;
+  for (double p : pricer.rewards()) {
+    EXPECT_GE(p, 0.0);
+    max_reward = std::max(max_reward, p);
+  }
+  EXPECT_GT(max_reward, 0.0);
+}
+
+TEST(OnlinePricer, ObservingTheForecastBarelyMovesTheReward) {
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  const double forecast = pricer.model().arrivals().tip_demand(0);
+  const double cost_before = pricer.expected_cost();
+  const auto step = pricer.observe_period(0, forecast);
+  EXPECT_EQ(step.period, 0u);
+  // The 1-D re-optimization can only improve the objective.
+  EXPECT_LE(step.expected_cost, cost_before + 1e-6);
+  EXPECT_NEAR(step.new_reward, step.old_reward, 0.05);
+}
+
+TEST(OnlinePricer, Section5BOnlineExperiment) {
+  // "While running the online algorithm, the ISP finds that 200 instead of
+  // 230 MBps arrives in period 1" — the adjusted rewards must beat keeping
+  // the nominal schedule on the updated model.
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  const math::Vector nominal = pricer.rewards();
+  const auto step = pricer.observe_period(0, 20.0);  // 200 MBps
+  const double adjusted_cost = pricer.expected_cost();
+  const double nominal_cost = pricer.model().total_cost(nominal);
+  EXPECT_LE(adjusted_cost, nominal_cost + 1e-9);
+  EXPECT_NE(step.new_reward, step.old_reward);
+  // The updated demand estimate is in force.
+  EXPECT_NEAR(pricer.model().arrivals().tip_demand(0), 20.0, 1e-9);
+}
+
+TEST(OnlinePricer, SequentialObservationsKeepImproving) {
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  // A day where the morning runs 10% hot and the evening 10% cold.
+  double previous_cost = pricer.expected_cost();
+  (void)previous_cost;
+  for (std::size_t period = 0; period < 8; ++period) {
+    const double forecast = pricer.model().arrivals().tip_demand(period);
+    const double measured = forecast * (period < 4 ? 1.1 : 0.9);
+    const auto step = pricer.observe_period(period, measured);
+    // After the demand update, the 1-D step never does worse than leaving
+    // this period's reward alone.
+    math::Vector keep = pricer.rewards();
+    keep[period] = step.old_reward;
+    EXPECT_LE(step.expected_cost, pricer.model().total_cost(keep) + 1e-9);
+  }
+}
+
+TEST(OnlinePricer, SurgeObservationIsClampedNotFatal) {
+  // A measured surge that would push total demand past total capacity must
+  // not destroy the model (the backlog recursion would have no steady
+  // state); the update clamps to a stable level instead.
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  const auto step = pricer.observe_period(0, 1e6);
+  EXPECT_EQ(step.period, 0u);
+  double total = pricer.model().arrivals().total_demand();
+  double capacity = 0.0;
+  for (double a : pricer.model().capacity()) capacity += a;
+  EXPECT_LT(total, capacity);
+  // The pricer remains usable afterwards.
+  pricer.observe_period(1, pricer.model().arrivals().tip_demand(1));
+}
+
+TEST(OnlinePricer, ZeroArrivalObservation) {
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  const auto step = pricer.observe_period(5, 0.0);
+  EXPECT_NEAR(pricer.model().arrivals().tip_demand(5), 0.0, 1e-12);
+  EXPECT_GE(step.new_reward, 0.0);
+}
+
+TEST(OnlinePricer, RejectsBadObservations) {
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
+  EXPECT_THROW(pricer.observe_period(48, 10.0), PreconditionError);
+  EXPECT_THROW(pricer.observe_period(0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

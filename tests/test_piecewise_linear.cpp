@@ -1,0 +1,109 @@
+#include "math/piecewise_linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tdp::math {
+namespace {
+
+TEST(PiecewiseLinear, CanonicalHinge) {
+  const auto f = PiecewiseLinearCost::hinge(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.value(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(2.0), 6.0);
+  EXPECT_DOUBLE_EQ(f.derivative_left(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative_right(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f.max_slope(), 3.0);
+  EXPECT_DOUBLE_EQ(f.min_slope(), 0.0);
+}
+
+TEST(PiecewiseLinear, ShiftedBreakpoint) {
+  const auto f = PiecewiseLinearCost::hinge(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(f.value(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(7.0), 4.0);
+}
+
+TEST(PiecewiseLinear, NegativeBreakpointAnchorsAtZero) {
+  // f(x) = 1 * max(x + 2, 0) anchored so f(0) = value_at_zero = 0.
+  const PiecewiseLinearCost f(0.0, {{-2.0, 1.0}}, 0.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(-3.0), -2.0);  // below the kink: slope 0 region
+}
+
+TEST(PiecewiseLinear, MultiKinkTieredCost) {
+  // Tiered overage: slope 1 above 0, slope 3 above 10.
+  const PiecewiseLinearCost f(0.0, {{0.0, 1.0}, {10.0, 2.0}});
+  EXPECT_DOUBLE_EQ(f.value(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(15.0), 10.0 + 5.0 * 3.0);
+  EXPECT_DOUBLE_EQ(f.max_slope(), 3.0);
+  EXPECT_DOUBLE_EQ(f.derivative_right(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(f.derivative_left(10.0), 1.0);
+}
+
+TEST(PiecewiseLinear, ScalingIsHomogeneous) {
+  const PiecewiseLinearCost f(0.5, {{1.0, 2.0}});
+  const PiecewiseLinearCost g = f.scaled(4.0);
+  for (double x : {-3.0, 0.0, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(g.value(x), 4.0 * f.value(x), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(g.max_slope(), 4.0 * f.max_slope());
+}
+
+TEST(PiecewiseLinear, ConvexityRequiresNonnegativeJumps) {
+  EXPECT_THROW(PiecewiseLinearCost(0.0, {{0.0, -1.0}}), PreconditionError);
+  EXPECT_THROW(PiecewiseLinearCost::hinge(-2.0), PreconditionError);
+}
+
+class SmoothingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoothingProperty, UnderestimatesWithinGap) {
+  const double mu = GetParam();
+  const PiecewiseLinearCost f(0.2, {{-1.0, 1.5}, {0.0, 3.0}, {4.0, 0.5}});
+  const double gap = f.smoothing_gap(mu);
+  EXPECT_DOUBLE_EQ(gap, 0.5 * mu * 5.0);
+  for (double x = -5.0; x <= 8.0; x += 0.01) {
+    const double exact = f.value(x);
+    const double smooth = f.smoothed_value(x, mu);
+    EXPECT_LE(smooth, exact + 1e-12);
+    EXPECT_GE(smooth, exact - gap - 1e-12);
+  }
+}
+
+TEST_P(SmoothingProperty, DerivativeIsConsistentAndMonotone) {
+  const double mu = GetParam();
+  const PiecewiseLinearCost f(0.0, {{0.0, 2.0}, {3.0, 1.0}});
+  double previous = -1.0;
+  for (double x = -2.0; x <= 6.0; x += 0.005) {
+    const double d = f.smoothed_derivative(x, mu);
+    // Monotone nondecreasing derivative == convex smoothed function.
+    EXPECT_GE(d, previous - 1e-12);
+    previous = d;
+    // Finite-difference consistency.
+    const double h = 1e-7;
+    const double fd =
+        (f.smoothed_value(x + h, mu) - f.smoothed_value(x - h, mu)) /
+        (2.0 * h);
+    EXPECT_NEAR(d, fd, 1e-4 + 2e-7 / mu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, SmoothingProperty,
+                         ::testing::Values(1.0, 0.1, 0.01, 1e-4));
+
+TEST(PiecewiseLinear, SmoothingConvergesPointwise) {
+  const auto f = PiecewiseLinearCost::hinge(3.0, 1.0);
+  for (double x : {-1.0, 0.99, 1.0, 1.01, 5.0}) {
+    double previous_error = 1e9;
+    for (double mu : {1.0, 0.1, 0.01, 0.001}) {
+      const double error = std::abs(f.value(x) - f.smoothed_value(x, mu));
+      EXPECT_LE(error, previous_error + 1e-15);
+      previous_error = error;
+    }
+    EXPECT_LT(previous_error, 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace tdp::math

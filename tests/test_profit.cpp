@@ -1,0 +1,78 @@
+#include "core/profit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/paper_data.hpp"
+#include "core/static_optimizer.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Profit, Proposition2CostProfitEquivalence) {
+  // pi(p) + C(p) must be a constant (revenue minus operational cost under
+  // TIP), so minimizing cost and maximizing profit coincide.
+  const StaticModel model = paper::static_model_12();
+  const double flat_price = 2.0;
+  const double marginal = 0.5;
+  Rng rng(3);
+  double reference = 0.0;
+  bool first = true;
+  for (int trial = 0; trial < 20; ++trial) {
+    math::Vector rewards(12);
+    for (double& r : rewards) r = rng.uniform(0.0, model.max_reward());
+    const ProfitBreakdown pb =
+        evaluate_profit(model, rewards, flat_price, marginal);
+    const double invariant = pb.profit + model.total_cost(rewards);
+    if (first) {
+      reference = invariant;
+      first = false;
+    } else {
+      EXPECT_NEAR(invariant, reference, 1e-8);
+    }
+  }
+}
+
+TEST(Profit, OptimalRewardsMaximizeProfit) {
+  const StaticModel model = paper::static_model_12();
+  const PricingSolution sol = optimize_static_prices(model);
+  const ProfitBreakdown best =
+      evaluate_profit(model, sol.rewards, 2.0, 0.5);
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    math::Vector rewards(12);
+    for (double& r : rewards) r = rng.uniform(0.0, model.max_reward());
+    const ProfitBreakdown other = evaluate_profit(model, rewards, 2.0, 0.5);
+    EXPECT_GE(best.profit, other.profit - 1e-6);
+  }
+  // TIP (zero rewards) is also dominated.
+  const ProfitBreakdown tip =
+      evaluate_profit(model, math::Vector(12, 0.0), 2.0, 0.5);
+  EXPECT_GE(best.profit, tip.profit);
+}
+
+TEST(Profit, BreakdownComponents) {
+  const StaticModel model = paper::static_model_12();
+  const math::Vector zero(12, 0.0);
+  const ProfitBreakdown pb = evaluate_profit(model, zero, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(pb.reward_cost, 0.0);
+  EXPECT_DOUBLE_EQ(pb.operational_cost, 0.0);
+  EXPECT_NEAR(pb.revenue, model.demand().total_demand(), 1e-12);
+  EXPECT_NEAR(pb.capacity_cost, model.tip_cost(), 1e-12);
+  EXPECT_NEAR(pb.profit, pb.revenue - pb.capacity_cost, 1e-12);
+}
+
+TEST(Profit, OperationalCostUsesConservedTotal) {
+  // Since sum x_i == sum X_i, operational cost is reward-independent.
+  const StaticModel model = paper::static_model_12();
+  Rng rng(23);
+  math::Vector rewards(12);
+  for (double& r : rewards) r = rng.uniform(0.0, 1.0);
+  const ProfitBreakdown a = evaluate_profit(model, rewards, 2.0, 0.7);
+  const ProfitBreakdown b =
+      evaluate_profit(model, math::Vector(12, 0.0), 2.0, 0.7);
+  EXPECT_NEAR(a.operational_cost, b.operational_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,74 @@
+#include "math/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp::math {
+namespace {
+
+TEST(Quadrature, ExactOnPolynomials) {
+  // 8-point Gauss-Legendre integrates degree <= 15 exactly.
+  const auto poly = [](double x) {
+    return 5.0 * x * x * x * x - 2.0 * x * x + 1.0;
+  };
+  const double exact = 5.0 / 5.0 * 32.0 - 2.0 / 3.0 * 16.0 + 4.0;
+  // integral over [-2, 2]: x^5 - (2/3)x^3 + x evaluated...
+  const double expected = (std::pow(2.0, 5) - std::pow(-2.0, 5)) -
+                          2.0 / 3.0 * (std::pow(2.0, 3) - std::pow(-2.0, 3)) +
+                          4.0;
+  (void)exact;
+  EXPECT_NEAR(integrate_gauss(poly, -2.0, 2.0, 1), expected, 1e-10);
+  EXPECT_NEAR(integrate_adaptive_simpson(poly, -2.0, 2.0), expected, 1e-8);
+}
+
+TEST(Quadrature, PowerLawSegment) {
+  // The dynamic model's integrand: (u+1)^-beta over [L-1, L].
+  const double beta = 2.5;
+  const auto f = [beta](double u) { return std::pow(u + 1.0, -beta); };
+  const auto antiderivative = [beta](double u) {
+    return std::pow(u + 1.0, 1.0 - beta) / (1.0 - beta);
+  };
+  for (double lo : {0.0, 1.0, 5.0, 20.0}) {
+    const double expected = antiderivative(lo + 1.0) - antiderivative(lo);
+    EXPECT_NEAR(integrate_gauss(f, lo, lo + 1.0, 1), expected, 1e-9);
+    EXPECT_NEAR(integrate_adaptive_simpson(f, lo, lo + 1.0), expected, 1e-9);
+  }
+}
+
+TEST(Quadrature, AgreesAcrossMethods) {
+  const auto f = [](double x) { return std::exp(-x) * std::sin(3.0 * x); };
+  const double gauss = integrate_gauss(f, 0.0, 4.0, 8);
+  const double simpson = integrate_adaptive_simpson(f, 0.0, 4.0, 1e-12);
+  EXPECT_NEAR(gauss, simpson, 1e-8);
+}
+
+TEST(Quadrature, EmptyInterval) {
+  const auto f = [](double) { return 42.0; };
+  EXPECT_DOUBLE_EQ(integrate_gauss(f, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(integrate_adaptive_simpson(f, 1.0, 1.0), 0.0);
+}
+
+TEST(Quadrature, MoreSegmentsImprove) {
+  // A sharply peaked integrand needs composite rules.
+  const auto f = [](double x) { return 1.0 / (1e-3 + x * x); };
+  const double reference = integrate_adaptive_simpson(f, -1.0, 1.0, 1e-13);
+  const double coarse = std::abs(integrate_gauss(f, -1.0, 1.0, 1) - reference);
+  const double fine = std::abs(integrate_gauss(f, -1.0, 1.0, 64) - reference);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 1e-6);
+}
+
+TEST(Quadrature, RejectsBadInput) {
+  EXPECT_THROW(integrate_gauss(nullptr, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(integrate_gauss([](double) { return 0.0; }, 0.0, 1.0, 0),
+               PreconditionError);
+  EXPECT_THROW(
+      integrate_adaptive_simpson([](double) { return 0.0; }, 0.0, 1.0, 0.0),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp::math

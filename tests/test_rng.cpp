@@ -1,0 +1,136 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / samples;
+  const double var = sq / samples - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / samples, 3.0, 0.05);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MatchesMeanAndVariance) {
+  const double lambda = GetParam();
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    const double k = static_cast<double>(rng.poisson(lambda));
+    sum += k;
+    sq += k * k;
+  }
+  const double mean = sum / samples;
+  const double var = sq / samples - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.05 * lambda + 0.05);
+  EXPECT_NEAR(var, lambda, 0.08 * lambda + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMeanTest,
+                         ::testing::Values(0.3, 2.0, 10.0, 50.0, 200.0));
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const double z = rng.normal(2.0, 3.0);
+    sum += z;
+    sq += z * z;
+  }
+  const double mean = sum / samples;
+  const double var = sq / samples - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.03);
+  EXPECT_NEAR(var, 9.0, 0.15);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(29);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(7), 7u);
+  }
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, RejectsBadParameters) {
+  Rng rng(37);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+  EXPECT_THROW(rng.poisson(-0.1), PreconditionError);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

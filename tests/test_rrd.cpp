@@ -1,0 +1,71 @@
+#include "tube/rrd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Rrd, AveragesWithinBucket) {
+  RrdStore rrd(10.0, 4);
+  rrd.add(1.0, 2.0);
+  rrd.add(5.0, 4.0);
+  rrd.add(9.0, 6.0);
+  const auto series = rrd.series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(series[0].average, 4.0);
+  EXPECT_EQ(series[0].samples, 3u);
+}
+
+TEST(Rrd, OldestBucketsOverwritten) {
+  RrdStore rrd(1.0, 3);
+  for (int t = 0; t < 10; ++t) {
+    rrd.add(static_cast<double>(t) + 0.5, static_cast<double>(t));
+  }
+  const auto series = rrd.series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].start_s, 7.0);
+  EXPECT_DOUBLE_EQ(series[0].average, 7.0);
+  EXPECT_DOUBLE_EQ(series[2].start_s, 9.0);
+  EXPECT_DOUBLE_EQ(series[2].average, 9.0);
+}
+
+TEST(Rrd, GapsAreSkippedInSeries) {
+  RrdStore rrd(1.0, 10);
+  rrd.add(0.5, 1.0);
+  rrd.add(5.5, 2.0);  // buckets 1..4 empty
+  const auto series = rrd.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(series[1].start_s, 5.0);
+}
+
+TEST(Rrd, AllowsSmallBackwardsJitter) {
+  RrdStore rrd(10.0, 4);
+  rrd.add(25.0, 1.0);
+  rrd.add(19.0, 3.0);  // previous bucket: tolerated
+  const auto series = rrd.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].average, 3.0);
+  EXPECT_DOUBLE_EQ(series[1].average, 1.0);
+}
+
+TEST(Rrd, RejectsFarPastSamplesAndBadConfig) {
+  RrdStore rrd(10.0, 4);
+  rrd.add(100.0, 1.0);
+  EXPECT_THROW(rrd.add(50.0, 1.0), PreconditionError);
+  EXPECT_THROW(RrdStore(0.0, 4), PreconditionError);
+  EXPECT_THROW(RrdStore(1.0, 0), PreconditionError);
+}
+
+TEST(Rrd, EmptySeries) {
+  const RrdStore rrd(1.0, 5);
+  EXPECT_TRUE(rrd.series().empty());
+  EXPECT_EQ(rrd.capacity(), 5u);
+  EXPECT_DOUBLE_EQ(rrd.step_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace tdp

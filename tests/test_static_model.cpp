@@ -1,0 +1,182 @@
+#include "core/static_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/paper_data.hpp"
+#include "math/numdiff.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(StaticModel, TipCostMatchesPaperHeadline) {
+  // sum_i 3 * max(X_i - 18, 0) over Table V = 426 money units = $4.26/user
+  // for ten users — exactly the paper's TIP figure.
+  const StaticModel model = paper::static_model_48();
+  EXPECT_NEAR(model.tip_cost(), 426.0, 1e-9);
+}
+
+TEST(StaticModel, ZeroRewardsMeanNoDeferral) {
+  const StaticModel model = paper::static_model_12();
+  const math::Vector zero(12, 0.0);
+  const math::Vector x = model.usage(zero);
+  const auto tip = model.demand().tip_demand_vector();
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(x[i], tip[i]);
+  }
+  EXPECT_DOUBLE_EQ(model.reward_cost(zero), 0.0);
+}
+
+class StaticModelConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticModelConservation, TrafficNeverDisappears) {
+  // "TDP does not cause application sessions to disappear": total usage is
+  // invariant under any admissible reward vector.
+  const StaticModel model = paper::static_model_12();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Conservation holds for any rewards; nonnegativity additionally needs
+  // rewards within the probabilistic validity bound P = 1.5.
+  math::Vector valid(12);
+  for (double& r : valid) {
+    r = rng.uniform(0.0, paper::kStaticNormalizationReward);
+  }
+  const math::Vector x = model.usage(valid);
+  double total = 0.0;
+  for (double v : x) {
+    EXPECT_GE(v, -1e-9);
+    total += v;
+  }
+  EXPECT_NEAR(total, model.demand().total_demand(), 1e-9);
+
+  math::Vector any(12);
+  for (double& r : any) r = rng.uniform(0.0, model.max_reward());
+  const math::Vector x2 = model.usage(any);
+  double total2 = 0.0;
+  for (double v : x2) total2 += v;
+  EXPECT_NEAR(total2, model.demand().total_demand(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticModelConservation,
+                         ::testing::Range(1, 17));
+
+class StaticModelGradient : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticModelGradient, AnalyticMatchesNumeric) {
+  const StaticModel model = paper::static_model_12();
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  math::Vector rewards(12);
+  for (double& r : rewards) r = rng.uniform(0.05, 1.4);
+  const double mu = 0.05;  // generous smoothing keeps FD well-conditioned
+
+  math::Vector analytic(12, 0.0);
+  model.smoothed_gradient(rewards, mu, analytic);
+  const math::Vector numeric = math::numeric_gradient(
+      [&model, mu](const math::Vector& p) {
+        return model.smoothed_cost(p, mu);
+      },
+      rewards, 1e-6);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-5) << "coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticModelGradient, ::testing::Range(1, 9));
+
+class StaticModelConvexity : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticModelConvexity, MidpointConvexAlongRandomSegments) {
+  // Prop. 3: with w concave increasing in p and f piecewise linear, the
+  // exact objective is convex.
+  const StaticModel model = paper::static_model_12();
+  Rng rng(static_cast<std::uint64_t>(200 + GetParam()));
+  math::Vector a(12);
+  math::Vector b(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    a[i] = rng.uniform(0.0, model.max_reward());
+    b[i] = rng.uniform(0.0, model.max_reward());
+  }
+  math::Vector mid(12);
+  for (std::size_t i = 0; i < 12; ++i) mid[i] = 0.5 * (a[i] + b[i]);
+  EXPECT_LE(model.total_cost(mid),
+            0.5 * (model.total_cost(a) + model.total_cost(b)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticModelConvexity,
+                         ::testing::Range(1, 25));
+
+TEST(StaticModel, ConvexWithConcaveWaitingFunctions) {
+  // Prop. 3 also covers strictly concave (gamma < 1) reward sensitivity.
+  DemandProfile profile(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    profile.add_class(
+        i, SessionClass{std::make_shared<PowerLawWaitingFunction>(
+                            1.0 + 0.3 * static_cast<double>(i), 6, 1.5, 0.6),
+                        10.0 + 2.0 * static_cast<double>(i)});
+  }
+  const StaticModel model(std::move(profile), 12.0,
+                          math::PiecewiseLinearCost::hinge(3.0));
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    math::Vector a(6);
+    math::Vector b(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      a[i] = rng.uniform(0.0, 1.5);
+      b[i] = rng.uniform(0.0, 1.5);
+    }
+    math::Vector mid(6);
+    for (std::size_t i = 0; i < 6; ++i) mid[i] = 0.5 * (a[i] + b[i]);
+    EXPECT_LE(model.total_cost(mid),
+              0.5 * (model.total_cost(a) + model.total_cost(b)) + 1e-9);
+  }
+}
+
+TEST(StaticModel, FlowBalanceDecomposition) {
+  // Eq. 2: x_i = X_i - deferred_out + deferred_in, term by term.
+  const StaticModel model = paper::static_model_12();
+  Rng rng(11);
+  math::Vector rewards(12);
+  for (double& r : rewards) r = rng.uniform(0.0, 1.0);
+  const math::Vector x = model.usage(rewards);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const double expected = model.demand().tip_demand(i) -
+                            model.deferred_out(i, rewards) +
+                            model.deferred_in(i, rewards[i]);
+    EXPECT_NEAR(x[i], expected, 1e-12);
+  }
+}
+
+TEST(StaticModel, SmoothedCostConvergesToExact) {
+  const StaticModel model = paper::static_model_12();
+  math::Vector rewards(12, 0.4);
+  const double exact = model.total_cost(rewards);
+  double previous_gap = 1e18;
+  for (double mu : {1.0, 0.1, 0.01, 1e-4}) {
+    const double gap = std::abs(exact - model.smoothed_cost(rewards, mu));
+    EXPECT_LE(gap, previous_gap + 1e-12);
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 1e-2);
+}
+
+TEST(StaticModel, MaxRewardIsCostMaxSlope) {
+  const StaticModel model = paper::static_model_48();
+  EXPECT_DOUBLE_EQ(model.max_reward(), 3.0);
+}
+
+TEST(StaticModel, PerPeriodCapacityVector) {
+  // Time-varying A_i (the usage-cap cushion of Section II).
+  DemandProfile profile(3);
+  auto w = std::make_shared<PowerLawWaitingFunction>(1.0, 3, 1.0);
+  profile.add_class(0, {w, 10.0});
+  profile.add_class(1, {w, 5.0});
+  profile.add_class(2, {w, 2.0});
+  const StaticModel model(std::move(profile), {4.0, 6.0, 8.0},
+                          math::PiecewiseLinearCost::hinge(2.0));
+  // TIP cost: 2*max(10-4,0) + 2*max(5-6,0) + 2*max(2-8,0) = 12.
+  EXPECT_NEAR(model.tip_cost(), 12.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tdp

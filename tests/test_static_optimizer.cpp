@@ -1,0 +1,134 @@
+#include "core/static_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/metrics.hpp"
+#include "core/paper_data.hpp"
+#include "math/golden_section.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(StaticOptimizer, ReproducesPaperHeadlineNumbers) {
+  // Section V-A: TIP $4.26/user/day, TDP $3.26 (24% savings); residue
+  // spread ratio 472.5/923.4 = 0.512; peak-to-valley 200 -> 119 MBps.
+  const StaticModel model = paper::static_model_48();
+  const PricingSolution sol = optimize_static_prices(model);
+  ASSERT_TRUE(sol.converged);
+
+  EXPECT_NEAR(per_user_daily_cost_dollars(sol.tip_cost, kPaperUserCount),
+              4.26, 1e-6);
+  EXPECT_NEAR(per_user_daily_cost_dollars(sol.total_cost, kPaperUserCount),
+              3.26, 0.10);
+  const double savings = (sol.tip_cost - sol.total_cost) / sol.tip_cost;
+  EXPECT_NEAR(savings, 0.24, 0.02);
+
+  const auto tip = model.demand().tip_demand_vector();
+  EXPECT_NEAR(residue_spread(sol.usage) / residue_spread(tip), 0.512, 0.02);
+  EXPECT_NEAR(peak_to_valley(tip), 20.0, 1e-9);    // 200 MBps
+  EXPECT_NEAR(peak_to_valley(sol.usage), 11.9, 0.5);  // ~119 MBps
+}
+
+TEST(StaticOptimizer, RewardsRespectRationalCap) {
+  // Appendix C / Section V-A: with linear-in-p waiting functions the ISP
+  // never offers more than half the maximum marginal capacity cost
+  // ($0.15 = 1.5 money units).
+  const StaticModel model = paper::static_model_48();
+  const PricingSolution sol = optimize_static_prices(model);
+  for (double p : sol.rewards) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.5 + 1e-6);
+  }
+}
+
+TEST(StaticOptimizer, NonzeroRewardsMostlyInUnderCapacityPeriods) {
+  // "Almost all of the periods with nonzero rewards are also under
+  // capacity with TIP."
+  const StaticModel model = paper::static_model_48();
+  const PricingSolution sol = optimize_static_prices(model);
+  const auto tip = model.demand().tip_demand_vector();
+  std::size_t nonzero = 0;
+  std::size_t nonzero_over_capacity = 0;
+  for (std::size_t i = 0; i < 48; ++i) {
+    if (sol.rewards[i] > 1e-3) {
+      ++nonzero;
+      if (tip[i] > paper::kStaticCapacityUnits) ++nonzero_over_capacity;
+    }
+  }
+  ASSERT_GT(nonzero, 5u);
+  EXPECT_LE(nonzero_over_capacity, nonzero / 4);
+}
+
+TEST(StaticOptimizer, GlobalOptimalityAgainstCoordinateSearch) {
+  // Prop. 3 guarantees a convex problem, so no single-coordinate change can
+  // improve the FISTA+continuation solution.
+  const StaticModel model = paper::static_model_12();
+  const PricingSolution sol = optimize_static_prices(model);
+  const double best = model.total_cost(sol.rewards);
+  for (std::size_t m = 0; m < 12; ++m) {
+    math::Vector trial = sol.rewards;
+    const auto line = [&](double v) {
+      trial[m] = v;
+      return model.total_cost(trial);
+    };
+    const auto r =
+        math::minimize_golden_section(line, 0.0, model.max_reward(), 1e-8);
+    EXPECT_GE(r.value, best - 5e-3) << "coordinate " << m;
+  }
+}
+
+TEST(StaticOptimizer, CostNeverAboveTip) {
+  // Offering no rewards is feasible, so the optimum cannot exceed TIP cost.
+  for (int variant = 18; variant <= 26; variant += 2) {
+    const StaticModel model = paper::static_model_12_with_period1(
+        paper::table11_period1_mix(variant));
+    const PricingSolution sol = optimize_static_prices(model);
+    EXPECT_LE(sol.total_cost, sol.tip_cost + 1e-9) << "variant " << variant;
+  }
+}
+
+TEST(StaticOptimizer, UsageConservedAtOptimum) {
+  const StaticModel model = paper::static_model_48();
+  const PricingSolution sol = optimize_static_prices(model);
+  double total = 0.0;
+  for (double v : sol.usage) total += v;
+  EXPECT_NEAR(total, model.demand().total_demand(), 1e-8);
+  EXPECT_NEAR(sol.total_cost, sol.reward_cost + sol.capacity_cost, 1e-9);
+}
+
+TEST(StaticOptimizer, HigherCapacityCostEvensOutMore) {
+  // Fig. 6's monotone trend: scaling the capacity-cost slope up leaves
+  // less residue spread.
+  const auto base_cost = math::PiecewiseLinearCost::hinge(3.0);
+  double previous_spread = 1e18;
+  for (double a : {0.2, 1.0, 5.0}) {
+    StaticModel model(
+        paper::make_profile(paper::table8_mix_12(),
+                            paper::kStaticNormalizationReward),
+        paper::kStaticCapacityUnits, base_cost.scaled(a));
+    const PricingSolution sol = optimize_static_prices(model);
+    const double spread = residue_spread(sol.usage);
+    EXPECT_LT(spread, previous_spread + 1e-6) << "a = " << a;
+    previous_spread = spread;
+  }
+}
+
+TEST(StaticOptimizer, RunsWellUnderTenSeconds) {
+  // "The optimization ran in under 10 seconds on a standard laptop."
+  const auto start = std::chrono::steady_clock::now();
+  const StaticModel model = paper::static_model_48();
+  const PricingSolution sol = optimize_static_prices(model);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_TRUE(sol.converged);
+  EXPECT_LT(elapsed, 10.0);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,122 @@
+#include "dynamic/stochastic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dynamic/paper_dynamic.hpp"
+
+namespace tdp {
+namespace {
+
+DynamicModel two_period_model(double capacity) {
+  DemandProfile arrivals(2);
+  auto w = std::make_shared<PowerLawWaitingFunction>(
+      1.0, 2, 1.0, 1.0, LagNormalization::kContinuous);
+  arrivals.add_class(0, {w, 10.0});
+  arrivals.add_class(1, {w, 4.0});
+  return DynamicModel(std::move(arrivals), capacity,
+                      math::PiecewiseLinearCost::hinge(1.0));
+}
+
+TEST(StochasticSim, DeterministicBySeed) {
+  const DynamicModel model = two_period_model(9.0);
+  StochasticSimOptions options;
+  options.days = 5;
+  const auto a = simulate_stochastic(model, {0.3, 0.1}, options);
+  const auto b = simulate_stochastic(model, {0.3, 0.1}, options);
+  EXPECT_EQ(a.sessions_simulated, b.sessions_simulated);
+  EXPECT_DOUBLE_EQ(a.mean_total_cost, b.mean_total_cost);
+  options.seed += 1;
+  const auto c = simulate_stochastic(model, {0.3, 0.1}, options);
+  EXPECT_NE(a.mean_total_cost, c.mean_total_cost);
+}
+
+TEST(StochasticSim, MeanArrivalsMatchFluidModel) {
+  const DynamicModel model = two_period_model(9.0);
+  const math::Vector rewards = {0.4, 0.2};
+  const auto fluid = model.evaluate(rewards);
+  StochasticSimOptions options;
+  options.days = 400;
+  options.mean_session_size = 0.1;
+  const auto sim = simulate_stochastic(model, rewards, options);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(sim.mean_arrivals[i], fluid.arrivals[i],
+                0.03 * fluid.arrivals[i] + 0.05)
+        << "period " << i;
+  }
+  EXPECT_NEAR(sim.mean_reward_cost, fluid.reward_cost,
+              0.05 * fluid.reward_cost + 0.05);
+  EXPECT_EQ(sim.probability_clamps, 0u);
+}
+
+TEST(StochasticSim, SmallerSessionsApproachFluidBacklog) {
+  // As the mean session size b -> 0 the arrival process concentrates and
+  // the realized backlog cost converges to the fluid prediction (Prop. 5's
+  // fluid reduction is the law-of-large-numbers limit). Near the capacity
+  // knife edge the large-b gap is huge (queueing variance the fluid model
+  // ignores), so the meaningful property is monotone convergence plus
+  // closeness for small sessions.
+  const DynamicModel model = two_period_model(8.0);  // period 0 congested
+  const math::Vector rewards = {0.0, 0.1};
+  const auto fluid = model.evaluate(rewards);
+  ASSERT_GT(fluid.backlog_cost, 0.5);
+
+  std::vector<double> gaps;
+  for (double b : {0.4, 0.1, 0.02}) {
+    StochasticSimOptions options;
+    options.mean_session_size = b;
+    options.days = 300;
+    const auto sim = simulate_stochastic(model, rewards, options);
+    gaps.push_back(std::abs(sim.mean_backlog_cost - fluid.backlog_cost) /
+                   fluid.backlog_cost);
+  }
+  EXPECT_LT(gaps[1], gaps[0]);
+  EXPECT_LT(gaps[2], gaps[1]);
+  EXPECT_LT(gaps[2], 0.35);
+}
+
+TEST(StochasticSim, DeferralFollowsRewards) {
+  const DynamicModel model = two_period_model(9.0);
+  StochasticSimOptions options;
+  options.days = 100;
+  const auto none = simulate_stochastic(model, {0.0, 0.0}, options);
+  EXPECT_EQ(none.sessions_deferred, 0u);
+  const auto some = simulate_stochastic(model, {0.5, 0.5}, options);
+  EXPECT_GT(some.sessions_deferred, 0u);
+  const auto more = simulate_stochastic(model, {0.9, 0.9}, options);
+  EXPECT_GT(more.sessions_deferred, some.sessions_deferred);
+}
+
+TEST(StochasticSim, PaperModelEndToEnd) {
+  // Smoke-scale run of the full 48-period paper model.
+  const DynamicModel model = paper::dynamic_model_48();
+  StochasticSimOptions options;
+  options.days = 10;
+  const auto sim = simulate_stochastic(model, math::Vector(48, 0.2), options);
+  EXPECT_GT(sim.sessions_simulated, 10000u);
+  EXPECT_GT(sim.sessions_deferred, 100u);
+  EXPECT_GT(sim.mean_total_cost, 0.0);
+  EXPECT_EQ(sim.probability_clamps, 0u);
+}
+
+TEST(StochasticSim, RejectsBadOptions) {
+  const DynamicModel model = two_period_model(9.0);
+  StochasticSimOptions options;
+  options.mean_session_size = 0.0;
+  EXPECT_THROW(simulate_stochastic(model, {0.0, 0.0}, options),
+               PreconditionError);
+  options.mean_session_size = 0.5;
+  options.days = 0;
+  EXPECT_THROW(simulate_stochastic(model, {0.0, 0.0}, options),
+               PreconditionError);
+  options.days = 1;
+  EXPECT_THROW(simulate_stochastic(model, {0.0}, options),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

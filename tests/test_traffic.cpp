@@ -1,0 +1,139 @@
+#include "netsim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tdp::netsim {
+namespace {
+
+RateProfile flat_profile() {
+  return {[](double) { return 1.0; }, 1.0};
+}
+
+TEST(SessionSource, PoissonCountNearExpectation) {
+  Simulator sim;
+  std::size_t count = 0;
+  TrafficClassConfig cfg;
+  cfg.name = "web";
+  cfg.kind = FlowKind::kElastic;
+  cfg.arrivals_per_hour = 600.0;
+  cfg.mean_size_mb = 2.0;
+  SessionSource source(sim, 1, 0, 0, cfg, flat_profile(),
+                       [&](const FlowSpec&) { ++count; });
+  source.start(10.0 * 3600.0);  // 10 hours => expect ~6000
+  sim.run_until(10.0 * 3600.0);
+  EXPECT_NEAR(static_cast<double>(count), 6000.0, 300.0);
+  EXPECT_EQ(source.sessions_generated(), count);
+}
+
+TEST(SessionSource, ThinningFollowsProfile) {
+  // Rate 2x in the first half, 0 in the second: all arrivals early.
+  Simulator sim;
+  std::size_t early = 0;
+  std::size_t late = 0;
+  TrafficClassConfig cfg;
+  cfg.arrivals_per_hour = 720.0;
+  cfg.mean_size_mb = 1.0;
+  RateProfile profile;
+  profile.peak = 2.0;
+  profile.multiplier = [](double t) { return t < 1800.0 ? 2.0 : 0.0; };
+  SessionSource source(sim, 2, 0, 0, cfg, profile, [&](const FlowSpec&) {
+    (sim.now() < 1800.0 ? early : late)++;
+  });
+  source.start(3600.0);
+  sim.run_until(3600.0);
+  EXPECT_GT(early, 500u);
+  EXPECT_EQ(late, 0u);
+}
+
+TEST(SessionSource, DrawsMatchClassShape) {
+  Simulator sim;
+  TrafficClassConfig video;
+  video.kind = FlowKind::kStreaming;
+  video.arrivals_per_hour = 10.0;
+  video.rate_mbps = 2.5;
+  video.mean_duration_s = 300.0;
+  SessionSource source(sim, 3, 1, 2, video, flat_profile(),
+                       [](const FlowSpec&) {});
+  double total_duration = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const FlowSpec spec = source.draw_spec();
+    EXPECT_EQ(spec.kind, FlowKind::kStreaming);
+    EXPECT_EQ(spec.user, 1u);
+    EXPECT_EQ(spec.traffic_class, 2u);
+    EXPECT_DOUBLE_EQ(spec.rate_mbps, 2.5);
+    total_duration += spec.duration_s;
+  }
+  EXPECT_NEAR(total_duration / 2000.0, 300.0, 20.0);
+}
+
+TEST(SessionSource, ZeroRateGeneratesNothing) {
+  Simulator sim;
+  std::size_t count = 0;
+  TrafficClassConfig cfg;
+  cfg.arrivals_per_hour = 0.0;
+  cfg.mean_size_mb = 1.0;
+  SessionSource source(sim, 4, 0, 0, cfg, flat_profile(),
+                       [&](const FlowSpec&) { ++count; });
+  source.start(3600.0);
+  sim.run_until(3600.0);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(BackgroundTraffic, AlternatesAndStaysInRange) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  BackgroundTraffic::Config cfg;
+  cfg.mean_on_s = 10.0;
+  cfg.mean_off_s = 10.0;
+  cfg.min_rate_mbps = 1.0;
+  cfg.max_rate_mbps = 3.0;
+  BackgroundTraffic background(sim, link, cfg, 9);
+  background.start(3600.0);
+
+  std::size_t on_samples = 0;
+  std::size_t samples = 0;
+  for (double t = 1.0; t < 3600.0; t += 5.0) {
+    sim.run_until(t);
+    const double rate = link.background_rate();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 3.0);
+    if (rate > 0.0) {
+      EXPECT_GE(rate, 1.0);
+      ++on_samples;
+    }
+    ++samples;
+  }
+  // Roughly half the time on (mean on == mean off).
+  const double on_fraction =
+      static_cast<double>(on_samples) / static_cast<double>(samples);
+  EXPECT_GT(on_fraction, 0.3);
+  EXPECT_LT(on_fraction, 0.7);
+}
+
+TEST(BackgroundTraffic, StopsAtHorizon) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  BackgroundTraffic background(sim, link, {}, 11);
+  background.start(100.0);
+  sim.run_until(200.0);
+  EXPECT_DOUBLE_EQ(link.background_rate(), 0.0);
+  EXPECT_FALSE(sim.pending());
+}
+
+TEST(Traffic, RejectsBadConfig) {
+  Simulator sim;
+  BottleneckLink link(sim, 10.0);
+  TrafficClassConfig cfg;
+  cfg.arrivals_per_hour = -1.0;
+  EXPECT_THROW(SessionSource(sim, 1, 0, 0, cfg, flat_profile(),
+                             [](const FlowSpec&) {}),
+               tdp::PreconditionError);
+  BackgroundTraffic::Config bad;
+  bad.mean_on_s = 0.0;
+  EXPECT_THROW(BackgroundTraffic(sim, link, bad, 1), tdp::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp::netsim

@@ -1,0 +1,164 @@
+#include "tube/tube_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tdp {
+namespace {
+
+/// Shrunk testbed (fewer arrivals) so the integration test stays fast.
+TubeConfig small_config() {
+  TubeConfig cfg = default_testbed_config();
+  cfg.classes[0].arrivals_per_hour = 120.0;
+  cfg.classes[1].arrivals_per_hour = 30.0;
+  cfg.classes[2].arrivals_per_hour = 4.0;
+  return cfg;
+}
+
+TEST(TubeSystem, TipPhaseHasNoDeferrals) {
+  // Elastic-only traffic so per-period MB tracks the arrival profile
+  // tightly in a single cycle (video streams are long and bursty).
+  TubeConfig cfg = small_config();
+  cfg.classes[2].arrivals_per_hour = 0.0;
+  TubeSystem tube(cfg);
+  const auto report = tube.run_tip(1);
+  EXPECT_EQ(report.deferrals, 0u);
+  EXPECT_GT(report.sessions, 100u);
+  for (double p : report.rewards) EXPECT_DOUBLE_EQ(p, 0.0);
+  // Fig. 11's shape: early-hour traffic above late-hour traffic.
+  const auto& totals = report.total_period_mb;
+  const double early = totals[0] + totals[1] + totals[2];
+  const double late = totals[9] + totals[10] + totals[11];
+  EXPECT_GT(early, late);
+}
+
+TEST(TubeSystem, TrialPhaseInducesDeferrals) {
+  TubeSystem tube(small_config());
+  tube.run_tip(1);
+  const math::Vector rewards(12, 0.006);
+  const auto report = tube.run_trial(rewards, 1);
+  EXPECT_GT(report.deferrals, 10u);
+  EXPECT_EQ(tube.profiler().window_count(), 1u);
+}
+
+TEST(TubeSystem, PairedPhasesSeeIdenticalArrivals) {
+  // Same seeds => the TIP phase and a zero-reward "trial" see exactly the
+  // same session processes.
+  TubeSystem tube(small_config());
+  const auto tip = tube.run_tip(1);
+  const auto zero_trial = tube.run_trial(math::Vector(12, 0.0), 1);
+  EXPECT_EQ(tip.sessions, zero_trial.sessions);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(tip.total_period_mb[i], zero_trial.total_period_mb[i], 1e-6);
+  }
+}
+
+TEST(TubeSystem, FullLoopReproducesFig12Pattern) {
+  // TIP baseline -> TDP trials -> profiling -> optimized online prices.
+  TubeSystem tube(default_testbed_config());
+  tube.run_tip(2);
+  Rng rng(77);
+  for (int t = 0; t < 3; ++t) {
+    math::Vector rewards(12);
+    for (double& p : rewards) p = rng.uniform(0.0, 0.01);
+    tube.run_trial(rewards, 2);
+  }
+  const auto opt = tube.run_optimized(2);
+
+  // Fig. 12: user 1 (impatient) moves almost nothing; user 2 moves
+  // video >> ftp > web.
+  const double u1_moved = opt.class_deferred_mb[0][0] +
+                          opt.class_deferred_mb[0][1] +
+                          opt.class_deferred_mb[0][2];
+  const double u2_web = opt.class_deferred_mb[1][0];
+  const double u2_ftp = opt.class_deferred_mb[1][1];
+  const double u2_video = opt.class_deferred_mb[1][2];
+  EXPECT_GT(u2_video, u2_ftp);
+  EXPECT_GT(u2_ftp, u2_web);
+  EXPECT_LT(u1_moved, 0.2 * u2_video);
+
+  // The flexible user earns rewards; bills reflect the discount.
+  EXPECT_GT(opt.user_reward_dollars[1], opt.user_reward_dollars[0]);
+  EXPECT_GT(opt.sessions, 0u);
+  EXPECT_GT(opt.deferrals, 0u);
+}
+
+TEST(TubeSystem, BillingIsConsistentWithServedTraffic) {
+  // Under TIP every served MB is billed at the base price, so each user's
+  // bill must equal (served MB) x price — the measurement and billing
+  // paths must agree.
+  TubeConfig cfg = small_config();
+  TubeSystem tube(cfg);
+  const auto report = tube.run_tip(1);
+  for (std::size_t u = 0; u < 2; ++u) {
+    double served = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) served += report.class_total_mb[u][c];
+    EXPECT_NEAR(report.user_bill_dollars[u],
+                served * cfg.base_price_per_mb, 1e-6)
+        << "user " << u;
+    EXPECT_DOUBLE_EQ(report.user_reward_dollars[u], 0.0);
+  }
+}
+
+TEST(TubeSystem, EffectivePerMbRateNeverExceedsBasePrice) {
+  // Rewards can only discount the per-MB rate. (Total bills CAN rise under
+  // TDP: spreading traffic into idle periods lets more of it complete
+  // within the measurement window — more delivered service, cheaper rate.)
+  TubeConfig cfg = small_config();
+  TubeSystem tube(cfg);
+  const auto tip = tube.run_tip(1);
+  const auto trial = tube.run_trial(math::Vector(12, 0.008), 1);
+  for (std::size_t u = 0; u < 2; ++u) {
+    double tip_served = 0.0;
+    double trial_served = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      tip_served += tip.class_total_mb[u][c];
+      trial_served += trial.class_total_mb[u][c];
+    }
+    const double tip_rate = tip.user_bill_dollars[u] / tip_served;
+    const double trial_rate = trial.user_bill_dollars[u] / trial_served;
+    EXPECT_NEAR(tip_rate, cfg.base_price_per_mb, 1e-9);
+    EXPECT_LE(trial_rate, tip_rate + 1e-9);
+  }
+  // The patient user (group 2) earns the bigger discount.
+  const double rate1 = trial.user_bill_dollars[0] /
+                       (trial.class_total_mb[0][0] +
+                        trial.class_total_mb[0][1] +
+                        trial.class_total_mb[0][2]);
+  const double rate2 = trial.user_bill_dollars[1] /
+                       (trial.class_total_mb[1][0] +
+                        trial.class_total_mb[1][1] +
+                        trial.class_total_mb[1][2]);
+  EXPECT_LT(rate2, rate1);
+}
+
+TEST(TubeSystem, PriceHistoryIsRecorded) {
+  TubeSystem tube(small_config());
+  tube.run_tip(1);
+  const auto series = tube.price_history().series();
+  EXPECT_EQ(series.size(), 12u);  // one bucket per period
+  for (const auto& bucket : series) {
+    EXPECT_DOUBLE_EQ(bucket.average, 0.0);  // TIP: zero rewards
+  }
+}
+
+TEST(TubeSystem, OptimizedRequiresProfilingData) {
+  TubeSystem tube(small_config());
+  EXPECT_THROW(tube.run_optimized(1), Error);  // no baseline yet
+  tube.run_tip(1);
+  EXPECT_THROW(tube.run_optimized(1), Error);  // no TDP windows yet
+}
+
+TEST(TubeSystem, ConfigValidation) {
+  TubeConfig cfg = default_testbed_config();
+  cfg.user_intensity = {1.0};  // wrong size for 2 users
+  EXPECT_THROW(TubeSystem{cfg}, PreconditionError);
+  TubeConfig cfg2 = default_testbed_config();
+  cfg2.patience = {{1.0, 1.0, 1.0}};
+  EXPECT_THROW(TubeSystem{cfg2}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

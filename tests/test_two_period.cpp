@@ -1,0 +1,60 @@
+#include "core/two_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/paper_data.hpp"
+#include "core/static_optimizer.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(TwoPeriod, ScheduleHasExactlyTwoLevels) {
+  const StaticModel model = paper::static_model_12();
+  const TwoPeriodSolution sol = optimize_two_period_prices(model);
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (sol.off_peak[i]) {
+      EXPECT_DOUBLE_EQ(sol.rewards[i], sol.off_peak_reward);
+    } else {
+      EXPECT_DOUBLE_EQ(sol.rewards[i], 0.0);
+    }
+  }
+  EXPECT_GT(sol.off_peak_reward, 0.0);
+}
+
+TEST(TwoPeriod, ClassificationFollowsThreshold) {
+  const StaticModel model = paper::static_model_12();
+  const TwoPeriodSolution sol = optimize_two_period_prices(model);
+  const auto tip = model.demand().tip_demand_vector();
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(sol.off_peak[i], tip[i] < sol.demand_threshold) << i;
+  }
+}
+
+TEST(TwoPeriod, BeatsFlatPricingButLosesToFullTdp) {
+  // The intro's claim: "the multiple peaks and valleys ... make 2 period
+  // TDP inadequate."
+  const StaticModel model = paper::static_model_48();
+  const TwoPeriodSolution two = optimize_two_period_prices(model);
+  const PricingSolution full = optimize_static_prices(model);
+  EXPECT_LT(two.total_cost, two.tip_cost);           // better than nothing
+  EXPECT_LT(full.total_cost, two.total_cost - 1.0);  // clearly worse than n-period
+}
+
+TEST(TwoPeriod, ConservesTraffic) {
+  const StaticModel model = paper::static_model_12();
+  const TwoPeriodSolution sol = optimize_two_period_prices(model);
+  double total = 0.0;
+  for (double v : sol.usage) total += v;
+  EXPECT_NEAR(total, model.demand().total_demand(), 1e-9);
+}
+
+TEST(TwoPeriod, RejectsBadOptions) {
+  const StaticModel model = paper::static_model_12();
+  TwoPeriodOptions bad;
+  bad.reward_levels = 1;
+  EXPECT_THROW(optimize_two_period_prices(model, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp

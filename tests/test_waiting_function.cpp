@@ -1,0 +1,128 @@
+#include "core/waiting_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "math/quadrature.hpp"
+
+namespace tdp {
+namespace {
+
+class PowerLawNormalization
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(PowerLawNormalization, DiscreteSumsToOneAtMaxReward) {
+  const auto [beta, periods] = GetParam();
+  const double max_reward = 1.5;
+  const PowerLawWaitingFunction w(beta, periods, max_reward);
+  double sum = 0.0;
+  for (std::size_t t = 1; t < periods; ++t) {
+    const double v = w.value(max_reward, static_cast<double>(t));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);  // each term bounded by the sum
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST_P(PowerLawNormalization, ContinuousIntegratesToOneAtMaxReward) {
+  const auto [beta, periods] = GetParam();
+  const double max_reward = 1.5;
+  const PowerLawWaitingFunction w(beta, periods, max_reward, 1.0,
+                                  LagNormalization::kContinuous);
+  const double integral = math::integrate_adaptive_simpson(
+      [&w, max_reward](double t) { return w.value(max_reward, t); }, 0.0,
+      static_cast<double>(periods - 1), 1e-11);
+  EXPECT_NEAR(integral, 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaPeriods, PowerLawNormalization,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 3.5, 5.0),
+                       ::testing::Values(std::size_t{3}, std::size_t{12},
+                                         std::size_t{48})));
+
+TEST(PowerLaw, LinearInReward) {
+  const PowerLawWaitingFunction w(2.0, 12, 1.5);
+  EXPECT_TRUE(w.is_linear_in_reward());
+  for (double t : {1.0, 3.0, 7.0}) {
+    EXPECT_NEAR(w.value(1.0, t) * 0.6, w.value(0.6, t), 1e-14);
+    EXPECT_NEAR(w.reward_derivative(0.3, t), w.value(1.0, t), 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(w.value(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(-1.0, 1.0), 0.0);
+}
+
+TEST(PowerLaw, DecreasingInTime) {
+  // "Users prefer to defer for shorter times."
+  const PowerLawWaitingFunction w(1.5, 48, 1.5);
+  double previous = 1e9;
+  for (double t = 0.0; t <= 47.0; t += 0.5) {
+    const double v = w.value(1.0, t);
+    EXPECT_LT(v, previous);
+    previous = v;
+  }
+}
+
+TEST(PowerLaw, LargerBetaIsLessPatientAtLongLags) {
+  // Patient vs impatient comparison (Fig. 3): the impatient curve decays
+  // faster, so it is below the patient curve at long lags and above at
+  // short lags (both are normalized to the same total mass).
+  const std::size_t n = 12;
+  const PowerLawWaitingFunction patient(0.5, n, 1.0);
+  const PowerLawWaitingFunction impatient(5.0, n, 1.0);
+  const double p = 0.49;  // the paper's $0.049 in money units
+  EXPECT_GT(impatient.value(p, 1.0), patient.value(p, 1.0));
+  EXPECT_LT(impatient.value(p, 10.0), patient.value(p, 10.0));
+}
+
+TEST(PowerLaw, ConcaveGammaVariant) {
+  const PowerLawWaitingFunction w(2.0, 12, 1.5, 0.5);
+  EXPECT_FALSE(w.is_linear_in_reward());
+  // Midpoint concavity in p.
+  for (double t : {1.0, 4.0}) {
+    const double a = w.value(0.2, t);
+    const double b = w.value(1.0, t);
+    const double mid = w.value(0.6, t);
+    EXPECT_GE(mid, 0.5 * (a + b) - 1e-12);
+  }
+  // Derivative consistency.
+  const double h = 1e-7;
+  const double fd = (w.value(0.5 + h, 2.0) - w.value(0.5 - h, 2.0)) / (2 * h);
+  EXPECT_NEAR(w.reward_derivative(0.5, 2.0), fd, 1e-6);
+}
+
+TEST(PowerLaw, LagSumAndIntegralHelpers) {
+  EXPECT_NEAR(PowerLawWaitingFunction::lag_sum(1.0, 4),
+              1.0 / 2 + 1.0 / 3 + 1.0 / 4, 1e-14);
+  // integral_0^{n-1} (u+1)^-1 du = ln(n).
+  EXPECT_NEAR(PowerLawWaitingFunction::lag_integral(1.0, 4), std::log(4.0),
+              1e-12);
+  // beta = 0: sum of ones / plain length.
+  EXPECT_NEAR(PowerLawWaitingFunction::lag_sum(0.0, 5), 4.0, 1e-14);
+  EXPECT_NEAR(PowerLawWaitingFunction::lag_integral(0.0, 5), 4.0, 1e-12);
+}
+
+TEST(PowerLaw, RejectsBadParameters) {
+  EXPECT_THROW(PowerLawWaitingFunction(-1.0, 12, 1.0), PreconditionError);
+  EXPECT_THROW(PowerLawWaitingFunction(1.0, 12, 0.0), PreconditionError);
+  EXPECT_THROW(PowerLawWaitingFunction(1.0, 12, 1.0, 1.5), PreconditionError);
+  EXPECT_THROW(PowerLawWaitingFunction(1.0, 1, 1.0), PreconditionError);
+  const PowerLawWaitingFunction w(1.0, 12, 1.0);
+  EXPECT_THROW(w.value(0.5, -1.0), PreconditionError);
+}
+
+TEST(CallableWaitingFunction, WrapsFunctionAndNumericDerivative) {
+  const CallableWaitingFunction w(
+      [](double p, double t) { return p * p / (1.0 + t); }, nullptr, "test");
+  EXPECT_DOUBLE_EQ(w.value(2.0, 1.0), 2.0);
+  EXPECT_NEAR(w.reward_derivative(2.0, 1.0), 2.0, 1e-5);
+  EXPECT_EQ(w.label(), "test");
+  EXPECT_FALSE(w.is_linear_in_reward());
+  EXPECT_THROW(CallableWaitingFunction(nullptr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tdp
