@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_tube_tip"
+  "../bench/bench_fig11_tube_tip.pdb"
+  "CMakeFiles/bench_fig11_tube_tip.dir/fig11_tube_tip.cpp.o"
+  "CMakeFiles/bench_fig11_tube_tip.dir/fig11_tube_tip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tube_tip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_tube_tdp"
+  "../bench/bench_fig12_tube_tdp.pdb"
+  "CMakeFiles/bench_fig12_tube_tdp.dir/fig12_tube_tdp.cpp.o"
+  "CMakeFiles/bench_fig12_tube_tdp.dir/fig12_tube_tdp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tube_tdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

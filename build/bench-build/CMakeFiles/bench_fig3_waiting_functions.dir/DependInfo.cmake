@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_waiting_functions.cpp" "bench-build/CMakeFiles/bench_fig3_waiting_functions.dir/fig3_waiting_functions.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig3_waiting_functions.dir/fig3_waiting_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tube/CMakeFiles/tdp_tube.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tdp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/tdp_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/tdp_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tdp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

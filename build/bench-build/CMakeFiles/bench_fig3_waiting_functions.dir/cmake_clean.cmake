@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_waiting_functions"
+  "../bench/bench_fig3_waiting_functions.pdb"
+  "CMakeFiles/bench_fig3_waiting_functions.dir/fig3_waiting_functions.cpp.o"
+  "CMakeFiles/bench_fig3_waiting_functions.dir/fig3_waiting_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_waiting_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

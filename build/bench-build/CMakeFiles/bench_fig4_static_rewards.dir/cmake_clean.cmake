@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_static_rewards"
+  "../bench/bench_fig4_static_rewards.pdb"
+  "CMakeFiles/bench_fig4_static_rewards.dir/fig4_static_rewards.cpp.o"
+  "CMakeFiles/bench_fig4_static_rewards.dir/fig4_static_rewards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_static_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_dynamic_rewards"
+  "../bench/bench_fig7_dynamic_rewards.pdb"
+  "CMakeFiles/bench_fig7_dynamic_rewards.dir/fig7_dynamic_rewards.cpp.o"
+  "CMakeFiles/bench_fig7_dynamic_rewards.dir/fig7_dynamic_rewards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dynamic_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

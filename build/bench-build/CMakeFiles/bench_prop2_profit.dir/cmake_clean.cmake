@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prop2_profit"
+  "../bench/bench_prop2_profit.pdb"
+  "CMakeFiles/bench_prop2_profit.dir/prop2_profit.cpp.o"
+  "CMakeFiles/bench_prop2_profit.dir/prop2_profit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop2_profit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prop5_equivalence"
+  "../bench/bench_prop5_equivalence.pdb"
+  "CMakeFiles/bench_prop5_equivalence.dir/prop5_equivalence.cpp.o"
+  "CMakeFiles/bench_prop5_equivalence.dir/prop5_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop5_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

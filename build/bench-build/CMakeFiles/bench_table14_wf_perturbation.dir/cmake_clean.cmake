@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table14_wf_perturbation"
+  "../bench/bench_table14_wf_perturbation.pdb"
+  "CMakeFiles/bench_table14_wf_perturbation.dir/table14_wf_perturbation.cpp.o"
+  "CMakeFiles/bench_table14_wf_perturbation.dir/table14_wf_perturbation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_wf_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

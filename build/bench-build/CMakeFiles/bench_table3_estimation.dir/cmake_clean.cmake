@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_estimation"
+  "../bench/bench_table3_estimation.pdb"
+  "CMakeFiles/bench_table3_estimation.dir/table3_estimation.cpp.o"
+  "CMakeFiles/bench_table3_estimation.dir/table3_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

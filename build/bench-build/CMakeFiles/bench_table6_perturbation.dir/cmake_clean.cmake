@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_perturbation"
+  "../bench/bench_table6_perturbation.pdb"
+  "CMakeFiles/bench_table6_perturbation.dir/table6_perturbation.cpp.o"
+  "CMakeFiles/bench_table6_perturbation.dir/table6_perturbation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

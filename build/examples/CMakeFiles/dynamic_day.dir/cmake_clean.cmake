@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_day.dir/dynamic_day.cpp.o"
+  "CMakeFiles/dynamic_day.dir/dynamic_day.cpp.o.d"
+  "dynamic_day"
+  "dynamic_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_trial.dir/field_trial.cpp.o"
+  "CMakeFiles/field_trial.dir/field_trial.cpp.o.d"
+  "field_trial"
+  "field_trial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

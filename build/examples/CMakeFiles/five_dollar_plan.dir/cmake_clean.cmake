@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/five_dollar_plan.dir/five_dollar_plan.cpp.o"
+  "CMakeFiles/five_dollar_plan.dir/five_dollar_plan.cpp.o.d"
+  "five_dollar_plan"
+  "five_dollar_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/five_dollar_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

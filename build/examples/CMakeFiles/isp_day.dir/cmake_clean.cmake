@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_day.dir/isp_day.cpp.o"
+  "CMakeFiles/isp_day.dir/isp_day.cpp.o.d"
+  "isp_day"
+  "isp_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_trial.dir/market_trial.cpp.o"
+  "CMakeFiles/market_trial.dir/market_trial.cpp.o.d"
+  "market_trial"
+  "market_trial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

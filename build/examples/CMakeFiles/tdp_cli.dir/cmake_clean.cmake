@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_cli.dir/tdp_cli.cpp.o"
+  "CMakeFiles/tdp_cli.dir/tdp_cli.cpp.o.d"
+  "tdp_cli"
+  "tdp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tube_emulation.dir/tube_emulation.cpp.o"
+  "CMakeFiles/tube_emulation.dir/tube_emulation.cpp.o.d"
+  "tube_emulation"
+  "tube_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tube_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_common.dir/csv.cpp.o"
+  "CMakeFiles/tdp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/tdp_common.dir/logging.cpp.o"
+  "CMakeFiles/tdp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tdp_common.dir/rng.cpp.o"
+  "CMakeFiles/tdp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tdp_common.dir/table.cpp.o"
+  "CMakeFiles/tdp_common.dir/table.cpp.o.d"
+  "libtdp_common.a"
+  "libtdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

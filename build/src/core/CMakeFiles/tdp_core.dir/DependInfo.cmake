@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deferral_kernel.cpp" "src/core/CMakeFiles/tdp_core.dir/deferral_kernel.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/deferral_kernel.cpp.o.d"
+  "/root/repo/src/core/definite_choice.cpp" "src/core/CMakeFiles/tdp_core.dir/definite_choice.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/definite_choice.cpp.o.d"
+  "/root/repo/src/core/demand_profile.cpp" "src/core/CMakeFiles/tdp_core.dir/demand_profile.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/demand_profile.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/tdp_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/paper_data.cpp" "src/core/CMakeFiles/tdp_core.dir/paper_data.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/paper_data.cpp.o.d"
+  "/root/repo/src/core/profit.cpp" "src/core/CMakeFiles/tdp_core.dir/profit.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/profit.cpp.o.d"
+  "/root/repo/src/core/static_model.cpp" "src/core/CMakeFiles/tdp_core.dir/static_model.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/static_model.cpp.o.d"
+  "/root/repo/src/core/static_optimizer.cpp" "src/core/CMakeFiles/tdp_core.dir/static_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/static_optimizer.cpp.o.d"
+  "/root/repo/src/core/two_period.cpp" "src/core/CMakeFiles/tdp_core.dir/two_period.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/two_period.cpp.o.d"
+  "/root/repo/src/core/waiting_function.cpp" "src/core/CMakeFiles/tdp_core.dir/waiting_function.cpp.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/waiting_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/tdp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_core.dir/deferral_kernel.cpp.o"
+  "CMakeFiles/tdp_core.dir/deferral_kernel.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/definite_choice.cpp.o"
+  "CMakeFiles/tdp_core.dir/definite_choice.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/demand_profile.cpp.o"
+  "CMakeFiles/tdp_core.dir/demand_profile.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/metrics.cpp.o"
+  "CMakeFiles/tdp_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/paper_data.cpp.o"
+  "CMakeFiles/tdp_core.dir/paper_data.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/profit.cpp.o"
+  "CMakeFiles/tdp_core.dir/profit.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/static_model.cpp.o"
+  "CMakeFiles/tdp_core.dir/static_model.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/static_optimizer.cpp.o"
+  "CMakeFiles/tdp_core.dir/static_optimizer.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/two_period.cpp.o"
+  "CMakeFiles/tdp_core.dir/two_period.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/waiting_function.cpp.o"
+  "CMakeFiles/tdp_core.dir/waiting_function.cpp.o.d"
+  "libtdp_core.a"
+  "libtdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/dynamic_model.cpp" "src/dynamic/CMakeFiles/tdp_dynamic.dir/dynamic_model.cpp.o" "gcc" "src/dynamic/CMakeFiles/tdp_dynamic.dir/dynamic_model.cpp.o.d"
+  "/root/repo/src/dynamic/dynamic_optimizer.cpp" "src/dynamic/CMakeFiles/tdp_dynamic.dir/dynamic_optimizer.cpp.o" "gcc" "src/dynamic/CMakeFiles/tdp_dynamic.dir/dynamic_optimizer.cpp.o.d"
+  "/root/repo/src/dynamic/fixed_duration.cpp" "src/dynamic/CMakeFiles/tdp_dynamic.dir/fixed_duration.cpp.o" "gcc" "src/dynamic/CMakeFiles/tdp_dynamic.dir/fixed_duration.cpp.o.d"
+  "/root/repo/src/dynamic/online_pricer.cpp" "src/dynamic/CMakeFiles/tdp_dynamic.dir/online_pricer.cpp.o" "gcc" "src/dynamic/CMakeFiles/tdp_dynamic.dir/online_pricer.cpp.o.d"
+  "/root/repo/src/dynamic/paper_dynamic.cpp" "src/dynamic/CMakeFiles/tdp_dynamic.dir/paper_dynamic.cpp.o" "gcc" "src/dynamic/CMakeFiles/tdp_dynamic.dir/paper_dynamic.cpp.o.d"
+  "/root/repo/src/dynamic/stochastic_sim.cpp" "src/dynamic/CMakeFiles/tdp_dynamic.dir/stochastic_sim.cpp.o" "gcc" "src/dynamic/CMakeFiles/tdp_dynamic.dir/stochastic_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tdp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_dynamic.dir/dynamic_model.cpp.o"
+  "CMakeFiles/tdp_dynamic.dir/dynamic_model.cpp.o.d"
+  "CMakeFiles/tdp_dynamic.dir/dynamic_optimizer.cpp.o"
+  "CMakeFiles/tdp_dynamic.dir/dynamic_optimizer.cpp.o.d"
+  "CMakeFiles/tdp_dynamic.dir/fixed_duration.cpp.o"
+  "CMakeFiles/tdp_dynamic.dir/fixed_duration.cpp.o.d"
+  "CMakeFiles/tdp_dynamic.dir/online_pricer.cpp.o"
+  "CMakeFiles/tdp_dynamic.dir/online_pricer.cpp.o.d"
+  "CMakeFiles/tdp_dynamic.dir/paper_dynamic.cpp.o"
+  "CMakeFiles/tdp_dynamic.dir/paper_dynamic.cpp.o.d"
+  "CMakeFiles/tdp_dynamic.dir/stochastic_sim.cpp.o"
+  "CMakeFiles/tdp_dynamic.dir/stochastic_sim.cpp.o.d"
+  "libtdp_dynamic.a"
+  "libtdp_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

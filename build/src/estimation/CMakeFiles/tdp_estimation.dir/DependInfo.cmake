@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/patience_mix.cpp" "src/estimation/CMakeFiles/tdp_estimation.dir/patience_mix.cpp.o" "gcc" "src/estimation/CMakeFiles/tdp_estimation.dir/patience_mix.cpp.o.d"
+  "/root/repo/src/estimation/tip_estimator.cpp" "src/estimation/CMakeFiles/tdp_estimation.dir/tip_estimator.cpp.o" "gcc" "src/estimation/CMakeFiles/tdp_estimation.dir/tip_estimator.cpp.o.d"
+  "/root/repo/src/estimation/wf_estimator.cpp" "src/estimation/CMakeFiles/tdp_estimation.dir/wf_estimator.cpp.o" "gcc" "src/estimation/CMakeFiles/tdp_estimation.dir/wf_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tdp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_estimation.dir/patience_mix.cpp.o"
+  "CMakeFiles/tdp_estimation.dir/patience_mix.cpp.o.d"
+  "CMakeFiles/tdp_estimation.dir/tip_estimator.cpp.o"
+  "CMakeFiles/tdp_estimation.dir/tip_estimator.cpp.o.d"
+  "CMakeFiles/tdp_estimation.dir/wf_estimator.cpp.o"
+  "CMakeFiles/tdp_estimation.dir/wf_estimator.cpp.o.d"
+  "libtdp_estimation.a"
+  "libtdp_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

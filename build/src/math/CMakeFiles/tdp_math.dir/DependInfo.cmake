@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fista.cpp" "src/math/CMakeFiles/tdp_math.dir/fista.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/fista.cpp.o.d"
+  "/root/repo/src/math/golden_section.cpp" "src/math/CMakeFiles/tdp_math.dir/golden_section.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/golden_section.cpp.o.d"
+  "/root/repo/src/math/levenberg_marquardt.cpp" "src/math/CMakeFiles/tdp_math.dir/levenberg_marquardt.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/tdp_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/piecewise_linear.cpp" "src/math/CMakeFiles/tdp_math.dir/piecewise_linear.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/piecewise_linear.cpp.o.d"
+  "/root/repo/src/math/quadrature.cpp" "src/math/CMakeFiles/tdp_math.dir/quadrature.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/quadrature.cpp.o.d"
+  "/root/repo/src/math/vector_ops.cpp" "src/math/CMakeFiles/tdp_math.dir/vector_ops.cpp.o" "gcc" "src/math/CMakeFiles/tdp_math.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_math.dir/fista.cpp.o"
+  "CMakeFiles/tdp_math.dir/fista.cpp.o.d"
+  "CMakeFiles/tdp_math.dir/golden_section.cpp.o"
+  "CMakeFiles/tdp_math.dir/golden_section.cpp.o.d"
+  "CMakeFiles/tdp_math.dir/levenberg_marquardt.cpp.o"
+  "CMakeFiles/tdp_math.dir/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/tdp_math.dir/matrix.cpp.o"
+  "CMakeFiles/tdp_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/tdp_math.dir/piecewise_linear.cpp.o"
+  "CMakeFiles/tdp_math.dir/piecewise_linear.cpp.o.d"
+  "CMakeFiles/tdp_math.dir/quadrature.cpp.o"
+  "CMakeFiles/tdp_math.dir/quadrature.cpp.o.d"
+  "CMakeFiles/tdp_math.dir/vector_ops.cpp.o"
+  "CMakeFiles/tdp_math.dir/vector_ops.cpp.o.d"
+  "libtdp_math.a"
+  "libtdp_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

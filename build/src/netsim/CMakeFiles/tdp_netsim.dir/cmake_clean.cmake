@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_netsim.dir/event_queue.cpp.o"
+  "CMakeFiles/tdp_netsim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tdp_netsim.dir/link.cpp.o"
+  "CMakeFiles/tdp_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/tdp_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/tdp_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tdp_netsim.dir/traffic.cpp.o"
+  "CMakeFiles/tdp_netsim.dir/traffic.cpp.o.d"
+  "libtdp_netsim.a"
+  "libtdp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

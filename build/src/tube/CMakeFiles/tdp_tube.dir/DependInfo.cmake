@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tube/autopilot.cpp" "src/tube/CMakeFiles/tdp_tube.dir/autopilot.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/autopilot.cpp.o.d"
+  "/root/repo/src/tube/gui_agent.cpp" "src/tube/CMakeFiles/tdp_tube.dir/gui_agent.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/gui_agent.cpp.o.d"
+  "/root/repo/src/tube/measurement.cpp" "src/tube/CMakeFiles/tdp_tube.dir/measurement.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/measurement.cpp.o.d"
+  "/root/repo/src/tube/price_channel.cpp" "src/tube/CMakeFiles/tdp_tube.dir/price_channel.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/price_channel.cpp.o.d"
+  "/root/repo/src/tube/profiling.cpp" "src/tube/CMakeFiles/tdp_tube.dir/profiling.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/profiling.cpp.o.d"
+  "/root/repo/src/tube/rrd.cpp" "src/tube/CMakeFiles/tdp_tube.dir/rrd.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/rrd.cpp.o.d"
+  "/root/repo/src/tube/tube_system.cpp" "src/tube/CMakeFiles/tdp_tube.dir/tube_system.cpp.o" "gcc" "src/tube/CMakeFiles/tdp_tube.dir/tube_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/tdp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/tdp_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/tdp_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tdp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

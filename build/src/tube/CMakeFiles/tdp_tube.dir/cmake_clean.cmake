@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_tube.dir/autopilot.cpp.o"
+  "CMakeFiles/tdp_tube.dir/autopilot.cpp.o.d"
+  "CMakeFiles/tdp_tube.dir/gui_agent.cpp.o"
+  "CMakeFiles/tdp_tube.dir/gui_agent.cpp.o.d"
+  "CMakeFiles/tdp_tube.dir/measurement.cpp.o"
+  "CMakeFiles/tdp_tube.dir/measurement.cpp.o.d"
+  "CMakeFiles/tdp_tube.dir/price_channel.cpp.o"
+  "CMakeFiles/tdp_tube.dir/price_channel.cpp.o.d"
+  "CMakeFiles/tdp_tube.dir/profiling.cpp.o"
+  "CMakeFiles/tdp_tube.dir/profiling.cpp.o.d"
+  "CMakeFiles/tdp_tube.dir/rrd.cpp.o"
+  "CMakeFiles/tdp_tube.dir/rrd.cpp.o.d"
+  "CMakeFiles/tdp_tube.dir/tube_system.cpp.o"
+  "CMakeFiles/tdp_tube.dir/tube_system.cpp.o.d"
+  "libtdp_tube.a"
+  "libtdp_tube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_tube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

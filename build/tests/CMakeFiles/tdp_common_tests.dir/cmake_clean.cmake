@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_common_tests.dir/test_csv.cpp.o"
+  "CMakeFiles/tdp_common_tests.dir/test_csv.cpp.o.d"
+  "CMakeFiles/tdp_common_tests.dir/test_cyclic.cpp.o"
+  "CMakeFiles/tdp_common_tests.dir/test_cyclic.cpp.o.d"
+  "CMakeFiles/tdp_common_tests.dir/test_logging_table.cpp.o"
+  "CMakeFiles/tdp_common_tests.dir/test_logging_table.cpp.o.d"
+  "CMakeFiles/tdp_common_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/tdp_common_tests.dir/test_rng.cpp.o.d"
+  "tdp_common_tests"
+  "tdp_common_tests.pdb"
+  "tdp_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_deferral_kernel.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_deferral_kernel.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_deferral_kernel.cpp.o.d"
+  "/root/repo/tests/test_definite_choice.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_definite_choice.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_definite_choice.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_paper_data.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_paper_data.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_paper_data.cpp.o.d"
+  "/root/repo/tests/test_profit.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_profit.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_profit.cpp.o.d"
+  "/root/repo/tests/test_static_model.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_static_model.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_static_model.cpp.o.d"
+  "/root/repo/tests/test_static_optimizer.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_static_optimizer.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_static_optimizer.cpp.o.d"
+  "/root/repo/tests/test_two_period.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_two_period.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_two_period.cpp.o.d"
+  "/root/repo/tests/test_waiting_function.cpp" "tests/CMakeFiles/tdp_core_tests.dir/test_waiting_function.cpp.o" "gcc" "tests/CMakeFiles/tdp_core_tests.dir/test_waiting_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tube/CMakeFiles/tdp_tube.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tdp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/tdp_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/tdp_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tdp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

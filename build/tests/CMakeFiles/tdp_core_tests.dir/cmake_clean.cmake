@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_core_tests.dir/test_deferral_kernel.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_deferral_kernel.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_definite_choice.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_definite_choice.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_metrics.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_paper_data.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_paper_data.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_profit.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_profit.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_static_model.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_static_model.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_static_optimizer.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_static_optimizer.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_two_period.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_two_period.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/test_waiting_function.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/test_waiting_function.cpp.o.d"
+  "tdp_core_tests"
+  "tdp_core_tests.pdb"
+  "tdp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_dynamic_tests.dir/test_dynamic_model.cpp.o"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_dynamic_model.cpp.o.d"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_fixed_duration.cpp.o"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_fixed_duration.cpp.o.d"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_online_pricer.cpp.o"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_online_pricer.cpp.o.d"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_stochastic_sim.cpp.o"
+  "CMakeFiles/tdp_dynamic_tests.dir/test_stochastic_sim.cpp.o.d"
+  "tdp_dynamic_tests"
+  "tdp_dynamic_tests.pdb"
+  "tdp_dynamic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_dynamic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_estimation_tests.dir/test_estimation.cpp.o"
+  "CMakeFiles/tdp_estimation_tests.dir/test_estimation.cpp.o.d"
+  "tdp_estimation_tests"
+  "tdp_estimation_tests.pdb"
+  "tdp_estimation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_estimation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_math_tests.dir/test_fista.cpp.o"
+  "CMakeFiles/tdp_math_tests.dir/test_fista.cpp.o.d"
+  "CMakeFiles/tdp_math_tests.dir/test_golden_lm.cpp.o"
+  "CMakeFiles/tdp_math_tests.dir/test_golden_lm.cpp.o.d"
+  "CMakeFiles/tdp_math_tests.dir/test_matrix.cpp.o"
+  "CMakeFiles/tdp_math_tests.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/tdp_math_tests.dir/test_piecewise_linear.cpp.o"
+  "CMakeFiles/tdp_math_tests.dir/test_piecewise_linear.cpp.o.d"
+  "CMakeFiles/tdp_math_tests.dir/test_quadrature.cpp.o"
+  "CMakeFiles/tdp_math_tests.dir/test_quadrature.cpp.o.d"
+  "tdp_math_tests"
+  "tdp_math_tests.pdb"
+  "tdp_math_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

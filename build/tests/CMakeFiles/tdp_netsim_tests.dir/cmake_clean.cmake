@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_netsim_tests.dir/test_event_queue.cpp.o"
+  "CMakeFiles/tdp_netsim_tests.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/tdp_netsim_tests.dir/test_link.cpp.o"
+  "CMakeFiles/tdp_netsim_tests.dir/test_link.cpp.o.d"
+  "CMakeFiles/tdp_netsim_tests.dir/test_netsim_stress.cpp.o"
+  "CMakeFiles/tdp_netsim_tests.dir/test_netsim_stress.cpp.o.d"
+  "CMakeFiles/tdp_netsim_tests.dir/test_traffic.cpp.o"
+  "CMakeFiles/tdp_netsim_tests.dir/test_traffic.cpp.o.d"
+  "tdp_netsim_tests"
+  "tdp_netsim_tests.pdb"
+  "tdp_netsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_netsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

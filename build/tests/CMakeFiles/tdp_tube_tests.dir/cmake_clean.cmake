@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_tube_tests.dir/test_autopilot.cpp.o"
+  "CMakeFiles/tdp_tube_tests.dir/test_autopilot.cpp.o.d"
+  "CMakeFiles/tdp_tube_tests.dir/test_gui_agent.cpp.o"
+  "CMakeFiles/tdp_tube_tests.dir/test_gui_agent.cpp.o.d"
+  "CMakeFiles/tdp_tube_tests.dir/test_measurement_channel.cpp.o"
+  "CMakeFiles/tdp_tube_tests.dir/test_measurement_channel.cpp.o.d"
+  "CMakeFiles/tdp_tube_tests.dir/test_rrd.cpp.o"
+  "CMakeFiles/tdp_tube_tests.dir/test_rrd.cpp.o.d"
+  "CMakeFiles/tdp_tube_tests.dir/test_tube_system.cpp.o"
+  "CMakeFiles/tdp_tube_tests.dir/test_tube_system.cpp.o.d"
+  "tdp_tube_tests"
+  "tdp_tube_tests.pdb"
+  "tdp_tube_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_tube_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

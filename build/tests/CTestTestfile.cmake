@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tdp_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_math_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_dynamic_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_estimation_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_netsim_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_tube_tests[1]_include.cmake")
