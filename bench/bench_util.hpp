@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "core/batch_solver.hpp"
 
 namespace tdp::bench {
 
@@ -23,6 +24,13 @@ inline void paper_vs_measured(const std::string& what,
 
 inline void print_table(const TextTable& table) {
   std::printf("%s", table.to_string().c_str());
+}
+
+inline void report_batch(const BatchTiming& timing) {
+  std::printf("  [batch] %zu solves on %zu threads: %.3f s wall, "
+              "%zu FISTA iterations (%zu in the anchor)\n",
+              timing.tasks, timing.threads, timing.wall_seconds,
+              timing.total_iterations, timing.anchor_iterations);
 }
 
 }  // namespace tdp::bench

@@ -8,10 +8,15 @@
 //  S3  TDP-exempt traffic: a fraction of every period's demand ignores
 //      prices (users under the usage cap, Section II); the ISP subtracts
 //      it from the capacity A_i and prices only the remainder.
+//
+// Each study is a batch of independent convex solves and runs through the
+// parallel BatchSolver (bit-identical for any thread count).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/paper_data.hpp"
 #include "core/static_optimizer.hpp"
@@ -43,18 +48,30 @@ int main() {
   bench::banner("Sensitivity", "time-sensitivity / cost structure / exempt "
                                "traffic");
 
+  // Cold starts keep every number bit-identical to the single-solve path
+  // (warm starts only match to the solver tolerance).
+  BatchSolveOptions batch;
+  batch.warm_start = false;
+  BatchSolver solver(batch);
+
   // S1: patience scaling.
   {
     std::printf("\nS1  patience-index scaling (all beta x factor):\n");
     TextTable t({"beta scale", "Savings (%)", "Spread ratio",
                  "Traffic moved (%)"});
-    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-      StaticModel model(scaled_beta_profile(scale),
-                        paper::kStaticCapacityUnits,
-                        math::PiecewiseLinearCost::hinge(3.0));
-      const PricingSolution sol = optimize_static_prices(model);
-      const auto tip = model.demand().tip_demand_vector();
-      t.add_row({TextTable::num(scale, 2),
+    const std::vector<double> scales = {0.25, 0.5, 1.0, 2.0, 4.0};
+    std::vector<StaticModel> models;
+    models.reserve(scales.size());
+    for (double scale : scales) {
+      models.emplace_back(scaled_beta_profile(scale),
+                          paper::kStaticCapacityUnits,
+                          math::PiecewiseLinearCost::hinge(3.0));
+    }
+    const auto solutions = solver.solve(models);
+    for (std::size_t k = 0; k < scales.size(); ++k) {
+      const PricingSolution& sol = solutions[k];
+      const auto tip = models[k].demand().tip_demand_vector();
+      t.add_row({TextTable::num(scales[k], 2),
                  TextTable::num(100.0 * (sol.tip_cost - sol.total_cost) /
                                     sol.tip_cost,
                                 1),
@@ -65,6 +82,7 @@ int main() {
                      100.0 * redistributed_fraction(tip, sol.usage), 1)});
     }
     bench::print_table(t);
+    bench::report_batch(solver.last_timing());
     std::printf("  impatient populations (large scale) blunt TDP: sessions "
                 "are \"too\n  time-sensitive\" to move far.\n");
   }
@@ -85,14 +103,18 @@ int main() {
         {"tiered: 2 above 0, +1 above 4",
          math::PiecewiseLinearCost(0.0, {{0.0, 2.0}, {4.0, 1.0}})},
     };
+    std::vector<StaticModel> models;
     for (const Case& c : cases) {
-      StaticModel model(
+      models.emplace_back(
           paper::make_profile(paper::table7_mix_48(),
                               paper::kStaticNormalizationReward),
           paper::kStaticCapacityUnits, c.cost);
-      const PricingSolution sol = optimize_static_prices(model);
-      const auto tip = model.demand().tip_demand_vector();
-      t.add_row({c.name,
+    }
+    const auto solutions = solver.solve(models);
+    for (std::size_t k = 0; k < models.size(); ++k) {
+      const PricingSolution& sol = solutions[k];
+      const auto tip = models[k].demand().tip_demand_vector();
+      t.add_row({cases[k].name,
                  TextTable::num(100.0 * (sol.tip_cost - sol.total_cost) /
                                     sol.tip_cost,
                                 1),
@@ -101,6 +123,7 @@ int main() {
                                 3)});
     }
     bench::print_table(t);
+    bench::report_batch(solver.last_timing());
     std::printf("  gentle first tiers tolerate small overages, so the ISP "
                 "pays fewer\n  rewards and evens out less.\n");
   }
@@ -112,7 +135,9 @@ int main() {
     TextTable t({"Exempt fraction", "Savings vs full-TDP TIP (%)",
                  "Spread ratio (priced traffic)"});
     const auto full_mix = paper::table7_mix_48();
-    for (double exempt : {0.0, 0.2, 0.4, 0.6}) {
+    const std::vector<double> exempts = {0.0, 0.2, 0.4, 0.6};
+    std::vector<StaticModel> models;
+    for (double exempt : exempts) {
       // Exempt traffic shrinks both the priced demand and the available
       // capacity A_i (Section II's time-varying capacity device).
       DemandProfile priced(48);
@@ -133,11 +158,14 @@ int main() {
         capacity[i] = paper::kStaticCapacityUnits - exempt_volume;
         capacity[i] = std::max(capacity[i], 0.0);
       }
-      StaticModel model(std::move(priced), capacity,
-                        math::PiecewiseLinearCost::hinge(3.0));
-      const PricingSolution sol = optimize_static_prices(model);
-      const auto tip = model.demand().tip_demand_vector();
-      t.add_row({TextTable::num(exempt, 1),
+      models.emplace_back(std::move(priced), capacity,
+                          math::PiecewiseLinearCost::hinge(3.0));
+    }
+    const auto solutions = solver.solve(models);
+    for (std::size_t k = 0; k < models.size(); ++k) {
+      const PricingSolution& sol = solutions[k];
+      const auto tip = models[k].demand().tip_demand_vector();
+      t.add_row({TextTable::num(exempts[k], 1),
                  TextTable::num(100.0 * (sol.tip_cost - sol.total_cost) /
                                     std::max(sol.tip_cost, 1e-9),
                                 1),
@@ -146,6 +174,7 @@ int main() {
                                 3)});
     }
     bench::print_table(t);
+    bench::report_batch(solver.last_timing());
     std::printf("  exempt traffic eats the capacity headroom the ISP needs "
                 "as deferral\n  targets, so TDP's leverage shrinks with the "
                 "exempt share.\n");

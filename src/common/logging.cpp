@@ -1,11 +1,16 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace tdp {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex; empty = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,12 +30,26 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[tdp %-5s] %s\n", level_name(level), message.c_str());
 }
 

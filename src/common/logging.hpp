@@ -1,11 +1,14 @@
 // Minimal leveled logger.
 //
-// The library logs to stderr through a single global sink; tests and benches
-// can raise the threshold to silence it. Not thread-safe by design: the TDP
-// models are single-threaded numerical code, and the netsim event loop is
-// single-threaded as well.
+// The library logs through a single global sink (stderr by default; tests
+// can install their own with set_log_sink). The sink is mutex-guarded and
+// the threshold is atomic, so parallel batch solves and pool workers can
+// log concurrently without interleaved or torn lines; each log_message call
+// emits exactly one whole line. Only the netsim event loop remains a
+// single-threaded component (see DESIGN.md "Threading model").
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -17,7 +20,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Replaceable sink. The previous sink is returned so callers can restore
+/// it; an empty function means "write to stderr". The sink runs under the
+/// logger's mutex, so it may use non-thread-safe state but must not log.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+LogSink set_log_sink(LogSink sink);
+
 /// Emit one log line (used by the TDP_LOG macro; callable directly too).
+/// Thread-safe.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -83,4 +83,15 @@ Rng Rng::fork() {
   return Rng(a ^ (b * 0xD1342543DE82EF95ull) ^ 0x5851F42D4C957F2Dull);
 }
 
+Rng Rng::fork_stream(std::uint64_t stream) const {
+  // SplitMix finalizer over (state, stream) — two rounds so that adjacent
+  // stream indices land in unrelated regions of the parent's state space.
+  std::uint64_t z = state_ ^ (stream + 0x9E3779B97F4A7C15ull) *
+                                 0xD1342543DE82EF95ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return Rng(z ^ (stream * 0x5851F42D4C957F2Dull));
+}
+
 }  // namespace tdp

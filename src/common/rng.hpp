@@ -50,7 +50,15 @@ class Rng {
   double normal(double mean = 0.0, double stddev = 1.0);
 
   /// Fork a statistically independent stream (for per-component seeding).
+  /// Mutates this generator, so calls must come from one thread.
   Rng fork();
+
+  /// Fork the `stream`-th independent child without mutating this
+  /// generator. Const and state-free, so parallel tasks may concurrently
+  /// derive their own streams from a shared parent: task i always receives
+  /// the same stream regardless of thread count or scheduling order —
+  /// the determinism contract the batch engine relies on.
+  Rng fork_stream(std::uint64_t stream) const;
 
  private:
   std::uint64_t state_;

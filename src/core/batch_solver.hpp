@@ -1,0 +1,85 @@
+// Parallel batch solving of independent static-model price optimizations.
+//
+// The headline experiments reduce to solving many independent instances of
+// the same convex program — cost sweeps (Fig. 6), sensitivity studies,
+// demand perturbations (Table VI/XII) — and the estimation pipeline runs
+// multi-start searches of the same shape. BatchSolver evaluates N models
+// (or N perturbations produced by a factory) concurrently on the common
+// thread pool.
+//
+// Determinism contract: results are bit-identical for any thread count.
+// Each task depends only on its own model and a warm start derived from a
+// designated anchor solve (task 0), never on which tasks happened to finish
+// earlier. The anchor runs first on the calling thread; the remaining
+// tasks then run concurrently, each warm-started from the anchor's final
+// rewards when the period counts match. In a sweep the instances are
+// perturbations of one another, so the anchor's solution is deep inside
+// the quadratic basin of every task and FISTA converges in a fraction of
+// the cold-start iterations.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/static_model.hpp"
+#include "core/static_optimizer.hpp"
+
+namespace tdp {
+
+struct BatchSolveOptions {
+  /// Per-task optimizer settings (initial_rewards is overwritten by the
+  /// warm-start policy when warm_start is on).
+  StaticOptimizerOptions optimizer;
+  /// Parallelism; 0 = default_thread_count(). 1 forces the serial path,
+  /// which produces bit-identical results to every parallel run.
+  std::size_t threads = 0;
+  /// Warm-start tasks 1..N-1 from the anchor task's solution.
+  bool warm_start = true;
+};
+
+/// Per-batch instrumentation, also logged at kInfo and exported by the
+/// micro-runtime bench as google-benchmark counters (landing in the
+/// BENCH_*.json written with --benchmark_out).
+struct BatchTiming {
+  std::size_t tasks = 0;
+  std::size_t threads = 0;            ///< parallelism actually used
+  std::size_t total_iterations = 0;   ///< FISTA iterations over all tasks
+  std::size_t anchor_iterations = 0;  ///< iterations spent on the anchor
+  double wall_seconds = 0.0;          ///< whole batch, anchor included
+};
+
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchSolveOptions options = {});
+
+  /// Solve every model; results are indexed like the input.
+  std::vector<PricingSolution> solve(const std::vector<StaticModel>& models);
+
+  /// Solve `count` instances produced by factory(i) — the factory is called
+  /// concurrently, so it must be pure (build-from-index). Use for parameter
+  /// perturbations of one base model without materializing all instances.
+  std::vector<PricingSolution> solve_generated(
+      std::size_t count,
+      const std::function<StaticModel(std::size_t)>& factory);
+
+  /// Instrumentation for the most recent solve call.
+  const BatchTiming& last_timing() const { return timing_; }
+
+  const BatchSolveOptions& options() const { return options_; }
+
+ private:
+  /// Yields task i's model; generated tasks materialize into `slot` (which
+  /// outlives the returned reference for the duration of the solve).
+  using GetModel =
+      std::function<const StaticModel&(std::size_t, std::optional<StaticModel>&)>;
+
+  std::vector<PricingSolution> run(std::size_t count, const GetModel& get_model);
+
+  BatchSolveOptions options_;
+  BatchTiming timing_;
+};
+
+}  // namespace tdp

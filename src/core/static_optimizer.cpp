@@ -20,6 +20,12 @@ PricingSolution optimize_static_prices(const StaticModel& model,
   const math::BoxBounds box = math::uniform_box(n, 0.0, cap);
 
   math::Vector p(n, 0.0);
+  if (!options.initial_rewards.empty()) {
+    TDP_REQUIRE(options.initial_rewards.size() == n,
+                "warm-start size must match the model's period count");
+    p = options.initial_rewards;
+    math::project_box(p, 0.0, cap);
+  }
   PricingSolution solution;
   bool all_converged = true;
 

@@ -24,6 +24,12 @@ struct StaticOptimizerOptions {
   /// Reward upper bound as a multiple of the model's max_reward() (P).
   /// 1.0 is correct for the static model (no rational reward exceeds P).
   double reward_cap_factor = 1.0;
+  /// Optional warm start: when non-empty (and sized to the model's period
+  /// count) the continuation begins from this reward vector, projected onto
+  /// the box, instead of zeros. The problem is convex, so the optimum is
+  /// unchanged; a start near the solution just cuts FISTA iterations. The
+  /// batch engine feeds each task's warm start deterministically.
+  math::Vector initial_rewards;
   math::FistaOptions fista;
 
   StaticOptimizerOptions() {

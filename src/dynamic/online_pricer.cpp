@@ -1,6 +1,7 @@
 #include "dynamic/online_pricer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -9,59 +10,115 @@
 namespace tdp {
 
 OnlinePricer::OnlinePricer(DynamicModel model,
-                           DynamicOptimizerOptions offline_options)
-    : model_(std::move(model)), reward_cap_(0.0) {
+                           DynamicOptimizerOptions offline_options,
+                           bool speculative)
+    : model_(std::move(model)), reward_cap_(0.0), speculative_(speculative) {
   const DynamicPricingSolution offline =
       optimize_dynamic_prices(model_, offline_options);
   rewards_ = offline.rewards;
   reward_cap_ = model_.reward_cap() * offline_options.reward_cap_factor;
 }
 
+OnlinePricer::~OnlinePricer() { join_speculation(); }
+
+math::GoldenSectionResult OnlinePricer::solve_period(
+    const DynamicModel& model, math::Vector rewards, std::size_t period,
+    double reward_cap) {
+  const auto objective = [&model, &rewards, period](double candidate) {
+    rewards[period] = candidate;
+    return model.total_cost(rewards);
+  };
+  return math::minimize_golden_section(objective, 0.0, reward_cap, 1e-7);
+}
+
+void OnlinePricer::join_speculation() {
+  if (speculation_thread_.joinable()) speculation_thread_.join();
+}
+
+void OnlinePricer::launch_speculation(std::size_t next_period) {
+  // Snapshot the model and rewards so the worker never touches live state;
+  // the assumed measurement is the current forecast, under which the model
+  // update is a scale-by-1.0 no-op and this pre-solve is exactly the step
+  // the synchronous path would take.
+  speculation_ = std::make_unique<Speculation>(
+      next_period, model_.arrivals().tip_demand(next_period), model_,
+      rewards_);
+  Speculation* task = speculation_.get();
+  const double cap = reward_cap_;
+  speculation_thread_ = std::thread([task, cap] {
+    task->best =
+        solve_period(task->model, task->rewards, task->period, cap);
+  });
+}
+
 OnlinePricer::StepResult OnlinePricer::observe_period(
     std::size_t period, double measured_arrivals) {
   TDP_REQUIRE(period < model_.periods(), "period out of range");
   TDP_REQUIRE(measured_arrivals >= 0.0, "arrivals must be nonnegative");
+  join_speculation();
 
-  // Rescale the period's demand estimate to the measurement. A surge
-  // measurement must not push total daily demand to (or past) total daily
-  // capacity — the backlog would have no steady state — so the update is
-  // clamped to keep a 2% stability margin; the excess is treated as
-  // transient burst rather than recurring demand.
-  const double previous = model_.arrivals().tip_demand(period);
-  if (previous > 0.0) {
-    double total_capacity = 0.0;
-    for (double a : model_.capacity()) total_capacity += a;
-    const double other_demand = model_.arrivals().total_demand() - previous;
-    const double max_period_demand =
-        std::max(0.98 * total_capacity - other_demand, 0.0);
-    const double target = std::min(measured_arrivals, max_period_demand);
-    if (target < measured_arrivals) {
-      TDP_LOG_WARN << "online update clamps period " << period
-                   << " demand from " << measured_arrivals << " to "
-                   << target << " to preserve a stable backlog";
-    }
-    DemandProfile updated = model_.arrivals();
-    updated.scale_period(period, target / previous);
-    model_ = DynamicModel(std::move(updated), model_.capacity(),
-                          model_.backlog_cost(), model_.warmup_days());
-  }
+  // A confirmed forecast leaves the model bitwise unchanged (the rescale
+  // factor is exactly 1), so a pre-solve made under that assumption is the
+  // synchronous answer and both the demand update and the golden-section
+  // search can be skipped.
+  const bool hit = speculation_ && speculation_->period == period &&
+                   measured_arrivals == speculation_->assumed_arrivals &&
+                   model_.arrivals().tip_demand(period) == measured_arrivals;
 
-  // 1-D re-optimization of this period's reward, all others fixed.
   StepResult result;
   result.period = period;
   result.old_reward = rewards_[period];
-  math::Vector trial = rewards_;
-  const auto objective = [this, &trial, period](double candidate) {
-    trial[period] = candidate;
-    return model_.total_cost(trial);
-  };
-  const math::GoldenSectionResult best =
-      math::minimize_golden_section(objective, 0.0, reward_cap_, 1e-7);
-  rewards_[period] = best.x;
-  result.new_reward = best.x;
-  result.expected_cost = best.value;
-  TDP_LOG_DEBUG << "online update period " << period << ": reward "
-                << result.old_reward << " -> " << result.new_reward;
+
+  if (hit) {
+    ++speculation_hits_;
+    result.speculative_hit = true;
+    rewards_[period] = speculation_->best.x;
+    result.new_reward = speculation_->best.x;
+    result.expected_cost = speculation_->best.value;
+    TDP_LOG_DEBUG << "online update period " << period
+                  << " (speculative hit): reward " << result.old_reward
+                  << " -> " << result.new_reward;
+  } else {
+    if (speculation_) ++speculation_misses_;
+    // Rescale the period's demand estimate to the measurement. A surge
+    // measurement must not push total daily demand to (or past) total daily
+    // capacity — the backlog would have no steady state — so the update is
+    // clamped to keep a 2% stability margin; the excess is treated as
+    // transient burst rather than recurring demand.
+    const double previous = model_.arrivals().tip_demand(period);
+    if (previous > 0.0) {
+      double total_capacity = 0.0;
+      for (double a : model_.capacity()) total_capacity += a;
+      const double other_demand =
+          model_.arrivals().total_demand() - previous;
+      const double max_period_demand =
+          std::max(0.98 * total_capacity - other_demand, 0.0);
+      const double target = std::min(measured_arrivals, max_period_demand);
+      if (target < measured_arrivals) {
+        TDP_LOG_WARN << "online update clamps period " << period
+                     << " demand from " << measured_arrivals << " to "
+                     << target << " to preserve a stable backlog";
+      }
+      DemandProfile updated = model_.arrivals();
+      updated.scale_period(period, target / previous);
+      model_ = DynamicModel(std::move(updated), model_.capacity(),
+                            model_.backlog_cost(), model_.warmup_days());
+    }
+
+    // 1-D re-optimization of this period's reward, all others fixed.
+    const math::GoldenSectionResult best =
+        solve_period(model_, rewards_, period, reward_cap_);
+    rewards_[period] = best.x;
+    result.new_reward = best.x;
+    result.expected_cost = best.value;
+    TDP_LOG_DEBUG << "online update period " << period << ": reward "
+                  << result.old_reward << " -> " << result.new_reward;
+  }
+  speculation_.reset();
+
+  if (speculative_) {
+    launch_speculation((period + 1) % model_.periods());
+  }
   return result;
 }
 

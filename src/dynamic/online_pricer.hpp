@@ -9,20 +9,39 @@
 // solved exactly by golden section on the true (unsmoothed) dynamic cost —
 // "while sub-optimal, this algorithm is easy to implement and avoids the
 // high dimensionality of a full dynamic programming solution."
+//
+// Speculative mode: while a period's measurements stream in, the pricer
+// pre-solves the next period's 1-D problem on a background thread under the
+// assumption that the measurement will match the current forecast. When the
+// real measurement arrives and equals the forecast exactly, the published
+// result is the precomputed one — bit-identical to what the synchronous
+// path would produce, since the model update at an exactly-confirmed
+// forecast is a scale-by-1.0 no-op. Any deviation discards the speculation
+// and recomputes synchronously, so outputs never depend on whether
+// speculation is enabled, only the latency does.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <thread>
 
 #include "dynamic/dynamic_model.hpp"
 #include "dynamic/dynamic_optimizer.hpp"
+#include "math/golden_section.hpp"
 
 namespace tdp {
 
 class OnlinePricer {
  public:
   /// Initializes rewards by solving the offline dynamic model.
+  /// `speculative` pre-solves each next period in the background.
   explicit OnlinePricer(DynamicModel model,
-                        DynamicOptimizerOptions offline_options = {});
+                        DynamicOptimizerOptions offline_options = {},
+                        bool speculative = false);
+  ~OnlinePricer();
+
+  OnlinePricer(const OnlinePricer&) = delete;
+  OnlinePricer& operator=(const OnlinePricer&) = delete;
 
   std::size_t periods() const { return model_.periods(); }
 
@@ -37,6 +56,7 @@ class OnlinePricer {
     double old_reward = 0.0;
     double new_reward = 0.0;
     double expected_cost = 0.0;   ///< daily cost at the updated rewards
+    bool speculative_hit = false; ///< result came from the pre-solve
   };
 
   /// Report the arrivals measured in `period` (demand units under TIP, i.e.
@@ -49,10 +69,44 @@ class OnlinePricer {
   /// Daily cost of the current rewards under the current demand estimate.
   double expected_cost() const { return model_.total_cost(rewards_); }
 
+  bool speculative() const { return speculative_; }
+  /// Steps answered from the background pre-solve / recomputed live.
+  std::size_t speculation_hits() const { return speculation_hits_; }
+  std::size_t speculation_misses() const { return speculation_misses_; }
+
  private:
+  /// The synchronous 1-D step: minimize the daily cost over `period`'s
+  /// reward with the others fixed at `rewards`.
+  static math::GoldenSectionResult solve_period(const DynamicModel& model,
+                                                math::Vector rewards,
+                                                std::size_t period,
+                                                double reward_cap);
+
+  void launch_speculation(std::size_t next_period);
+  void join_speculation();
+
   DynamicModel model_;
   math::Vector rewards_;
   double reward_cap_;
+
+  /// One in-flight pre-solve; owned and joined by the calling thread, so
+  /// the worker only ever touches its private snapshot in `speculation_`.
+  struct Speculation {
+    std::size_t period = 0;
+    double assumed_arrivals = 0.0;        ///< forecast the pre-solve assumed
+    math::GoldenSectionResult best;       ///< written by the worker thread
+    DynamicModel model;                   ///< private snapshot
+    math::Vector rewards;                 ///< private snapshot
+    Speculation(std::size_t p, double assumed, DynamicModel m,
+                math::Vector r)
+        : period(p), assumed_arrivals(assumed), model(std::move(m)),
+          rewards(std::move(r)) {}
+  };
+  bool speculative_ = false;
+  std::thread speculation_thread_;
+  std::unique_ptr<Speculation> speculation_;
+  std::size_t speculation_hits_ = 0;
+  std::size_t speculation_misses_ = 0;
 };
 
 }  // namespace tdp

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "math/levenberg_marquardt.hpp"
 
 namespace tdp {
@@ -126,11 +128,9 @@ void WaitingFunctionEstimator::parameter_bounds(bool tied,
   }
 }
 
-WaitingFunctionEstimate WaitingFunctionEstimator::run_fit(
+void WaitingFunctionEstimator::validate_fit_inputs(
     const std::vector<double>& tip_demand,
-    const std::vector<EstimationDataset>& data,
-    const std::optional<PatienceMix>& initial, bool reduced3,
-    bool tied) const {
+    const std::vector<EstimationDataset>& data, bool reduced3) const {
   TDP_REQUIRE(tip_demand.size() == periods_, "demand vector size mismatch");
   TDP_REQUIRE(!data.empty(), "need at least one dataset");
   if (reduced3) {
@@ -142,7 +142,12 @@ WaitingFunctionEstimate WaitingFunctionEstimator::run_fit(
                     d.usage_change.size() == periods_,
                 "dataset size mismatch");
   }
+}
 
+WaitingFunctionEstimate WaitingFunctionEstimator::fit_from(
+    const std::vector<double>& tip_demand,
+    const std::vector<EstimationDataset>& data, const math::Vector& theta0,
+    bool reduced3, bool tied) const {
   const auto residuals = [this, &tip_demand, &data, reduced3,
                           tied](const math::Vector& theta) {
     const PatienceMix mix = unpack(theta, tied);
@@ -177,10 +182,6 @@ WaitingFunctionEstimate WaitingFunctionEstimator::run_fit(
   lm.lower_bounds = lower;
   lm.upper_bounds = upper;
 
-  TDP_REQUIRE(!tied || !initial.has_value(),
-              "tied estimation uses the default start");
-  const math::Vector theta0 =
-      initial.has_value() ? pack(*initial) : default_theta(tied);
   const math::LmResult fit =
       math::minimize_levenberg_marquardt(residuals, theta0, lm);
 
@@ -188,6 +189,69 @@ WaitingFunctionEstimate WaitingFunctionEstimator::run_fit(
                               fit.residual_norm2, fit.iterations,
                               fit.converged};
   return out;
+}
+
+WaitingFunctionEstimate WaitingFunctionEstimator::run_fit(
+    const std::vector<double>& tip_demand,
+    const std::vector<EstimationDataset>& data,
+    const std::optional<PatienceMix>& initial, bool reduced3,
+    bool tied) const {
+  validate_fit_inputs(tip_demand, data, reduced3);
+  TDP_REQUIRE(!tied || !initial.has_value(),
+              "tied estimation uses the default start");
+  const math::Vector theta0 =
+      initial.has_value() ? pack(*initial) : default_theta(tied);
+  return fit_from(tip_demand, data, theta0, reduced3, tied);
+}
+
+WaitingFunctionEstimate WaitingFunctionEstimator::estimate_multistart(
+    const std::vector<double>& tip_demand,
+    const std::vector<EstimationDataset>& data,
+    const MultiStartOptions& options) const {
+  validate_fit_inputs(tip_demand, data, /*reduced3=*/false);
+  TDP_REQUIRE(options.starts >= 1, "need at least one start");
+
+  math::Vector lower;
+  math::Vector upper;
+  parameter_bounds(options.tied, lower, upper);
+  const Rng parent(options.seed);
+
+  std::vector<WaitingFunctionEstimate> fits;
+  fits.reserve(options.starts);
+  for (std::size_t s = 0; s < options.starts; ++s) {
+    fits.emplace_back(WaitingFunctionEstimate{
+        PatienceMix(periods_, types_, max_reward_), 0.0, 0, false});
+  }
+  parallel_for(
+      options.starts,
+      [&](std::size_t s) {
+        math::Vector theta0;
+        if (s == 0) {
+          theta0 = default_theta(options.tied);
+        } else {
+          // Each start owns stream s of the shared parent; the draw order
+          // inside a start is fixed, so theta0 — and the whole LM
+          // trajectory behind it — never depends on scheduling.
+          Rng stream = parent.fork_stream(s);
+          theta0.resize(lower.size());
+          for (std::size_t k = 0; k < theta0.size(); ++k) {
+            theta0[k] = stream.uniform(lower[k], upper[k]);
+          }
+        }
+        fits[s] = fit_from(tip_demand, data, theta0, /*reduced3=*/false,
+                           options.tied);
+      },
+      options.threads);
+
+  // Lowest residual wins; ties go to the earliest start index, so the
+  // selection is a pure function of the fit results.
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < options.starts; ++s) {
+    if (fits[s].residual_norm2 < fits[best].residual_norm2) best = s;
+  }
+  TDP_LOG_DEBUG << "multi-start LM: " << options.starts << " starts, best #"
+                << best << " residual " << fits[best].residual_norm2;
+  return fits[best];
 }
 
 WaitingFunctionEstimate WaitingFunctionEstimator::estimate(

@@ -79,6 +79,37 @@ class WaitingFunctionEstimator {
       const std::vector<EstimationDataset>& data,
       const std::optional<PatienceMix>& initial = std::nullopt) const;
 
+  /// Multi-start configuration for estimate_multistart.
+  struct MultiStartOptions {
+    /// Total starts: start 0 is the deterministic default start, starts
+    /// 1..starts-1 are drawn uniformly inside the parameter box.
+    std::size_t starts = 8;
+    /// Seed for the random starts. Start i draws from fork_stream(i) of a
+    /// generator seeded with this, so each start's initial point — and
+    /// hence its whole LM trajectory — is independent of thread count.
+    std::uint64_t seed = 1;
+    /// Parallelism for the independent fits; 0 = default_thread_count().
+    std::size_t threads = 0;
+    /// Fit the tied (time-invariant) parameterization instead of the full.
+    bool tied = false;
+  };
+
+  /// Multi-start Levenberg-Marquardt: run `starts` independent fits in
+  /// parallel and return the lowest-residual one (ties broken by start
+  /// index, so the result is deterministic for any thread count). The
+  /// estimation objective is nonconvex in (alpha, beta); restarts are the
+  /// standard defense against the local minima the paper's Table III
+  /// alpha-aliasing hints at.
+  WaitingFunctionEstimate estimate_multistart(
+      const std::vector<double>& tip_demand,
+      const std::vector<EstimationDataset>& data,
+      const MultiStartOptions& options) const;
+  WaitingFunctionEstimate estimate_multistart(
+      const std::vector<double>& tip_demand,
+      const std::vector<EstimationDataset>& data) const {
+    return estimate_multistart(tip_demand, data, MultiStartOptions());
+  }
+
   std::size_t periods() const { return periods_; }
   std::size_t types() const { return types_; }
   double max_reward() const { return max_reward_; }
@@ -93,6 +124,17 @@ class WaitingFunctionEstimator {
   math::Vector default_theta(bool tied) const;
   void parameter_bounds(bool tied, math::Vector& lower,
                         math::Vector& upper) const;
+
+  void validate_fit_inputs(const std::vector<double>& tip_demand,
+                           const std::vector<EstimationDataset>& data,
+                           bool reduced3) const;
+
+  /// One LM fit from an explicit start (inputs already validated). Pure in
+  /// theta0, so concurrent calls over shared data are safe.
+  WaitingFunctionEstimate fit_from(
+      const std::vector<double>& tip_demand,
+      const std::vector<EstimationDataset>& data, const math::Vector& theta0,
+      bool reduced3, bool tied) const;
 
   WaitingFunctionEstimate run_fit(
       const std::vector<double>& tip_demand,

@@ -166,6 +166,75 @@ TEST(Estimation, PaperScaleTiedFitTenTypes) {
   EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 5.0);
 }
 
+TEST(Estimation, MultiStartIsDeterministicAcrossThreadCounts) {
+  // Same starts, same seeds -> same LM trajectories regardless of how the
+  // starts are scheduled onto threads. Bitwise comparison on purpose.
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const WaitingFunctionEstimator est(3, 2, 1.0);
+  const auto data = table3_data(est, truth, demand, 30);
+
+  WaitingFunctionEstimator::MultiStartOptions serial;
+  serial.starts = 6;
+  serial.seed = 7;
+  serial.threads = 1;
+  WaitingFunctionEstimator::MultiStartOptions parallel = serial;
+  parallel.threads = 4;
+
+  const auto fit1 = est.estimate_multistart(demand, data, serial);
+  const auto fit4 = est.estimate_multistart(demand, data, parallel);
+  EXPECT_EQ(fit1.residual_norm2, fit4.residual_norm2);
+  EXPECT_EQ(fit1.iterations, fit4.iterations);
+  EXPECT_EQ(fit1.converged, fit4.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(fit1.mix.alpha(i, j), fit4.mix.alpha(i, j))
+          << "alpha(" << i << "," << j << ")";
+      EXPECT_EQ(fit1.mix.beta(i, j), fit4.mix.beta(i, j))
+          << "beta(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Estimation, MultiStartNeverLosesToTheDefaultStart) {
+  // Start 0 IS the default start, so the multi-start winner's residual can
+  // only improve on the plain estimator.
+  const PatienceMix truth = table3_truth();
+  const std::vector<double> demand = {22.0, 13.0, 8.0};
+  const WaitingFunctionEstimator est(3, 2, 1.0);
+  const auto data = table3_data(est, truth, demand, 30);
+
+  const auto single = est.estimate(demand, data);
+  WaitingFunctionEstimator::MultiStartOptions options;
+  options.starts = 6;
+  options.seed = 7;
+  const auto multi = est.estimate_multistart(demand, data, options);
+  EXPECT_LE(multi.residual_norm2, single.residual_norm2 + 1e-15);
+}
+
+TEST(Estimation, MultiStartTiedMode) {
+  const std::size_t n = 6;
+  PatienceMix truth(n, 2, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth.set(i, 0, 0.3, 0.8);
+    truth.set(i, 1, 0.7, 2.5);
+  }
+  std::vector<double> demand = {20.0, 12.0, 8.0, 10.0, 16.0, 22.0};
+  const WaitingFunctionEstimator est(n, 2, 1.0);
+  Rng rng(31);
+  std::vector<EstimationDataset> data;
+  for (int d = 0; d < 10; ++d) {
+    math::Vector rewards(n);
+    for (double& p : rewards) p = rng.uniform(0.0, 1.0);
+    data.push_back(est.synthesize(truth, demand, rewards));
+  }
+  WaitingFunctionEstimator::MultiStartOptions options;
+  options.starts = 4;
+  options.tied = true;
+  const auto fit = est.estimate_multistart(demand, data, options);
+  EXPECT_LT(max_waiting_percent_error(truth, fit.mix), 1.0);
+}
+
 TEST(Estimation, TipBaselineRecovery) {
   // Eq. 9: with known waiting functions, X is recovered from TDP usage.
   const PatienceMix truth = table3_truth();

@@ -1,0 +1,102 @@
+// Golden regression tests for the headline paper figures.
+//
+// The optimal reward schedules for Fig. 4 (static 48-period model) and
+// Fig. 7 (dynamic 48-period model) are snapshotted to CSVs under
+// tests/golden/.  Any solver or model change that moves a reward by more
+// than 1e-6 fails here — the batch engine, warm starts, and threading work
+// must not perturb the paper numbers.
+//
+// Regenerate after an INTENTIONAL numeric change with
+//   TDP_REGENERATE_GOLDENS=1 ./tdp_golden_tests
+// and check the refreshed CSVs in with the change that explains them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/paper_data.hpp"
+#include "core/static_optimizer.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/paper_dynamic.hpp"
+#include "math/vector_ops.hpp"
+
+#ifndef TDP_GOLDEN_DIR
+#error "TDP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace tdp {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(TDP_GOLDEN_DIR) + "/" + name;
+}
+
+bool regenerating() {
+  const char* env = std::getenv("TDP_REGENERATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void write_golden(const std::string& name, const math::Vector& rewards) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out << "period,reward\n";
+  char buffer[64];
+  for (std::size_t i = 0; i < rewards.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%zu,%.17g\n", i, rewards[i]);
+    out << buffer;
+  }
+}
+
+std::vector<double> read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " — run once with TDP_REGENERATE_GOLDENS=1";
+  std::vector<double> rewards;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      ADD_FAILURE() << "malformed line: " << line;
+      continue;
+    }
+    rewards.push_back(std::stod(line.substr(comma + 1)));
+  }
+  return rewards;
+}
+
+void check_against_golden(const std::string& name,
+                          const math::Vector& rewards) {
+  if (regenerating()) {
+    write_golden(name, rewards);
+    GTEST_SKIP() << "regenerated " << name;
+  }
+  const std::vector<double> golden = read_golden(name);
+  ASSERT_EQ(golden.size(), rewards.size()) << name;
+  for (std::size_t i = 0; i < rewards.size(); ++i) {
+    EXPECT_NEAR(rewards[i], golden[i], 1e-6)
+        << name << " period " << i;
+  }
+}
+
+TEST(GoldenRegression, Fig4StaticRewards) {
+  const PricingSolution sol =
+      optimize_static_prices(paper::static_model_48());
+  ASSERT_TRUE(sol.converged);
+  check_against_golden("fig4_rewards.csv", sol.rewards);
+}
+
+TEST(GoldenRegression, Fig7DynamicRewards) {
+  const DynamicPricingSolution sol =
+      optimize_dynamic_prices(paper::dynamic_model_48());
+  ASSERT_TRUE(sol.converged);
+  check_against_golden("fig7_rewards.csv", sol.rewards);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -91,6 +91,58 @@ TEST(OnlinePricer, ZeroArrivalObservation) {
   EXPECT_GE(step.new_reward, 0.0);
 }
 
+TEST(OnlinePricer, SpeculativeModeIsBitIdenticalToSynchronous) {
+  // Feed both pricers the same day: half the periods confirm the forecast
+  // exactly (speculation hits), half deviate (speculation discarded and
+  // recomputed). Rewards must match bitwise at every step — speculation may
+  // only change latency, never results.
+  OnlinePricer plain(paper::dynamic_model_48(), fast_options());
+  OnlinePricer spec(paper::dynamic_model_48(), fast_options(),
+                    /*speculative=*/true);
+  EXPECT_FALSE(plain.speculative());
+  EXPECT_TRUE(spec.speculative());
+
+  for (std::size_t period = 0; period < 8; ++period) {
+    const double forecast = plain.model().arrivals().tip_demand(period);
+    const double measured =
+        (period % 2 == 0) ? forecast : forecast * 0.93;
+    const auto step_plain = plain.observe_period(period, measured);
+    const auto step_spec = spec.observe_period(period, measured);
+    EXPECT_FALSE(step_plain.speculative_hit);
+    EXPECT_EQ(step_plain.new_reward, step_spec.new_reward)
+        << "period " << period;
+    EXPECT_EQ(step_plain.expected_cost, step_spec.expected_cost)
+        << "period " << period;
+  }
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(plain.rewards()[i], spec.rewards()[i]) << "reward " << i;
+  }
+  // The schedule above alternates confirmations and deviations, so both
+  // outcomes must actually have been exercised. The first observation can
+  // never hit (nothing was speculated yet), hence 3 hits from periods
+  // 2, 4, 6 and misses from the odd periods.
+  EXPECT_GT(spec.speculation_hits(), 0u);
+  EXPECT_GT(spec.speculation_misses(), 0u);
+  EXPECT_EQ(spec.speculation_hits() + spec.speculation_misses(), 7u);
+  EXPECT_EQ(plain.speculation_hits(), 0u);
+}
+
+TEST(OnlinePricer, SpeculativeHitSkipsNothingObservable) {
+  // A run of exactly-confirmed forecasts: every step after the first is a
+  // hit, and each hit still performs the 1-D improvement step.
+  OnlinePricer pricer(paper::dynamic_model_48(), fast_options(),
+                      /*speculative=*/true);
+  for (std::size_t period = 0; period < 4; ++period) {
+    const double forecast = pricer.model().arrivals().tip_demand(period);
+    const double cost_before = pricer.expected_cost();
+    const auto step = pricer.observe_period(period, forecast);
+    EXPECT_EQ(step.speculative_hit, period > 0) << "period " << period;
+    EXPECT_LE(step.expected_cost, cost_before + 1e-6);
+  }
+  EXPECT_EQ(pricer.speculation_hits(), 3u);
+  EXPECT_EQ(pricer.speculation_misses(), 0u);
+}
+
 TEST(OnlinePricer, RejectsBadObservations) {
   OnlinePricer pricer(paper::dynamic_model_48(), fast_options());
   EXPECT_THROW(pricer.observe_period(48, 10.0), PreconditionError);

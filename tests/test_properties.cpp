@@ -1,0 +1,129 @@
+// Property-based tests over randomized static models.
+//
+// For models drawn from a seeded family (random period counts, session
+// mixes, patience indices, capacities, cost slopes) we assert the
+// structural invariants the paper proves rather than specific numbers:
+//
+//  - Flow balance (Eq. 2): usage decomposes period by period into
+//    X_i - deferred_out(i) + deferred_in(i), and deferral only moves
+//    traffic — total usage equals total TIP demand for any reward vector.
+//  - Prop. 3 (convexity / global optimality): the FISTA solution's exact
+//    objective is no worse than the objective at any of 100 random
+//    feasible reward vectors, per seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/static_model.hpp"
+#include "core/static_optimizer.hpp"
+#include "math/piecewise_linear.hpp"
+
+namespace tdp {
+namespace {
+
+/// Build a random but well-posed static model from the trial's own RNG
+/// stream (independent of every other trial).
+StaticModel random_model(Rng& rng) {
+  const std::size_t n = 3 + rng.uniform_index(6);  // 3..8 periods
+  const double slope = rng.uniform(1.0, 5.0);
+  const math::PiecewiseLinearCost cost = math::PiecewiseLinearCost::hinge(slope);
+  const double max_reward = cost.max_slope();
+
+  DemandProfile profile(n);
+  double total_demand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t classes = 1 + rng.uniform_index(3);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double beta = rng.uniform(0.3, 4.0);
+      const double volume = rng.uniform(1.0, 30.0);
+      total_demand += volume;
+      profile.add_class(
+          i, {std::make_shared<PowerLawWaitingFunction>(beta, n, max_reward),
+              volume});
+    }
+  }
+  // Capacity around the mean per-period demand so some periods are over
+  // and some under — the regime where rewards actually matter.
+  const double capacity =
+      rng.uniform(0.5, 1.2) * total_demand / static_cast<double>(n);
+  return StaticModel(std::move(profile), capacity, cost);
+}
+
+math::Vector random_rewards(Rng& rng, std::size_t n, double cap) {
+  math::Vector p(n);
+  for (double& x : p) x = rng.uniform(0.0, cap);
+  return p;
+}
+
+class RandomizedStaticModel : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomizedStaticModel, FlowBalanceDecomposition) {
+  Rng rng = Rng(GetParam()).fork_stream(1);
+  const StaticModel model = random_model(rng);
+  const std::size_t n = model.periods();
+  const auto tip = model.demand().tip_demand_vector();
+  for (int trial = 0; trial < 20; ++trial) {
+    const math::Vector p = random_rewards(rng, n, model.max_reward());
+    const math::Vector usage = model.usage(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Eq. 2, period by period.
+      const double expected =
+          tip[i] - model.deferred_out(i, p) + model.deferred_in(i, p[i]);
+      EXPECT_NEAR(usage[i], expected, 1e-9) << "period " << i;
+    }
+  }
+}
+
+TEST_P(RandomizedStaticModel, DeferralConservesTraffic) {
+  Rng rng = Rng(GetParam()).fork_stream(2);
+  const StaticModel model = random_model(rng);
+  const auto tip = model.demand().tip_demand_vector();
+  double tip_total = 0.0;
+  for (double x : tip) tip_total += x;
+  for (int trial = 0; trial < 20; ++trial) {
+    const math::Vector p =
+        random_rewards(rng, model.periods(), model.max_reward());
+    const math::Vector usage = model.usage(p);
+    double usage_total = 0.0;
+    for (double x : usage) usage_total += x;
+    // Sessions never disappear: rewards move traffic between periods only.
+    EXPECT_NEAR(usage_total, tip_total, 1e-8 * (1.0 + tip_total));
+  }
+}
+
+TEST_P(RandomizedStaticModel, FistaSolutionBeatsRandomFeasiblePoints) {
+  Rng rng = Rng(GetParam()).fork_stream(3);
+  const StaticModel model = random_model(rng);
+  const PricingSolution sol = optimize_static_prices(model);
+  const double optimal = model.total_cost(sol.rewards);
+  // Prop. 3: the problem is convex, so the solver's point is a global
+  // minimum; any feasible point must cost at least as much (up to the
+  // smoothing/convergence tolerance).
+  for (int trial = 0; trial < 100; ++trial) {
+    const math::Vector p =
+        random_rewards(rng, model.periods(), model.max_reward());
+    EXPECT_GE(model.total_cost(p), optimal - 1e-6)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+  // The no-reward baseline is feasible too.
+  EXPECT_LE(optimal, model.tip_cost() + 1e-9);
+}
+
+TEST_P(RandomizedStaticModel, SolutionRespectsTheBox) {
+  Rng rng = Rng(GetParam()).fork_stream(4);
+  const StaticModel model = random_model(rng);
+  const PricingSolution sol = optimize_static_prices(model);
+  for (double p : sol.rewards) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, model.max_reward() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedStaticModel,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u, 97u));
+
+}  // namespace
+}  // namespace tdp
