@@ -1,8 +1,14 @@
 // Shared helpers for the table/figure regeneration benches.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/batch_solver.hpp"
@@ -32,5 +38,80 @@ inline void report_batch(const BatchTiming& timing) {
               timing.tasks, timing.threads, timing.wall_seconds,
               timing.total_iterations, timing.anchor_iterations);
 }
+
+/// High-water-mark resident set size of this process, in MiB.
+inline double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
+/// One machine-readable result line per bench run. Collects custom fields
+/// and emits a single `BENCH_JSON {...}` line; `wall_seconds` (construction
+/// to emit) and `peak_rss_mb` are always appended, so every bench JSON in
+/// the trajectory exposes time *and* memory and regressions in either are
+/// visible from the logs alone.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  ~BenchReport() {
+    if (!emitted_) emit();
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void add(const std::string& key, double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    fields_.emplace_back(key, buffer);
+  }
+
+  void add(const std::string& key, std::uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(value));
+    fields_.emplace_back(key, buffer);
+  }
+
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, '"' + value + '"');
+  }
+
+  /// Embed a pre-serialized JSON value (array or object) verbatim.
+  void add_raw(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+  }
+
+  void emit() {
+    emitted_ = true;
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    std::string line = "BENCH_JSON {\"bench\":\"" + name_ + '"';
+    for (const auto& [key, value] : fields_) {
+      line += ",\"" + key + "\":" + value;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer,
+                  ",\"wall_seconds\":%.6f,\"peak_rss_mb\":%.3f}", wall,
+                  peak_rss_mb());
+    line += buffer;
+    std::printf("%s\n", line.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  bool emitted_ = false;
+};
 
 }  // namespace tdp::bench

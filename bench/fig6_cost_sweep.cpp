@@ -18,6 +18,7 @@
 int main() {
   using namespace tdp;
   bench::banner("Fig. 6", "residue spread vs cost of exceeding capacity");
+  bench::BenchReport report("fig6_cost_sweep");
 
   const auto base_cost = math::PiecewiseLinearCost::hinge(3.0);
   TextTable table({"a", "log10(a)", "Residue spread (unit-periods)",
@@ -84,5 +85,10 @@ int main() {
       "levels out for a >= 10 (never fully even)", "plateau > 0",
       TextTable::num(spread_at_ten, 1) + " vs " +
           TextTable::num(spread_at_hundred, 1) + " at a = 100");
+  report.add("solves", static_cast<std::uint64_t>(log_as.size()));
+  report.add("threads",
+             static_cast<std::uint64_t>(solver.last_timing().threads));
+  report.add("spread_at_a_10", spread_at_ten);
+  report.emit();
   return 0;
 }

@@ -14,6 +14,7 @@
 int main() {
   using namespace tdp;
   bench::banner("Table X", "online price adjustment after a demand surprise");
+  bench::BenchReport report("table10_online");
 
   OnlinePricer pricer(paper::dynamic_model_48());
   const math::Vector original = pricer.rewards();
@@ -56,5 +57,8 @@ int main() {
                              nominal_cost,
                          1) +
           "% saved)");
+  report.add("adjusted_cost", adjusted_cost);
+  report.add("nominal_cost", nominal_cost);
+  report.emit();
   return 0;
 }

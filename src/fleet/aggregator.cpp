@@ -1,0 +1,34 @@
+#include "fleet/aggregator.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp::fleet {
+
+StripedAggregator::StripedAggregator(std::size_t shards, std::size_t periods)
+    : shards_(shards), periods_(periods) {
+  TDP_REQUIRE(shards >= 1, "need at least one shard");
+  TDP_REQUIRE(periods >= 1, "need at least one period");
+  stripes_.resize(shards * periods);
+}
+
+void StripedAggregator::record(std::size_t shard, std::size_t period,
+                               const PeriodStats& stats) {
+  TDP_REQUIRE(shard < shards_ && period < periods_,
+              "stripe index out of range");
+  stripes_[shard * periods_ + period] = stats;
+}
+
+PeriodStats StripedAggregator::merged(std::size_t period) const {
+  TDP_REQUIRE(period < periods_, "period out of range");
+  PeriodStats total;
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    total += stripes_[shard * periods_ + period];
+  }
+  return total;
+}
+
+void StripedAggregator::clear() {
+  for (PeriodStats& stats : stripes_) stats = PeriodStats{};
+}
+
+}  // namespace tdp::fleet

@@ -1,0 +1,46 @@
+// Striped per-period usage accumulators with a deterministic merge.
+//
+// During a period each shard writes its totals into its own stripe — no
+// sharing, no atomics, no false sharing across the parallel section. The
+// merge then folds stripes in ascending shard order, so the floating-point
+// summation order is a function of the (fixed) shard layout alone, never of
+// thread count or scheduling: fleet totals are bit-identical for any number
+// of worker threads, matching the repo's batch-engine determinism contract.
+//
+// (Shard *layout* is part of the configuration: changing the shard count
+// regroups the sums and may move totals by rounding noise, just like
+// re-chunking any floating-point reduction. The driver therefore fixes the
+// layout independently of the thread count.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fleet/shard.hpp"
+
+namespace tdp::fleet {
+
+class StripedAggregator {
+ public:
+  StripedAggregator(std::size_t shards, std::size_t periods);
+
+  std::size_t shards() const { return shards_; }
+  std::size_t periods() const { return periods_; }
+
+  /// Record shard `shard`'s totals for `period`. Each shard writes only its
+  /// own slot, so concurrent calls for distinct shards are race-free.
+  void record(std::size_t shard, std::size_t period, const PeriodStats& stats);
+
+  /// Fleet totals for one period: stripes folded in ascending shard order.
+  PeriodStats merged(std::size_t period) const;
+
+  /// Reset all stripes to zero (start of a new day).
+  void clear();
+
+ private:
+  std::size_t shards_;
+  std::size_t periods_;
+  std::vector<PeriodStats> stripes_;  ///< [shard * periods + period]
+};
+
+}  // namespace tdp::fleet

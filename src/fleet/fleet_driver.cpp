@@ -1,0 +1,151 @@
+#include "fleet/fleet_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "core/paper_data.hpp"
+#include "math/piecewise_linear.hpp"
+
+namespace tdp::fleet {
+namespace {
+
+/// The fluid dynamic model whose expected arrivals match the population's:
+/// the published mix on the continuous lag grid, at the paper's 48-period
+/// load factor (capacity scales with mean demand so 12-period runs see the
+/// same congestion regime).
+DynamicModel model_for(const Population& population) {
+  const std::size_t n = population.periods();
+  DemandProfile arrivals = paper::make_profile(
+      n == 48 ? paper::table7_mix_48() : paper::table8_mix_12(),
+      paper::kStaticNormalizationReward, LagNormalization::kContinuous);
+  const std::vector<double> demand48 = paper::table5_demand_48();
+  const double mean48 =
+      std::accumulate(demand48.begin(), demand48.end(), 0.0) /
+      static_cast<double>(demand48.size());
+  const std::vector<double>& expected = population.expected_demand_units();
+  const double mean =
+      std::accumulate(expected.begin(), expected.end(), 0.0) /
+      static_cast<double>(expected.size());
+  const double capacity =
+      paper::kDynamicCapacityUnits * (mean / mean48);
+  return DynamicModel(
+      std::move(arrivals), capacity,
+      math::PiecewiseLinearCost::hinge(paper::kDynamicCostSlope, 0.0));
+}
+
+}  // namespace
+
+FleetDriver::FleetDriver(FleetDriverConfig config)
+    : config_(config),
+      population_(config.population),
+      channel_(config.population.periods),
+      fanout_(channel_, paper::kPatienceIndices.size()),
+      aggregator_(
+          std::min<std::size_t>(
+              std::max<std::size_t>(config.shards, 1),
+              static_cast<std::size_t>(population_.users())),
+          population_.periods()),
+      threads_(config.threads == 0 ? default_thread_count()
+                                   : config.threads) {
+  // The offline solve happens here (OnlinePricer's constructor).
+  pricer_ = std::make_unique<OnlinePricer>(model_for(population_),
+                                           config_.offline_options);
+
+  // Contiguous near-equal user ranges; layout depends on users and shard
+  // count only.
+  const std::size_t shard_count = aggregator_.shards();
+  const std::uint64_t users = population_.users();
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t begin = users * s / shard_count;
+    const std::uint64_t end = users * (s + 1) / shard_count;
+    shards_.emplace_back(population_, begin, end);
+  }
+  TDP_LOG_INFO << "fleet: " << users << " users over " << shard_count
+               << " shards, " << threads_ << " threads, "
+               << population_.periods() << " periods";
+}
+
+FleetMetrics FleetDriver::run_day() {
+  TDP_REQUIRE(!ran_, "FleetDriver instances are single-shot");
+  ran_ = true;
+
+  const std::size_t n = population_.periods();
+  const std::size_t classes = population_.patience_classes();
+  const std::size_t total_days = config_.warmup_days + 1;
+  const double calibration = population_.unit_calibration();
+
+  FleetMetrics metrics;
+  metrics.users = population_.users();
+  metrics.periods = n;
+  metrics.shards = shards_.size();
+  metrics.threads = threads_;
+  metrics.days = total_days;
+  metrics.price_groups = fanout_.groups();
+  metrics.offered_units.assign(n, 0.0);
+  metrics.realized_units.assign(n, 0.0);
+
+  std::uint64_t all_day_sessions = 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t day = 0; day < total_days; ++day) {
+    const bool measured = day + 1 == total_days;
+    for (std::size_t period = 0; period < n; ++period) {
+      // Publish the current schedule and fan it out (one server fetch per
+      // group; every user in a group reads the group cache).
+      channel_.publish(pricer_->rewards());
+      fanout_.sync(day * n + period);
+
+      std::vector<const math::Vector*> schedules(classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        schedules[c] = &fanout_.schedule(c);
+      }
+      const DeferralTable table(population_, schedules, period);
+
+      parallel_for(
+          shards_.size(),
+          [&](std::size_t s) {
+            aggregator_.record(
+                s, period, shards_[s].simulate_period(day, period, table));
+          },
+          threads_);
+
+      const PeriodStats merged = aggregator_.merged(period);
+      all_day_sessions += merged.sessions;
+      if (measured) {
+        metrics.sessions += merged.sessions;
+        metrics.deferred_sessions += merged.deferred_sessions;
+        metrics.offered_units[period] = merged.offered_work * calibration;
+        metrics.realized_units[period] = merged.realized_work * calibration;
+        metrics.reward_paid_units += merged.reward_paid * calibration;
+      }
+
+      if (config_.online_pricing) {
+        pricer_->observe_period(period, merged.offered_work * calibration);
+      }
+    }
+  }
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  metrics.wall_seconds =
+      std::chrono::duration<double>(elapsed).count();
+  const double user_periods = static_cast<double>(population_.users()) *
+                              static_cast<double>(n) *
+                              static_cast<double>(total_days);
+  if (metrics.wall_seconds > 0.0) {
+    metrics.sessions_per_second =
+        static_cast<double>(all_day_sessions) / metrics.wall_seconds;
+    metrics.user_periods_per_second = user_periods / metrics.wall_seconds;
+  }
+  metrics.peak_to_average_tip = peak_to_average(metrics.offered_units);
+  metrics.peak_to_average_tdp = peak_to_average(metrics.realized_units);
+  metrics.pricer_expected_cost = pricer_->expected_cost();
+  metrics.price_server_fetches = fanout_.total_server_fetches();
+  return metrics;
+}
+
+}  // namespace tdp::fleet

@@ -1,0 +1,86 @@
+// The fleet day loop: sharded population simulation driving the online
+// pricer through the TUBE price channel.
+//
+//   ┌────────────┐ publish ┌──────────────┐ pull/group ┌─────────────┐
+//   │ OnlinePricer├────────►│ PriceChannel ├───────────►│ PriceFanout │
+//   └─────▲──────┘         └──────────────┘            └──────┬──────┘
+//         │ measured aggregate (demand units)                 │ schedules
+//   ┌─────┴────────┐  ordered merge   ┌────────┐  parallel    ▼
+//   │ StripedAggreg│◄─────────────────┤ Shards │◄──── DeferralTable
+//   └──────────────┘                  └────────┘      (per class)
+//
+// Each period: the pricer's current schedule is published; the fan-out
+// groups pull it once; a per-class deferral table is built from the pulled
+// schedules; shards simulate their user ranges on the thread pool; stripes
+// merge in fixed shard order; the aggregate pre-deferral arrivals are fed
+// back into OnlinePricer::observe_period, which re-tunes one reward. The
+// first day(s) warm the deferral rings so the measured day sees the cyclic
+// steady state the fluid model assumes.
+//
+// Determinism: population draws depend only on (seed, user, day, period);
+// the shard layout is fixed by configuration, never derived from the thread
+// count; the merge order is fixed. Per-period aggregates — and therefore
+// the pricer's reward trajectory — are bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/fleet_metrics.hpp"
+#include "fleet/population.hpp"
+#include "fleet/price_fanout.hpp"
+#include "fleet/shard.hpp"
+#include "tube/price_channel.hpp"
+
+namespace tdp::fleet {
+
+struct FleetDriverConfig {
+  PopulationConfig population;
+  /// Shard count — part of the experiment definition (it fixes the
+  /// floating-point reduction order), deliberately NOT defaulted from the
+  /// thread count. Clamped to the user count.
+  std::size_t shards = 64;
+  /// Worker threads for the per-period shard sweep; 0 = TDP_THREADS /
+  /// hardware default. Any value yields bit-identical aggregates.
+  std::size_t threads = 0;
+  /// Days simulated before the measured day to warm the deferral rings.
+  std::size_t warmup_days = 1;
+  /// Feed measured aggregates into the online pricer (off = the offline
+  /// schedule is published unchanged all day).
+  bool online_pricing = true;
+  DynamicOptimizerOptions offline_options;
+};
+
+class FleetDriver {
+ public:
+  explicit FleetDriver(FleetDriverConfig config);
+
+  const Population& population() const { return population_; }
+  const OnlinePricer& pricer() const { return *pricer_; }
+  const PriceChannel& channel() const { return channel_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t thread_count() const { return threads_; }
+
+  /// Simulate warmup_days + 1 days; returns metrics for the final day.
+  /// Single-shot: a driver instance runs one experiment.
+  FleetMetrics run_day();
+
+ private:
+  FleetDriverConfig config_;
+  Population population_;
+  /// The fluid model the pricer plans against: the paper's demand mix at
+  /// the paper's load factor — exactly the population's expected aggregate.
+  std::unique_ptr<OnlinePricer> pricer_;
+  PriceChannel channel_;
+  PriceFanout fanout_;
+  std::vector<Shard> shards_;
+  StripedAggregator aggregator_;
+  std::size_t threads_;
+  bool ran_ = false;
+};
+
+}  // namespace tdp::fleet

@@ -1,0 +1,99 @@
+#include "fleet/fleet_metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace tdp::fleet {
+namespace {
+
+void append_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_field(std::string& out, const char* key, double value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_number(out, value);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(value));
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buffer;
+}
+
+void append_array(std::string& out, const char* key,
+                  const std::vector<double>& values) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    append_number(out, values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+double peak_to_average(const std::vector<double>& profile) {
+  if (profile.empty()) return 0.0;
+  const double total =
+      std::accumulate(profile.begin(), profile.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const double peak = *std::max_element(profile.begin(), profile.end());
+  return peak * static_cast<double>(profile.size()) / total;
+}
+
+std::string FleetMetrics::to_json() const {
+  std::string out = "{";
+  append_field(out, "users", static_cast<std::uint64_t>(users));
+  out += ',';
+  append_field(out, "periods", static_cast<std::uint64_t>(periods));
+  out += ',';
+  append_field(out, "shards", static_cast<std::uint64_t>(shards));
+  out += ',';
+  append_field(out, "threads", static_cast<std::uint64_t>(threads));
+  out += ',';
+  append_field(out, "days", static_cast<std::uint64_t>(days));
+  out += ',';
+  append_field(out, "sessions", sessions);
+  out += ',';
+  append_field(out, "deferred_sessions", deferred_sessions);
+  out += ',';
+  append_field(out, "wall_seconds", wall_seconds);
+  out += ',';
+  append_field(out, "sessions_per_second", sessions_per_second);
+  out += ',';
+  append_field(out, "user_periods_per_second", user_periods_per_second);
+  out += ',';
+  append_field(out, "peak_to_average_tip", peak_to_average_tip);
+  out += ',';
+  append_field(out, "peak_to_average_tdp", peak_to_average_tdp);
+  out += ',';
+  append_field(out, "reward_paid_units", reward_paid_units);
+  out += ',';
+  append_field(out, "pricer_expected_cost", pricer_expected_cost);
+  out += ',';
+  append_field(out, "price_groups",
+               static_cast<std::uint64_t>(price_groups));
+  out += ',';
+  append_field(out, "price_server_fetches",
+               static_cast<std::uint64_t>(price_server_fetches));
+  out += ',';
+  append_array(out, "offered_units", offered_units);
+  out += ',';
+  append_array(out, "realized_units", realized_units);
+  out += '}';
+  return out;
+}
+
+}  // namespace tdp::fleet

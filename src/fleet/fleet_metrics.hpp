@@ -1,0 +1,50 @@
+// Fleet-run metrics: throughput, peak-to-average, cost — JSON-exportable so
+// the fleet becomes a tracked perf axis alongside solver speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdp::fleet {
+
+struct FleetMetrics {
+  // Configuration echo.
+  std::uint64_t users = 0;
+  std::size_t periods = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::size_t days = 0;  ///< total days simulated (incl. warmup)
+
+  // Volume (measured day only).
+  std::uint64_t sessions = 0;
+  std::uint64_t deferred_sessions = 0;
+
+  // Throughput over the whole run (all days).
+  double wall_seconds = 0.0;
+  double sessions_per_second = 0.0;
+  double user_periods_per_second = 0.0;
+
+  // Traffic shape (measured day, demand units per period).
+  std::vector<double> offered_units;   ///< pre-deferral (TIP baseline)
+  std::vector<double> realized_units;  ///< post-deferral (under TDP)
+  double peak_to_average_tip = 0.0;
+  double peak_to_average_tdp = 0.0;
+
+  // Economics (measured day, money units).
+  double reward_paid_units = 0.0;      ///< realized reward payouts
+  double pricer_expected_cost = 0.0;   ///< model's view after all updates
+
+  // Fan-out accounting.
+  std::size_t price_groups = 0;
+  std::size_t price_server_fetches = 0;
+
+  /// Compact single-object JSON (profiles included as arrays).
+  std::string to_json() const;
+};
+
+/// max(profile) / mean(profile); 0 for an empty or all-zero profile.
+double peak_to_average(const std::vector<double>& profile);
+
+}  // namespace tdp::fleet

@@ -1,0 +1,36 @@
+#include "fleet/price_fanout.hpp"
+
+#include "common/error.hpp"
+
+namespace tdp::fleet {
+
+PriceFanout::PriceFanout(PriceChannel& channel, std::size_t groups)
+    : channel_(&channel) {
+  TDP_REQUIRE(groups >= 1, "need at least one group");
+  subscribers_.reserve(groups);
+  schedules_.resize(groups, math::Vector(channel.periods(), 0.0));
+  for (std::size_t g = 0; g < groups; ++g) {
+    subscribers_.push_back(channel_->subscribe());
+  }
+}
+
+void PriceFanout::sync(std::size_t abs_period) {
+  for (std::size_t g = 0; g < subscribers_.size(); ++g) {
+    schedules_[g] = channel_->pull(subscribers_[g], abs_period);
+  }
+}
+
+const math::Vector& PriceFanout::schedule(std::size_t group) const {
+  TDP_REQUIRE(group < schedules_.size(), "unknown group");
+  return schedules_[group];
+}
+
+std::size_t PriceFanout::total_server_fetches() const {
+  std::size_t total = 0;
+  for (std::size_t id : subscribers_) {
+    total += channel_->server_fetches(id);
+  }
+  return total;
+}
+
+}  // namespace tdp::fleet

@@ -1,0 +1,131 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/deferral_kernel.hpp"
+
+namespace tdp::fleet {
+
+DeferralTable::DeferralTable(
+    const Population& population,
+    const std::vector<const math::Vector*>& schedule_by_class,
+    std::size_t period)
+    : periods_(population.periods()) {
+  const std::size_t n = periods_;
+  const std::size_t classes = population.patience_classes();
+  TDP_REQUIRE(schedule_by_class.size() == classes,
+              "need one reward schedule per patience class");
+  TDP_REQUIRE(period < n, "period out of range");
+
+  cumulative_.assign(classes * n, 0.0);
+  reward_.assign(classes * n, 0.0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const math::Vector& schedule = *schedule_by_class[c];
+    TDP_REQUIRE(schedule.size() == n, "schedule size mismatch");
+    const WaitingFunction& waiting = *population.waiting(
+        static_cast<std::uint32_t>(c));
+    double total = 0.0;
+    for (std::size_t lag = 1; lag < n; ++lag) {
+      const std::size_t target = (period + lag) % n;
+      const double p = lag_weight(waiting, schedule[target], lag,
+                                  LagConvention::kUniformArrival);
+      total += p;
+      cumulative_[c * n + lag] = total;
+      reward_[c * n + lag] = schedule[target];
+    }
+    if (total > 1.0) {
+      // Rewards above the probabilistic validity bound; renormalize
+      // defensively, as the session-level simulator does.
+      ++probability_clamps_;
+      for (std::size_t lag = 1; lag < n; ++lag) {
+        cumulative_[c * n + lag] /= total;
+      }
+    }
+  }
+}
+
+PeriodStats& PeriodStats::operator+=(const PeriodStats& other) {
+  offered_work += other.offered_work;
+  realized_work += other.realized_work;
+  deferred_work += other.deferred_work;
+  reward_paid += other.reward_paid;
+  sessions += other.sessions;
+  deferred_sessions += other.deferred_sessions;
+  return *this;
+}
+
+Shard::Shard(const Population& population, std::uint64_t begin_user,
+             std::uint64_t end_user)
+    : population_(&population), begin_(begin_user), end_(end_user) {
+  TDP_REQUIRE(begin_ < end_ && end_ <= population.users(),
+              "shard user range invalid");
+  specs_.reserve(end_ - begin_);
+  for (std::uint64_t u = begin_; u < end_; ++u) {
+    specs_.push_back(population.spec(u));
+  }
+  deferred_ring_.assign(population.periods(), 0.0);
+  reward_ring_.assign(population.periods(), 0.0);
+}
+
+void Shard::reset() {
+  std::fill(deferred_ring_.begin(), deferred_ring_.end(), 0.0);
+  std::fill(reward_ring_.begin(), reward_ring_.end(), 0.0);
+  ring_head_ = 0;
+}
+
+PeriodStats Shard::simulate_period(std::size_t day, std::size_t period,
+                                   const DeferralTable& table) {
+  const Population& pop = *population_;
+  const std::size_t n = pop.periods();
+  TDP_REQUIRE(period < n, "period out of range");
+  TDP_REQUIRE(table.periods() == n, "deferral table size mismatch");
+
+  PeriodStats stats;
+
+  // Work deferred into this period arrives at the period start, with the
+  // reward promised when it was deferred.
+  stats.realized_work += deferred_ring_[ring_head_];
+  stats.reward_paid += reward_ring_[ring_head_];
+  deferred_ring_[ring_head_] = 0.0;
+  reward_ring_[ring_head_] = 0.0;
+
+  const double b = pop.mean_session_size();
+  const std::size_t abs_period = day * n + period;
+
+  for (std::uint64_t u = begin_; u < end_; ++u) {
+    const UserSpec& spec = specs_[u - begin_];
+    const double rate =
+        spec.activity * pop.session_rate(spec.patience_class, period);
+    if (rate <= 0.0) continue;
+    Rng rng = pop.user_period_rng(u, abs_period);
+    const std::uint64_t count = rng.poisson(rate);
+    if (count == 0) continue;
+    stats.sessions += count;
+
+    const std::uint32_t cls = spec.patience_class;
+    const double stay_threshold = table.cumulative(cls, n - 1);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      const double work = rng.exponential(b);
+      stats.offered_work += work;
+      const double draw = rng.uniform();
+      if (draw >= stay_threshold) {  // common case: the session stays put
+        stats.realized_work += work;
+        continue;
+      }
+      // Smallest lag whose cumulative probability exceeds the draw.
+      std::size_t lag = 1;
+      while (draw >= table.cumulative(cls, lag)) ++lag;
+      ++stats.deferred_sessions;
+      stats.deferred_work += work;
+      const std::size_t slot = (ring_head_ + lag) % n;
+      deferred_ring_[slot] += work;
+      reward_ring_[slot] += table.reward(cls, lag) * work;
+    }
+  }
+
+  ring_head_ = (ring_head_ + 1) % n;
+  return stats;
+}
+
+}  // namespace tdp::fleet

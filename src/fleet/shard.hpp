@@ -1,0 +1,103 @@
+// A shard: one contiguous user range of the fleet, simulated locally.
+//
+// Each shard owns users [begin, end) and walks them once per period: Poisson
+// session arrivals at the user's diurnal rate, exponential session sizes,
+// and per-session deferral decisions from a precomputed per-class deferral
+// table (aggregate waiting-function math — no per-packet netsim). Work a
+// session defers is parked in a per-shard ring and re-enters the shard's
+// arrival stream when its target period comes up, mirroring the backlog
+// carry-over of the dynamic model at user granularity.
+//
+// Shards never share mutable state: every draw comes from the population's
+// per-(user, period) streams and every result lands in the shard's own
+// accumulator stripe, so a period can be simulated by any number of threads
+// with bit-identical totals (see aggregator.hpp for the merge discipline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fleet/population.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp::fleet {
+
+/// Per-class deferral decision table for one period, rebuilt by the driver
+/// whenever the published reward schedule changes. For class c and lag
+/// t = 1..n-1, `cumulative(c, t)` is the probability a session defers by at
+/// most t periods; the residual mass stays put.
+class DeferralTable {
+ public:
+  DeferralTable(const Population& population,
+                const std::vector<const math::Vector*>& schedule_by_class,
+                std::size_t period);
+
+  std::size_t periods() const { return periods_; }
+
+  /// Inclusive cumulative deferral probability up to lag t (t >= 1).
+  double cumulative(std::uint32_t cls, std::size_t lag) const {
+    return cumulative_[cls * periods_ + lag];
+  }
+
+  /// Reward per unit of work paid for deferring by lag t (the published
+  /// reward of the target period under the class's schedule).
+  double reward(std::uint32_t cls, std::size_t lag) const {
+    return reward_[cls * periods_ + lag];
+  }
+
+  /// Sessions whose raw deferral probabilities summed above one and were
+  /// renormalized (only when rewards exceed the validity bound).
+  std::size_t probability_clamps() const { return probability_clamps_; }
+
+ private:
+  std::size_t periods_;
+  std::vector<double> cumulative_;  ///< [cls * periods + lag], lag >= 1
+  std::vector<double> reward_;      ///< [cls * periods + lag]
+  std::size_t probability_clamps_ = 0;
+};
+
+/// One period's totals from one shard (or, after merging, the fleet).
+struct PeriodStats {
+  double offered_work = 0.0;    ///< fresh pre-deferral work (TIP baseline)
+  double realized_work = 0.0;   ///< post-deferral arrivals incl. deferred-in
+  double deferred_work = 0.0;   ///< work pushed to later periods
+  double reward_paid = 0.0;     ///< reward owed for work deferred *into* now
+  std::uint64_t sessions = 0;
+  std::uint64_t deferred_sessions = 0;
+
+  PeriodStats& operator+=(const PeriodStats& other);
+};
+
+class Shard {
+ public:
+  /// Caches the specs of users [begin, end) so the per-period walk is pure
+  /// arithmetic; the cache is a function of user ids only, never of which
+  /// shard holds them.
+  Shard(const Population& population, std::uint64_t begin_user,
+        std::uint64_t end_user);
+
+  std::uint64_t begin_user() const { return begin_; }
+  std::uint64_t end_user() const { return end_; }
+  std::uint64_t users() const { return end_ - begin_; }
+
+  /// Simulate one period of one day. Periods must be called in day order
+  /// (the deferral ring advances once per call). `day` separates the RNG
+  /// streams of multi-day runs.
+  PeriodStats simulate_period(std::size_t day, std::size_t period,
+                              const DeferralTable& table);
+
+  /// Drop all parked deferred work (fresh-day reset for experiments).
+  void reset();
+
+ private:
+  const Population* population_;
+  std::uint64_t begin_;
+  std::uint64_t end_;
+  std::vector<UserSpec> specs_;         ///< specs_[u - begin_]
+  std::vector<double> deferred_ring_;   ///< work arriving l periods ahead
+  std::vector<double> reward_ring_;     ///< reward owed with that work
+  std::size_t ring_head_ = 0;
+};
+
+}  // namespace tdp::fleet

@@ -1,5 +1,7 @@
 #include "tube/price_channel.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace tdp {
@@ -14,19 +16,22 @@ void PriceChannel::publish(const math::Vector& rewards) {
   for (double p : rewards) {
     TDP_REQUIRE(p >= 0.0, "rewards must be nonnegative");
   }
+  const std::lock_guard<std::mutex> lock(mutex_);
   published_ = rewards;
   ++publish_count_;
 }
 
 std::size_t PriceChannel::subscribe() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   subscribers_.push_back(Subscriber{math::Vector(periods_, 0.0),
                                     static_cast<std::size_t>(-1), false, 0,
                                     0});
   return subscribers_.size() - 1;
 }
 
-const math::Vector& PriceChannel::pull(std::size_t subscriber,
-                                       std::size_t abs_period) {
+math::Vector PriceChannel::pull(std::size_t subscriber,
+                                std::size_t abs_period) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
   Subscriber& sub = subscribers_[subscriber];
   TDP_REQUIRE(!sub.pulled_ever || abs_period >= sub.last_pull_period,
@@ -39,17 +44,24 @@ const math::Vector& PriceChannel::pull(std::size_t subscriber,
   } else {
     ++sub.hits;
   }
-  return sub.cache;
+  return sub.cache;  // copy: the caller's snapshot outlives any mutation
 }
 
 std::size_t PriceChannel::server_fetches(std::size_t subscriber) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
   return subscribers_[subscriber].fetches;
 }
 
 std::size_t PriceChannel::cache_hits(std::size_t subscriber) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
   return subscribers_[subscriber].hits;
+}
+
+std::size_t PriceChannel::publish_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return publish_count_;
 }
 
 }  // namespace tdp

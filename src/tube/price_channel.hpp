@@ -11,9 +11,19 @@
 // server once and reading the RRD cache afterwards. (The prototype's
 // SSL/TLS transport is connection plumbing with no behavioral effect; this
 // in-process channel preserves the sync/caching semantics.)
+//
+// Thread safety: the optimizer publishes while many subscribers pull
+// concurrently (the fleet fan-out does exactly this), so all channel state
+// is guarded by one mutex and `pull` returns a *copy* of the schedule — a
+// reference into the subscriber cache could be invalidated by a concurrent
+// `subscribe` (vector growth) or a same-subscriber pull in a later period.
+// Distinct subscribers may pull from distinct threads; pulls for one
+// subscriber must still be time-ordered (per-subscriber discipline, as
+// before).
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "math/vector_ops.hpp"
@@ -36,8 +46,9 @@ class PriceChannel {
   /// (monotonically nondecreasing across the run, not wrapped to the day).
   /// The first pull in a period goes "to the server" (copies the published
   /// schedule into the subscriber cache); later pulls in the same period
-  /// hit the cache.
-  const math::Vector& pull(std::size_t subscriber, std::size_t abs_period);
+  /// hit the cache. Returns a snapshot the caller owns — never a reference
+  /// that a concurrent publish/subscribe/pull could invalidate mid-read.
+  math::Vector pull(std::size_t subscriber, std::size_t abs_period);
 
   /// Server fetches this subscriber performed (for scalability assertions).
   std::size_t server_fetches(std::size_t subscriber) const;
@@ -45,7 +56,7 @@ class PriceChannel {
   /// Cache hits (redundant pulls within a period).
   std::size_t cache_hits(std::size_t subscriber) const;
 
-  std::size_t publish_count() const { return publish_count_; }
+  std::size_t publish_count() const;
 
  private:
   struct Subscriber {
@@ -57,6 +68,7 @@ class PriceChannel {
   };
 
   std::size_t periods_;
+  mutable std::mutex mutex_;              ///< guards everything below
   math::Vector published_;
   std::size_t publish_count_ = 0;
   std::vector<Subscriber> subscribers_;

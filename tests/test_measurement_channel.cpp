@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/error.hpp"
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
@@ -110,6 +114,76 @@ TEST(PriceChannel, RejectsBadUse) {
   channel.publish({0.0, 0.0});
   channel.pull(gui, 5);
   EXPECT_THROW(channel.pull(gui, 4), PreconditionError);  // time goes back
+}
+
+// A publisher republishing evolving schedules while several subscribers
+// pull concurrently (and new subscribers keep joining). Every published
+// schedule is constant across periods, so a torn read — a pull observing a
+// half-updated schedule — would surface as a snapshot with mixed values.
+// Run under -DTDP_SANITIZE=thread via `ctest -L sanitize` for the full
+// data-race check.
+TEST(PriceChannel, ConcurrentPublishPullHammer) {
+  constexpr std::size_t kPeriods = 8;
+  constexpr std::size_t kPullers = 4;
+  constexpr std::size_t kPullsPerThread = 3000;
+  constexpr std::size_t kPublishes = 3000;
+
+  PriceChannel channel(kPeriods);
+  channel.publish(math::Vector(kPeriods, 0.0));
+
+  std::vector<std::size_t> subscribers(kPullers);
+  for (std::size_t i = 0; i < kPullers; ++i) {
+    subscribers[i] = channel.subscribe();
+  }
+
+  std::atomic<bool> publishing{true};
+  std::atomic<int> torn_reads{0};
+
+  std::thread publisher([&] {
+    for (std::size_t k = 1; k <= kPublishes; ++k) {
+      channel.publish(
+          math::Vector(kPeriods, static_cast<double>(k) * 0.001));
+    }
+    publishing.store(false);
+  });
+
+  // Churn: subscribers joining mid-run must not invalidate live pulls.
+  std::thread joiner([&] {
+    while (publishing.load()) {
+      const std::size_t id = channel.subscribe();
+      const math::Vector snapshot = channel.pull(id, 0);
+      if (snapshot.size() != kPeriods) torn_reads.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> pullers;
+  for (std::size_t i = 0; i < kPullers; ++i) {
+    pullers.emplace_back([&, i] {
+      for (std::size_t period = 0; period < kPullsPerThread; ++period) {
+        // Two pulls per period: a server fetch then a cache hit.
+        for (int repeat = 0; repeat < 2; ++repeat) {
+          const math::Vector snapshot =
+              channel.pull(subscribers[i], period);
+          for (double value : snapshot) {
+            if (value != snapshot[0]) torn_reads.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  publisher.join();
+  joiner.join();
+  for (std::thread& t : pullers) t.join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(channel.publish_count(), kPublishes + 1);
+  for (std::size_t i = 0; i < kPullers; ++i) {
+    // Exactly one server fetch per period, every repeat was a cache hit.
+    EXPECT_EQ(channel.server_fetches(subscribers[i]), kPullsPerThread);
+    EXPECT_EQ(channel.cache_hits(subscribers[i]), kPullsPerThread);
+  }
 }
 
 }  // namespace
