@@ -1,0 +1,86 @@
+// Chaos day: the 100,000-user fleet day of fleet_day.cpp, but with 5% of
+// price pulls dropped and one whole-fleet measurement blackout period.
+// Faults touch only what the control loop observes; the simulated users are
+// identical to the clean run's, so the peak-to-average comparison at the
+// end shows how much of the TDP benefit survives degraded control.
+#include <cstdio>
+
+#include "common/fault.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "fleet/fleet_driver.hpp"
+
+namespace {
+
+tdp::fleet::FleetMetrics run(const tdp::FaultPlan& plan, bool verbose) {
+  using namespace tdp::fleet;
+  FleetDriverConfig config;
+  config.population.users = 100000;
+  config.population.periods = 48;
+  config.shards = 64;
+  config.threads = 0;
+  config.warmup_days = 1;
+  config.fault = plan;
+
+  FleetDriver driver(config);
+  const FleetMetrics m = driver.run_day();
+
+  if (verbose) {
+    std::printf("  health-state transitions (observation: from -> to):\n");
+    for (const auto& t : driver.pricer().health_transitions()) {
+      std::printf("    obs %4llu: %s -> %s\n",
+                  static_cast<unsigned long long>(t.observation),
+                  tdp::to_string(t.from), tdp::to_string(t.to));
+    }
+    std::printf("  final health: %s; %llu degraded + %llu fallback "
+                "observations, longest excursion %llu periods\n",
+                m.final_health.c_str(),
+                static_cast<unsigned long long>(m.degraded_observations),
+                static_cast<unsigned long long>(m.fallback_observations),
+                static_cast<unsigned long long>(m.max_recovery_periods));
+    std::printf("  price pulls dropped: %zu (%zu stale group-periods, %zu "
+                "flat-TIP fallbacks, %zu recoveries)\n",
+                m.price_pull_drops, m.price_stale_periods,
+                m.price_fallback_periods, m.price_recoveries);
+    std::printf("  measurements: %zu gaps (incl. blackout), %zu repaired, "
+                "%zu shard stripes lost\n",
+                m.measurement_gaps, m.measurement_repairs,
+                m.shard_stripes_lost);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tdp;
+  using namespace tdp::fleet;
+
+  std::printf("=== chaos day: 100k users, 5%% price-pull drops, one "
+              "measurement blackout ===\n");
+
+  std::printf("-- clean reference run --\n");
+  const FleetMetrics clean = run(FaultPlan{}, /*verbose=*/false);
+
+  FaultPlan plan;
+  plan.price_pull_drop = 0.05;
+  // One whole-fleet telemetry blackout in the middle of the measured day
+  // (absolute period index: day 1, period 24 of 48).
+  plan.measurement_blackouts = {48 + 24};
+
+  std::printf("-- chaos run --\n");
+  const FleetMetrics chaos = run(plan, /*verbose=*/true);
+
+  const double clean_reduction =
+      100.0 * (clean.peak_to_average_tip - clean.peak_to_average_tdp) /
+      clean.peak_to_average_tip;
+  const double chaos_reduction =
+      100.0 * (chaos.peak_to_average_tip - chaos.peak_to_average_tdp) /
+      chaos.peak_to_average_tip;
+  std::printf("\n  peak-to-average reduction: %.2f%% clean vs %.2f%% under "
+              "chaos — %.1f%% of the TDP benefit retained\n",
+              clean_reduction, chaos_reduction,
+              clean_reduction > 0.0
+                  ? 100.0 * chaos_reduction / clean_reduction
+                  : 0.0);
+  return 0;
+}

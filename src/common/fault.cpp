@@ -1,0 +1,123 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tdp {
+
+bool FaultPlan::any() const {
+  return price_pull_drop > 0.0 || clock_skew > 0.0 ||
+         measurement_loss > 0.0 || measurement_nan > 0.0 ||
+         measurement_negative > 0.0 || measurement_spike > 0.0 ||
+         solver_exhaustion > 0.0 || !measurement_blackouts.empty();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), root_(plan_.seed), enabled_(plan_.any()) {
+  const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  TDP_REQUIRE(in_unit(plan_.price_pull_drop) && in_unit(plan_.clock_skew) &&
+                  in_unit(plan_.measurement_loss) &&
+                  in_unit(plan_.measurement_nan) &&
+                  in_unit(plan_.measurement_negative) &&
+                  in_unit(plan_.measurement_spike) &&
+                  in_unit(plan_.solver_exhaustion),
+              "fault probabilities must lie in [0, 1]");
+  TDP_REQUIRE(plan_.measurement_loss + plan_.measurement_nan +
+                      plan_.measurement_negative + plan_.measurement_spike <=
+                  1.0,
+              "measurement fault probabilities must sum to at most 1");
+  TDP_REQUIRE(plan_.spike_factor > 0.0, "spike factor must be positive");
+  TDP_REQUIRE(plan_.solver_starved_budget >= 1,
+              "starved budget must allow at least one iteration");
+  std::sort(plan_.measurement_blackouts.begin(),
+            plan_.measurement_blackouts.end());
+}
+
+Rng FaultInjector::stream(Domain domain, std::uint64_t entity,
+                          std::uint64_t tick, std::uint64_t attempt) const {
+  return root_.fork_stream(static_cast<std::uint64_t>(domain))
+      .fork_stream(entity)
+      .fork_stream(tick)
+      .fork_stream(attempt);
+}
+
+bool FaultInjector::drop_price_pull(std::uint64_t subscriber,
+                                    std::uint64_t abs_period,
+                                    std::uint64_t attempt) const {
+  if (!enabled_ || plan_.price_pull_drop <= 0.0) return false;
+  return stream(kDomainPricePull, subscriber, abs_period, attempt)
+      .bernoulli(plan_.price_pull_drop);
+}
+
+bool FaultInjector::skew_clock(std::uint64_t subscriber,
+                               std::uint64_t abs_period) const {
+  if (!enabled_ || plan_.clock_skew <= 0.0) return false;
+  return stream(kDomainClock, subscriber, abs_period, 0)
+      .bernoulli(plan_.clock_skew);
+}
+
+FaultInjector::MeasurementFault FaultInjector::measurement_fault(
+    std::uint64_t entity, std::uint64_t abs_period) const {
+  if (!enabled_) return MeasurementFault::kNone;
+  if (std::binary_search(plan_.measurement_blackouts.begin(),
+                         plan_.measurement_blackouts.end(), abs_period)) {
+    return MeasurementFault::kLost;
+  }
+  // One uniform draw split across the fault kinds, so the kinds are
+  // mutually exclusive and their rates add.
+  const double u =
+      stream(kDomainMeasurement, entity, abs_period, 0).uniform();
+  double edge = plan_.measurement_loss;
+  if (u < edge) return MeasurementFault::kLost;
+  edge += plan_.measurement_nan;
+  if (u < edge) return MeasurementFault::kNaN;
+  edge += plan_.measurement_negative;
+  if (u < edge) return MeasurementFault::kNegative;
+  edge += plan_.measurement_spike;
+  if (u < edge) return MeasurementFault::kSpike;
+  return MeasurementFault::kNone;
+}
+
+double FaultInjector::corrupt(MeasurementFault fault, double clean) const {
+  switch (fault) {
+    case MeasurementFault::kNone:
+      return clean;
+    case MeasurementFault::kNaN:
+    case MeasurementFault::kLost:
+      return std::numeric_limits<double>::quiet_NaN();
+    case MeasurementFault::kNegative:
+      // Strictly negative even when the clean sample is zero.
+      return -(std::fabs(clean) + 1.0);
+    case MeasurementFault::kSpike:
+      return clean * plan_.spike_factor + 1.0;
+  }
+  return clean;
+}
+
+bool FaultInjector::exhaust_solver(std::uint64_t abs_period) const {
+  if (!enabled_ || plan_.solver_exhaustion <= 0.0) return false;
+  return stream(kDomainSolver, 0, abs_period, 0)
+      .bernoulli(plan_.solver_exhaustion);
+}
+
+const char* to_string(FaultInjector::MeasurementFault fault) {
+  switch (fault) {
+    case FaultInjector::MeasurementFault::kNone:
+      return "none";
+    case FaultInjector::MeasurementFault::kLost:
+      return "lost";
+    case FaultInjector::MeasurementFault::kNaN:
+      return "nan";
+    case FaultInjector::MeasurementFault::kNegative:
+      return "negative";
+    case FaultInjector::MeasurementFault::kSpike:
+      return "spike";
+  }
+  return "unknown";
+}
+
+}  // namespace tdp

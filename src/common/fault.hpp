@@ -1,0 +1,115 @@
+// Deterministic fault injection for the TUBE control loop.
+//
+// The prototype's control loop (GUIs pull prices once per period, the
+// Optimizer re-prices from measured usage) is a distributed system: pulls
+// can be dropped or arrive late, usage telemetry can be lost or corrupted,
+// and a 1-D re-pricing solve can blow its iteration budget. A production
+// pricer must keep publishing sane rewards through all of that, so this
+// module makes those failures *reproducible*: a `FaultPlan` gives the rates,
+// and a `FaultInjector` answers "does fault X hit site Y at time T?" as a
+// pure function of (plan seed, fault domain, entity id, period, attempt).
+//
+// Determinism contract (mirrors the population's): every decision derives a
+// private stream through non-mutating `Rng::fork_stream` chains, so the
+// injector is stateless, const, and thread-safe, and the fault sequence for
+// a given plan is independent of shard layout, thread count, and query
+// order. A default-constructed (or all-zero-rate) injector never fires, and
+// the consuming code paths are written so that a never-firing injector is
+// bit-identical to no injector at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tdp {
+
+/// Rates and parameters of one chaos experiment. All probabilities are
+/// per-site per-period (a "site" is a subscriber for the price path, a
+/// fault domain — fleet shard or whole telemetry aggregate — for the
+/// measurement path, and the solver itself for the solver path).
+struct FaultPlan {
+  // --- price publication path (per subscriber per period) ---
+  double price_pull_drop = 0.0;   ///< P(one fetch attempt fails)
+  double clock_skew = 0.0;        ///< P(subscriber's period clock is skewed
+                                  ///< and it reads its stale cache instead
+                                  ///< of fetching)
+
+  // --- measurement path (per fault domain per period) ---
+  double measurement_loss = 0.0;      ///< sample never arrives
+  double measurement_nan = 0.0;       ///< sample arrives as NaN
+  double measurement_negative = 0.0;  ///< sample arrives negative
+  double measurement_spike = 0.0;     ///< sample multiplied by spike_factor
+  double spike_factor = 8.0;          ///< outlier magnitude for spikes
+
+  /// Absolute periods in which the whole measurement path is down (a
+  /// scheduled blackout: every domain's sample is lost with certainty).
+  std::vector<std::uint64_t> measurement_blackouts;
+
+  // --- price-determination path (per period) ---
+  double solver_exhaustion = 0.0;  ///< P(the 1-D solve is cut off before
+                                   ///< convergence — iteration budget
+                                   ///< starved to solver_starved_budget)
+  std::size_t solver_starved_budget = 2;
+
+  std::uint64_t seed = 20110704;
+
+  /// True when any fault can ever fire under this plan.
+  bool any() const;
+};
+
+class FaultInjector {
+ public:
+  /// Disabled injector: never fires, costs nothing.
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Entity id for "the one aggregate telemetry stream" (vs a shard id).
+  static constexpr std::uint64_t kAggregateEntity = ~0ull;
+
+  /// Does fetch attempt `attempt` by `subscriber` in `abs_period` fail?
+  bool drop_price_pull(std::uint64_t subscriber, std::uint64_t abs_period,
+                       std::uint64_t attempt = 0) const;
+
+  /// Is `subscriber`'s period clock skewed in `abs_period` (it believes the
+  /// period has not rolled over and serves its cache without fetching)?
+  bool skew_clock(std::uint64_t subscriber, std::uint64_t abs_period) const;
+
+  enum class MeasurementFault { kNone, kLost, kNaN, kNegative, kSpike };
+
+  /// What happens to fault domain `entity`'s sample for `abs_period`.
+  MeasurementFault measurement_fault(std::uint64_t entity,
+                                     std::uint64_t abs_period) const;
+
+  /// Apply a measurement fault to a clean value (kLost has no corrupted
+  /// value — the sample simply never arrives; callers handle it as a gap).
+  double corrupt(MeasurementFault fault, double clean) const;
+
+  /// Is the 1-D re-pricing solve starved of iterations in `abs_period`?
+  bool exhaust_solver(std::uint64_t abs_period) const;
+
+ private:
+  enum Domain : std::uint64_t {
+    kDomainPricePull = 1,
+    kDomainClock = 2,
+    kDomainMeasurement = 3,
+    kDomainSolver = 4,
+  };
+
+  /// The private stream for one decision site; pure function of the
+  /// arguments and the plan seed.
+  Rng stream(Domain domain, std::uint64_t entity, std::uint64_t tick,
+             std::uint64_t attempt) const;
+
+  FaultPlan plan_{};
+  Rng root_{};  ///< never advanced; all streams fork off it
+  bool enabled_ = false;
+};
+
+const char* to_string(FaultInjector::MeasurementFault fault);
+
+}  // namespace tdp

@@ -1,6 +1,7 @@
 #include "dynamic/online_pricer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
@@ -9,10 +10,36 @@
 
 namespace tdp {
 
+const char* to_string(PricerHealth health) {
+  switch (health) {
+    case PricerHealth::kHealthy:
+      return "HEALTHY";
+    case PricerHealth::kDegraded:
+      return "DEGRADED";
+    case PricerHealth::kFallback:
+      return "FALLBACK";
+  }
+  return "UNKNOWN";
+}
+
+PricerGuardConfig PricerGuardConfig::protective() {
+  PricerGuardConfig guard;
+  guard.trust_region_fraction = 0.1;
+  guard.keep_reward_on_failure = true;
+  return guard;
+}
+
 OnlinePricer::OnlinePricer(DynamicModel model,
                            DynamicOptimizerOptions offline_options,
-                           bool speculative)
-    : model_(std::move(model)), reward_cap_(0.0), speculative_(speculative) {
+                           bool speculative, PricerGuardConfig guard)
+    : model_(std::move(model)), reward_cap_(0.0), guard_(guard),
+      speculative_(speculative) {
+  TDP_REQUIRE(guard_.solver_max_iterations >= 1,
+              "solver budget must allow at least one iteration");
+  TDP_REQUIRE(guard_.fallback_after >= 1 && guard_.recover_after >= 1,
+              "health thresholds must be at least one observation");
+  TDP_REQUIRE(guard_.trust_region_fraction > 0.0,
+              "trust region must be positive");
   const DynamicPricingSolution offline =
       optimize_dynamic_prices(model_, offline_options);
   rewards_ = offline.rewards;
@@ -23,12 +50,13 @@ OnlinePricer::~OnlinePricer() { join_speculation(); }
 
 math::GoldenSectionResult OnlinePricer::solve_period(
     const DynamicModel& model, math::Vector rewards, std::size_t period,
-    double reward_cap) {
+    double reward_cap, std::size_t max_iterations) {
   const auto objective = [&model, &rewards, period](double candidate) {
     rewards[period] = candidate;
     return model.total_cost(rewards);
   };
-  return math::minimize_golden_section(objective, 0.0, reward_cap, 1e-7);
+  return math::minimize_golden_section(objective, 0.0, reward_cap, 1e-7,
+                                       max_iterations);
 }
 
 void OnlinePricer::join_speculation() {
@@ -45,17 +73,118 @@ void OnlinePricer::launch_speculation(std::size_t next_period) {
       rewards_);
   Speculation* task = speculation_.get();
   const double cap = reward_cap_;
-  speculation_thread_ = std::thread([task, cap] {
+  const std::size_t budget = guard_.solver_max_iterations;
+  speculation_thread_ = std::thread([task, cap, budget] {
     task->best =
-        solve_period(task->model, task->rewards, task->period, cap);
+        solve_period(task->model, task->rewards, task->period, cap, budget);
   });
+}
+
+void OnlinePricer::update_health(bool bad) {
+  ++observation_count_;
+  if (bad) {
+    ++consecutive_bad_;
+    consecutive_good_ = 0;
+  } else {
+    ++consecutive_good_;
+    consecutive_bad_ = 0;
+  }
+
+  const PricerHealth prev = health_;
+  PricerHealth next = prev;
+  if (bad) {
+    if (consecutive_bad_ >= guard_.fallback_after) {
+      next = PricerHealth::kFallback;
+    } else if (prev == PricerHealth::kHealthy) {
+      next = PricerHealth::kDegraded;
+    }
+  } else if (consecutive_good_ >= guard_.recover_after) {
+    // Climb one rung per recover_after-long clean streak.
+    if (prev == PricerHealth::kFallback) {
+      next = PricerHealth::kDegraded;
+      consecutive_good_ = 0;
+    } else if (prev == PricerHealth::kDegraded) {
+      next = PricerHealth::kHealthy;
+      consecutive_good_ = 0;
+    }
+  }
+
+  if (prev != PricerHealth::kHealthy) ++excursion_periods_;
+  if (next != prev) {
+    ++health_stats_.transitions;
+    if (health_log_.size() < kMaxTransitionLog) {
+      health_log_.push_back({observation_count_ - 1, prev, next});
+    }
+    TDP_LOG_INFO << "online pricer health: " << to_string(prev) << " -> "
+                 << to_string(next) << " after observation "
+                 << observation_count_ - 1;
+    if (prev == PricerHealth::kHealthy) {
+      excursion_periods_ = 1;  // this observation opened the excursion
+    } else if (next == PricerHealth::kHealthy) {
+      ++health_stats_.recoveries;
+      health_stats_.max_recovery_periods = std::max(
+          health_stats_.max_recovery_periods, excursion_periods_);
+      excursion_periods_ = 0;
+    }
+  }
+  health_ = next;
+
+  switch (health_) {
+    case PricerHealth::kHealthy:
+      ++health_stats_.healthy_observations;
+      break;
+    case PricerHealth::kDegraded:
+      ++health_stats_.degraded_observations;
+      break;
+    case PricerHealth::kFallback:
+      ++health_stats_.fallback_observations;
+      break;
+  }
+}
+
+void OnlinePricer::observe_missed(std::size_t period) {
+  TDP_REQUIRE(period < model_.periods(), "period out of range");
+  ++health_stats_.missed_observations;
+  TDP_LOG_WARN << "online pricer: no measurement for period " << period
+               << "; schedule frozen";
+  update_health(/*bad=*/true);
 }
 
 OnlinePricer::StepResult OnlinePricer::observe_period(
     std::size_t period, double measured_arrivals) {
+  return observe_period_ex(period, measured_arrivals, /*degraded_input=*/
+                           false, guard_.solver_max_iterations);
+}
+
+OnlinePricer::StepResult OnlinePricer::observe_period_ex(
+    std::size_t period, double measured_arrivals, bool degraded_input,
+    std::size_t iteration_budget) {
   TDP_REQUIRE(period < model_.periods(), "period out of range");
   TDP_REQUIRE(measured_arrivals >= 0.0, "arrivals must be nonnegative");
+  TDP_REQUIRE(iteration_budget >= 1, "need at least one solver iteration");
   join_speculation();
+
+  StepResult result;
+  result.period = period;
+  result.old_reward = rewards_[period];
+
+  // In FALLBACK a degraded input carries no trustworthy information: skip
+  // the model update and the solve entirely and keep publishing the
+  // last-known-good schedule. A clean measurement is the recovery probe
+  // and takes the normal path below.
+  if (health_ == PricerHealth::kFallback && degraded_input) {
+    if (speculation_) ++speculation_misses_;
+    speculation_.reset();
+    ++health_stats_.skipped_updates;
+    result.new_reward = result.old_reward;
+    result.expected_cost = model_.total_cost(rewards_);
+    result.skipped = true;
+    TDP_LOG_DEBUG << "online update period " << period
+                  << " skipped (FALLBACK, degraded input)";
+    update_health(/*bad=*/true);
+    if (speculative_) launch_speculation((period + 1) % model_.periods());
+    return result;
+  }
 
   // A confirmed forecast leaves the model bitwise unchanged (the rescale
   // factor is exactly 1), so a pre-solve made under that assumption is the
@@ -65,19 +194,14 @@ OnlinePricer::StepResult OnlinePricer::observe_period(
                    measured_arrivals == speculation_->assumed_arrivals &&
                    model_.arrivals().tip_demand(period) == measured_arrivals;
 
-  StepResult result;
-  result.period = period;
-  result.old_reward = rewards_[period];
-
+  math::GoldenSectionResult best;
   if (hit) {
     ++speculation_hits_;
     result.speculative_hit = true;
-    rewards_[period] = speculation_->best.x;
-    result.new_reward = speculation_->best.x;
-    result.expected_cost = speculation_->best.value;
+    best = speculation_->best;
     TDP_LOG_DEBUG << "online update period " << period
                   << " (speculative hit): reward " << result.old_reward
-                  << " -> " << result.new_reward;
+                  << " -> " << best.x;
   } else {
     if (speculation_) ++speculation_misses_;
     // Rescale the period's demand estimate to the measurement. A surge
@@ -106,15 +230,48 @@ OnlinePricer::StepResult OnlinePricer::observe_period(
     }
 
     // 1-D re-optimization of this period's reward, all others fixed.
-    const math::GoldenSectionResult best =
-        solve_period(model_, rewards_, period, reward_cap_);
-    rewards_[period] = best.x;
-    result.new_reward = best.x;
-    result.expected_cost = best.value;
+    best = solve_period(model_, rewards_, period, reward_cap_,
+                        iteration_budget);
     TDP_LOG_DEBUG << "online update period " << period << ": reward "
-                  << result.old_reward << " -> " << result.new_reward;
+                  << result.old_reward << " -> " << best.x;
   }
   speculation_.reset();
+
+  // Guarded acceptance: a failed solve (budget starved or non-finite) can
+  // keep the previous reward; an accepted step can be trust-region bound.
+  const bool failed = !best.converged || !std::isfinite(best.x) ||
+                      !std::isfinite(best.value);
+  if (failed) ++health_stats_.solve_failures;
+  if (failed && guard_.keep_reward_on_failure) {
+    result.solve_failed = true;
+    result.new_reward = result.old_reward;
+    result.expected_cost = model_.total_cost(rewards_);
+    TDP_LOG_WARN << "online update period " << period
+                 << ": solve failed, keeping reward " << result.old_reward;
+  } else {
+    result.solve_failed = failed;
+    double accepted = best.x;
+    double cost = best.value;
+    const double max_step = guard_.trust_region_fraction * reward_cap_;
+    if (std::isfinite(max_step) &&
+        std::fabs(accepted - result.old_reward) > max_step) {
+      accepted = std::clamp(accepted, result.old_reward - max_step,
+                            result.old_reward + max_step);
+      accepted = std::clamp(accepted, 0.0, reward_cap_);
+      ++health_stats_.clamped_steps;
+      result.clamped = true;
+      math::Vector probe = rewards_;
+      probe[period] = accepted;
+      cost = model_.total_cost(probe);
+      TDP_LOG_WARN << "online update period " << period
+                   << ": trust region clamps reward step to " << accepted;
+    }
+    rewards_[period] = accepted;
+    result.new_reward = accepted;
+    result.expected_cost = cost;
+  }
+
+  update_health(degraded_input || result.solve_failed);
 
   if (speculative_) {
     launch_speculation((period + 1) % model_.periods());

@@ -19,11 +19,34 @@
 // forecast is a scale-by-1.0 no-op. Any deviation discards the speculation
 // and recomputes synchronously, so outputs never depend on whether
 // speculation is enabled, only the latency does.
+//
+// Guarded observe path: a production pricer's inputs degrade — measurements
+// get synthesized by the guard, solves get starved of iterations, demand
+// shifts under it. `observe_period_ex` wraps the step with (a) a per-step
+// iteration budget, (b) a trust-region clamp on how far one observation may
+// move a reward, and (c) keep-previous-reward when the solve fails — and
+// drives an explicit health ladder:
+//
+//   HEALTHY --bad observation--> DEGRADED --fallback_after bad--> FALLBACK
+//      ^                            |  ^                             |
+//      +--- recover_after good ----+  +----- recover_after good ----+
+//
+// A "bad" observation is a degraded/synthesized input, a missed one, or a
+// failed solve. In FALLBACK the pricer freezes its schedule on degraded
+// input (last-known-good rewards keep publishing) and only probes the model
+// again when a clean measurement arrives. The default PricerGuardConfig is
+// a no-op (infinite trust region, legacy iteration budget, failures
+// accepted as before), so existing callers — and any zero-fault plan — are
+// bit-identical to the unguarded pricer; the ladder still *tracks* health
+// either way.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "dynamic/dynamic_model.hpp"
 #include "dynamic/dynamic_optimizer.hpp"
@@ -31,13 +54,55 @@
 
 namespace tdp {
 
+enum class PricerHealth { kHealthy, kDegraded, kFallback };
+
+const char* to_string(PricerHealth health);
+
+/// Degradation policy for the guarded observe path. The default is
+/// behavior-preserving: nothing clamps, nothing is kept back, solves get
+/// the same budget as before this config existed.
+struct PricerGuardConfig {
+  /// Iteration budget per 1-D solve (golden section max_iterations).
+  std::size_t solver_max_iterations = 200;
+  /// Trust region: one observation may move a reward by at most this
+  /// fraction of the reward cap. Infinity = unclamped (legacy).
+  double trust_region_fraction = std::numeric_limits<double>::infinity();
+  /// Keep the previous reward when a solve fails (budget exhausted or a
+  /// non-finite result). False = accept the best-so-far point (legacy).
+  bool keep_reward_on_failure = false;
+  /// Consecutive bad observations before DEGRADED escalates to FALLBACK.
+  std::size_t fallback_after = 3;
+  /// Consecutive good observations to climb one rung back toward HEALTHY.
+  std::size_t recover_after = 2;
+
+  /// The armed preset chaos runs use: tight trust region, failures keep
+  /// the previous reward.
+  static PricerGuardConfig protective();
+};
+
+/// Monotone counters for the health ladder (all-zero on a clean run except
+/// healthy_observations).
+struct PricerHealthStats {
+  std::uint64_t healthy_observations = 0;
+  std::uint64_t degraded_observations = 0;  ///< observed while DEGRADED
+  std::uint64_t fallback_observations = 0;  ///< observed while FALLBACK
+  std::uint64_t transitions = 0;            ///< state changes
+  std::uint64_t solve_failures = 0;
+  std::uint64_t clamped_steps = 0;       ///< trust region bound
+  std::uint64_t skipped_updates = 0;     ///< FALLBACK froze the schedule
+  std::uint64_t missed_observations = 0; ///< observe_missed calls
+  std::uint64_t recoveries = 0;          ///< returns to HEALTHY
+  std::uint64_t max_recovery_periods = 0;///< longest excursion from HEALTHY
+};
+
 class OnlinePricer {
  public:
   /// Initializes rewards by solving the offline dynamic model.
   /// `speculative` pre-solves each next period in the background.
   explicit OnlinePricer(DynamicModel model,
                         DynamicOptimizerOptions offline_options = {},
-                        bool speculative = false);
+                        bool speculative = false,
+                        PricerGuardConfig guard = {});
   ~OnlinePricer();
 
   OnlinePricer(const OnlinePricer&) = delete;
@@ -57,6 +122,9 @@ class OnlinePricer {
     double new_reward = 0.0;
     double expected_cost = 0.0;   ///< daily cost at the updated rewards
     bool speculative_hit = false; ///< result came from the pre-solve
+    bool solve_failed = false;    ///< budget exhausted / non-finite result
+    bool clamped = false;         ///< trust region bound the step
+    bool skipped = false;         ///< FALLBACK froze the schedule
   };
 
   /// Report the arrivals measured in `period` (demand units under TIP, i.e.
@@ -66,6 +134,19 @@ class OnlinePricer {
   /// with the other n-1 rewards fixed.
   StepResult observe_period(std::size_t period, double measured_arrivals);
 
+  /// The guarded observe path. `degraded_input` marks a synthesized or
+  /// altered measurement (see MeasurementGuard); `iteration_budget` caps
+  /// this step's 1-D solve (pass guard().solver_max_iterations when no
+  /// fault wants to starve it). Equal to observe_period when called with
+  /// (false, guard().solver_max_iterations) under the default guard.
+  StepResult observe_period_ex(std::size_t period, double measured_arrivals,
+                               bool degraded_input,
+                               std::size_t iteration_budget);
+
+  /// The period's measurement never arrived at all (TTL-expired blackout):
+  /// advance the health ladder with a bad observation, keep the schedule.
+  void observe_missed(std::size_t period);
+
   /// Daily cost of the current rewards under the current demand estimate.
   double expected_cost() const { return model_.total_cost(rewards_); }
 
@@ -74,20 +155,49 @@ class OnlinePricer {
   std::size_t speculation_hits() const { return speculation_hits_; }
   std::size_t speculation_misses() const { return speculation_misses_; }
 
+  const PricerGuardConfig& guard() const { return guard_; }
+  PricerHealth health() const { return health_; }
+  const PricerHealthStats& health_stats() const { return health_stats_; }
+
+  struct HealthTransition {
+    std::uint64_t observation = 0;  ///< 0-based observe counter
+    PricerHealth from = PricerHealth::kHealthy;
+    PricerHealth to = PricerHealth::kHealthy;
+  };
+  /// First kMaxTransitionLog transitions (diagnostics; bounded memory).
+  const std::vector<HealthTransition>& health_transitions() const {
+    return health_log_;
+  }
+
  private:
+  static constexpr std::size_t kMaxTransitionLog = 256;
+
   /// The synchronous 1-D step: minimize the daily cost over `period`'s
   /// reward with the others fixed at `rewards`.
   static math::GoldenSectionResult solve_period(const DynamicModel& model,
                                                 math::Vector rewards,
                                                 std::size_t period,
-                                                double reward_cap);
+                                                double reward_cap,
+                                                std::size_t max_iterations);
 
   void launch_speculation(std::size_t next_period);
   void join_speculation();
 
+  /// Advance the health ladder after one observation.
+  void update_health(bool bad);
+
   DynamicModel model_;
   math::Vector rewards_;
   double reward_cap_;
+  PricerGuardConfig guard_;
+
+  PricerHealth health_ = PricerHealth::kHealthy;
+  PricerHealthStats health_stats_;
+  std::vector<HealthTransition> health_log_;
+  std::uint64_t observation_count_ = 0;
+  std::uint64_t consecutive_bad_ = 0;
+  std::uint64_t consecutive_good_ = 0;
+  std::uint64_t excursion_periods_ = 0;  ///< observations since HEALTHY
 
   /// One in-flight pre-solve; owned and joined by the calling thread, so
   /// the worker only ever touches its private snapshot in `speculation_`.

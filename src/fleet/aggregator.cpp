@@ -27,6 +27,13 @@ PeriodStats StripedAggregator::merged(std::size_t period) const {
   return total;
 }
 
+const PeriodStats& StripedAggregator::stripe(std::size_t shard,
+                                             std::size_t period) const {
+  TDP_REQUIRE(shard < shards_ && period < periods_,
+              "stripe index out of range");
+  return stripes_[shard * periods_ + period];
+}
+
 void StripedAggregator::clear() {
   for (PeriodStats& stats : stripes_) stats = PeriodStats{};
 }

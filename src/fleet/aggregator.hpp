@@ -34,6 +34,11 @@ class StripedAggregator {
   /// Fleet totals for one period: stripes folded in ascending shard order.
   PeriodStats merged(std::size_t period) const;
 
+  /// One shard's recorded stripe (read-only). The fault-injecting driver
+  /// folds surviving stripes itself — in the same ascending shard order —
+  /// when shards act as measurement fault domains.
+  const PeriodStats& stripe(std::size_t shard, std::size_t period) const;
+
   /// Reset all stripes to zero (start of a new day).
   void clear();
 

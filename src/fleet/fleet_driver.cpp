@@ -40,20 +40,32 @@ DynamicModel model_for(const Population& population) {
 }  // namespace
 
 FleetDriver::FleetDriver(FleetDriverConfig config)
-    : config_(config),
-      population_(config.population),
-      channel_(config.population.periods),
+    : config_(std::move(config)),
+      population_(config_.population),
+      injector_(config_.fault),
+      channel_(config_.population.periods),
       fanout_(channel_, paper::kPatienceIndices.size()),
+      guard_(population_.expected_demand_units(),
+             config_.measurement_guard),
       aggregator_(
           std::min<std::size_t>(
-              std::max<std::size_t>(config.shards, 1),
+              std::max<std::size_t>(config_.shards, 1),
               static_cast<std::size_t>(population_.users())),
           population_.periods()),
-      threads_(config.threads == 0 ? default_thread_count()
-                                   : config.threads) {
-  // The offline solve happens here (OnlinePricer's constructor).
+      threads_(config_.threads == 0 ? default_thread_count()
+                                    : config_.threads) {
+  channel_.set_resilience(config_.resilience);
+  if (injector_.enabled()) channel_.set_fault_injector(&injector_);
+
+  // The offline solve happens here (OnlinePricer's constructor). When the
+  // fault plan can fire, the guard defaults to the armed preset; a clean
+  // driver keeps the behavior-preserving default guard.
+  const PricerGuardConfig guard = config_.pricer_guard.value_or(
+      injector_.enabled() ? PricerGuardConfig::protective()
+                          : PricerGuardConfig{});
   pricer_ = std::make_unique<OnlinePricer>(model_for(population_),
-                                           config_.offline_options);
+                                           config_.offline_options,
+                                           /*speculative=*/false, guard);
 
   // Contiguous near-equal user ranges; layout depends on users and shard
   // count only.
@@ -68,6 +80,42 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
   TDP_LOG_INFO << "fleet: " << users << " users over " << shard_count
                << " shards, " << threads_ << " threads, "
                << population_.periods() << " periods";
+}
+
+FleetDriver::Observation FleetDriver::observe(
+    std::size_t period, std::uint64_t abs_period, double calibration,
+    const PeriodStats& merged) const {
+  Observation obs;
+  if (!injector_.enabled()) {
+    // Fault-free fast path: the merged aggregate, bit-identical to the
+    // pre-fault driver.
+    obs.sample = merged.offered_work * calibration;
+    return obs;
+  }
+
+  // Shards are measurement fault domains: a lost shard's stripe never
+  // reaches telemetry. Surviving stripes fold in the same ascending shard
+  // order as StripedAggregator::merged, so a no-loss period reproduces the
+  // merged value bitwise.
+  PeriodStats survived;
+  for (std::size_t s = 0; s < aggregator_.shards(); ++s) {
+    if (injector_.measurement_fault(s, abs_period) ==
+        FaultInjector::MeasurementFault::kLost) {
+      ++obs.lost_stripes;
+      continue;
+    }
+    survived += aggregator_.stripe(s, period);
+  }
+  const double value = survived.offered_work * calibration;
+
+  // The aggregate stream is its own fault domain on top of shard loss.
+  const FaultInjector::MeasurementFault fault = injector_.measurement_fault(
+      FaultInjector::kAggregateEntity, abs_period);
+  if (fault == FaultInjector::MeasurementFault::kLost) {
+    return obs;  // sample never arrives
+  }
+  obs.sample = injector_.corrupt(fault, value);
+  return obs;
 }
 
 FleetMetrics FleetDriver::run_day() {
@@ -125,7 +173,28 @@ FleetMetrics FleetDriver::run_day() {
       }
 
       if (config_.online_pricing) {
-        pricer_->observe_period(period, merged.offered_work * calibration);
+        const std::uint64_t abs_period =
+            static_cast<std::uint64_t>(day) * n + period;
+        const Observation obs =
+            observe(period, abs_period, calibration, merged);
+        metrics.shard_stripes_lost += obs.lost_stripes;
+        if (!obs.sample.has_value()) {
+          // Total telemetry blackout for the period: the pricer is told
+          // explicitly and freezes its schedule.
+          ++metrics.measurement_gaps;
+          pricer_->observe_missed(period);
+        } else {
+          const MeasurementGuard::Admitted admitted =
+              guard_.admit(period, obs.sample);
+          if (admitted.degraded) ++metrics.measurement_repairs;
+          const std::size_t budget =
+              injector_.exhaust_solver(abs_period)
+                  ? injector_.plan().solver_starved_budget
+                  : pricer_->guard().solver_max_iterations;
+          pricer_->observe_period_ex(
+              period, admitted.value,
+              admitted.degraded || obs.lost_stripes > 0, budget);
+        }
       }
     }
   }
@@ -145,6 +214,24 @@ FleetMetrics FleetDriver::run_day() {
   metrics.peak_to_average_tdp = peak_to_average(metrics.realized_units);
   metrics.pricer_expected_cost = pricer_->expected_cost();
   metrics.price_server_fetches = fanout_.total_server_fetches();
+
+  const SubscriberTelemetry channel_stats = fanout_.total_telemetry();
+  metrics.price_pull_drops = channel_stats.dropped_attempts;
+  metrics.price_pull_retries = channel_stats.retries;
+  metrics.price_stale_periods = channel_stats.stale_periods;
+  metrics.price_fallback_periods = channel_stats.fallback_periods;
+  metrics.price_skewed_periods = channel_stats.skewed_periods;
+  metrics.price_recoveries = channel_stats.recoveries;
+  const PricerHealthStats& health = pricer_->health_stats();
+  metrics.solver_failures = health.solve_failures;
+  metrics.reward_clamps = health.clamped_steps;
+  metrics.skipped_updates = health.skipped_updates;
+  metrics.health_transitions = health.transitions;
+  metrics.degraded_observations = health.degraded_observations;
+  metrics.fallback_observations = health.fallback_observations;
+  metrics.pricer_recoveries = health.recoveries;
+  metrics.max_recovery_periods = health.max_recovery_periods;
+  metrics.final_health = to_string(pricer_->health());
   return metrics;
 }
 

@@ -21,12 +21,23 @@
 // the shard layout is fixed by configuration, never derived from the thread
 // count; the merge order is fixed. Per-period aggregates — and therefore
 // the pricer's reward trajectory — are bit-identical for any thread count.
+// Fault model: `FleetDriverConfig::fault` injects failures into the
+// *observation* paths only — price pulls and usage telemetry — never into
+// the simulated users themselves, so a chaos run and a clean run describe
+// the same physical fleet and differ only in what the control loop sees.
+// Shards act as measurement fault domains (a lost shard's stripe never
+// reaches the pricer); price-pull faults hit the fan-out groups. When any
+// fault can fire, the pricer's guard is armed (trust region + keep-reward
+// on failure) unless an explicit guard config is given. A zero-fault plan
+// leaves every path bit-identical to a driver with no plan at all.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "dynamic/dynamic_optimizer.hpp"
 #include "dynamic/online_pricer.hpp"
 #include "fleet/aggregator.hpp"
@@ -34,6 +45,7 @@
 #include "fleet/population.hpp"
 #include "fleet/price_fanout.hpp"
 #include "fleet/shard.hpp"
+#include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
 namespace tdp::fleet {
@@ -53,6 +65,16 @@ struct FleetDriverConfig {
   /// schedule is published unchanged all day).
   bool online_pricing = true;
   DynamicOptimizerOptions offline_options;
+
+  /// Fault plan for the chaos run (default: nothing ever fires).
+  FaultPlan fault;
+  /// Staleness/retry policy for degraded price pulls.
+  ChannelResilienceConfig resilience;
+  /// Sanitization policy for the measured-aggregate feed.
+  MeasurementGuardConfig measurement_guard;
+  /// Pricer degradation policy; unset = PricerGuardConfig::protective()
+  /// when the fault plan can fire, legacy no-op guard otherwise.
+  std::optional<PricerGuardConfig> pricer_guard;
 };
 
 class FleetDriver {
@@ -69,14 +91,27 @@ class FleetDriver {
   /// Single-shot: a driver instance runs one experiment.
   FleetMetrics run_day();
 
+  const FaultInjector& injector() const { return injector_; }
+
  private:
+  /// What the telemetry path reports for one period (std::nullopt = the
+  /// aggregate sample never arrived), plus whether shard stripes were lost.
+  struct Observation {
+    std::optional<double> sample;
+    std::size_t lost_stripes = 0;
+  };
+  Observation observe(std::size_t period, std::uint64_t abs_period,
+                      double calibration, const PeriodStats& merged) const;
+
   FleetDriverConfig config_;
   Population population_;
+  FaultInjector injector_;
   /// The fluid model the pricer plans against: the paper's demand mix at
   /// the paper's load factor — exactly the population's expected aggregate.
   std::unique_ptr<OnlinePricer> pricer_;
   PriceChannel channel_;
   PriceFanout fanout_;
+  MeasurementGuard guard_;
   std::vector<Shard> shards_;
   StripedAggregator aggregator_;
   std::size_t threads_;

@@ -89,6 +89,52 @@ std::string FleetMetrics::to_json() const {
   append_field(out, "price_server_fetches",
                static_cast<std::uint64_t>(price_server_fetches));
   out += ',';
+  append_field(out, "price_pull_drops",
+               static_cast<std::uint64_t>(price_pull_drops));
+  out += ',';
+  append_field(out, "price_pull_retries",
+               static_cast<std::uint64_t>(price_pull_retries));
+  out += ',';
+  append_field(out, "price_stale_periods",
+               static_cast<std::uint64_t>(price_stale_periods));
+  out += ',';
+  append_field(out, "price_fallback_periods",
+               static_cast<std::uint64_t>(price_fallback_periods));
+  out += ',';
+  append_field(out, "price_skewed_periods",
+               static_cast<std::uint64_t>(price_skewed_periods));
+  out += ',';
+  append_field(out, "price_recoveries",
+               static_cast<std::uint64_t>(price_recoveries));
+  out += ',';
+  append_field(out, "shard_stripes_lost",
+               static_cast<std::uint64_t>(shard_stripes_lost));
+  out += ',';
+  append_field(out, "measurement_gaps",
+               static_cast<std::uint64_t>(measurement_gaps));
+  out += ',';
+  append_field(out, "measurement_repairs",
+               static_cast<std::uint64_t>(measurement_repairs));
+  out += ',';
+  append_field(out, "solver_failures", solver_failures);
+  out += ',';
+  append_field(out, "reward_clamps", reward_clamps);
+  out += ',';
+  append_field(out, "skipped_updates", skipped_updates);
+  out += ',';
+  append_field(out, "health_transitions", health_transitions);
+  out += ',';
+  append_field(out, "degraded_observations", degraded_observations);
+  out += ',';
+  append_field(out, "fallback_observations", fallback_observations);
+  out += ',';
+  append_field(out, "pricer_recoveries", pricer_recoveries);
+  out += ',';
+  append_field(out, "max_recovery_periods", max_recovery_periods);
+  out += ',';
+  out += "\"final_health\":\"";
+  out += final_health;
+  out += "\",";
   append_array(out, "offered_units", offered_units);
   out += ',';
   append_array(out, "realized_units", realized_units);

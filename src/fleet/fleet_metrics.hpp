@@ -40,6 +40,26 @@ struct FleetMetrics {
   std::size_t price_groups = 0;
   std::size_t price_server_fetches = 0;
 
+  // Robustness accounting (all days; zero on a fault-free run).
+  std::size_t price_pull_drops = 0;       ///< dropped fetch attempts
+  std::size_t price_pull_retries = 0;     ///< extra attempts after a drop
+  std::size_t price_stale_periods = 0;    ///< group-periods on stale cache
+  std::size_t price_fallback_periods = 0; ///< group-periods on flat-TIP
+  std::size_t price_skewed_periods = 0;   ///< group-periods lost to skew
+  std::size_t price_recoveries = 0;       ///< fetch succeeded after misses
+  std::size_t shard_stripes_lost = 0;     ///< shard telemetry never arrived
+  std::size_t measurement_gaps = 0;       ///< whole-aggregate losses
+  std::size_t measurement_repairs = 0;    ///< guard-sanitized samples
+  std::uint64_t solver_failures = 0;
+  std::uint64_t reward_clamps = 0;        ///< trust-region bound steps
+  std::uint64_t skipped_updates = 0;      ///< FALLBACK froze the schedule
+  std::uint64_t health_transitions = 0;
+  std::uint64_t degraded_observations = 0;
+  std::uint64_t fallback_observations = 0;
+  std::uint64_t pricer_recoveries = 0;
+  std::uint64_t max_recovery_periods = 0;
+  std::string final_health = "HEALTHY";
+
   /// Compact single-object JSON (profiles included as arrays).
   std::string to_json() const;
 };

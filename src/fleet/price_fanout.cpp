@@ -1,5 +1,7 @@
 #include "fleet/price_fanout.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace tdp::fleet {
@@ -29,6 +31,28 @@ std::size_t PriceFanout::total_server_fetches() const {
   std::size_t total = 0;
   for (std::size_t id : subscribers_) {
     total += channel_->server_fetches(id);
+  }
+  return total;
+}
+
+SubscriberTelemetry PriceFanout::telemetry(std::size_t group) const {
+  TDP_REQUIRE(group < subscribers_.size(), "unknown group");
+  return channel_->telemetry(subscribers_[group]);
+}
+
+SubscriberTelemetry PriceFanout::total_telemetry() const {
+  SubscriberTelemetry total;
+  for (std::size_t id : subscribers_) {
+    const SubscriberTelemetry t = channel_->telemetry(id);
+    total.fetches += t.fetches;
+    total.cache_hits += t.cache_hits;
+    total.dropped_attempts += t.dropped_attempts;
+    total.retries += t.retries;
+    total.stale_periods += t.stale_periods;
+    total.fallback_periods += t.fallback_periods;
+    total.skewed_periods += t.skewed_periods;
+    total.recoveries += t.recoveries;
+    total.missed_streak = std::max(total.missed_streak, t.missed_streak);
   }
   return total;
 }

@@ -41,6 +41,7 @@ GoldenSectionResult minimize_golden_section(
     result.iterations = iter + 1;
   }
 
+  result.converged = (b - a) <= tolerance;
   result.x = 0.5 * (a + b);
   result.value = f(result.x);
   // Endpoints can beat the midpoint when the minimizer sits on the boundary.

@@ -13,6 +13,11 @@ struct GoldenSectionResult {
   double x = 0.0;
   double value = 0.0;
   std::size_t iterations = 0;
+  /// False when the iteration budget ran out before the interval reached
+  /// `tolerance` — the result is the best midpoint so far, not a verified
+  /// minimizer. Guarded callers (the online pricer's degraded path) treat
+  /// this as a solve failure and keep their previous answer.
+  bool converged = true;
 };
 
 /// Minimize `f` over [lo, hi] to within `tolerance` on x.

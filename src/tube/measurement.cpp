@@ -1,6 +1,9 @@
 #include "tube/measurement.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace tdp {
 
@@ -17,16 +20,51 @@ std::size_t MeasurementEngine::index(std::size_t user,
 }
 
 void MeasurementEngine::close_period(const netsim::BottleneckLink& link) {
-  std::vector<double> usage(users_ * classes_, 0.0);
+  std::vector<double> cumulative(users_ * classes_, 0.0);
   for (std::size_t u = 0; u < users_; ++u) {
     for (std::size_t c = 0; c < classes_; ++c) {
-      const double cumulative = link.served_mb(u, c);
-      const std::size_t k = index(u, c);
-      usage[k] = cumulative - baseline_[k];
-      baseline_[k] = cumulative;
+      cumulative[index(u, c)] = link.served_mb(u, c);
     }
   }
+  close_period(cumulative);
+}
+
+void MeasurementEngine::close_period(const std::vector<double>& cumulative) {
+  TDP_REQUIRE(cumulative.size() == users_ * classes_,
+              "cumulative counter size mismatch");
+  std::vector<double> usage(users_ * classes_, 0.0);
+  for (std::size_t k = 0; k < cumulative.size(); ++k) {
+    const double counter = cumulative[k];
+    if (!std::isfinite(counter)) {
+      // Broken exporter: drop the sample, keep the old baseline so the
+      // next good counter yields the union of both periods' usage.
+      reject_sample(k, counter);
+      continue;
+    }
+    const double delta = counter - baseline_[k];
+    if (delta < 0.0) {
+      // Counter reset: the delta is meaningless; re-baseline and move on.
+      reject_sample(k, delta);
+      baseline_[k] = counter;
+      continue;
+    }
+    usage[k] = delta;
+    baseline_[k] = counter;
+  }
   per_period_.push_back(std::move(usage));
+}
+
+void MeasurementEngine::reject_sample(std::size_t flat_index, double value) {
+  ++rejected_samples_;
+  // Rate-limited: warn on the 1st, 2nd, 4th, 8th, ... rejection so a
+  // persistently sick exporter cannot flood the log.
+  const std::size_t n = rejected_samples_;
+  if ((n & (n - 1)) == 0) {
+    TDP_LOG_WARN << "measurement: rejected sample for (user "
+                 << flat_index / classes_ << ", class "
+                 << flat_index % classes_ << ") value " << value << " ("
+                 << n << " rejected so far)";
+  }
 }
 
 double MeasurementEngine::usage_mb(std::size_t period, std::size_t user,

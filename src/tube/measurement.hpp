@@ -7,6 +7,12 @@
 // differences them into per-period usage — the same per-period aggregate
 // the estimator needs, and the per-user record needed for billing ("the ISP
 // only needs to record a user's TDP usage per period").
+//
+// Input sanitization: real accounting counters go bad — NaN from a broken
+// exporter, negative deltas from a counter reset. Such samples are rejected
+// *unconditionally* (recorded as zero usage, counted, and warned about at a
+// rate-limited cadence) so garbage never propagates into the profiler or
+// the billing records.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +31,16 @@ class MeasurementEngine {
   /// Snapshot the link's cumulative counters at a period boundary, closing
   /// the current measurement period.
   void close_period(const netsim::BottleneckLink& link);
+
+  /// As above but from raw cumulative counters (flat (user, class) layout,
+  /// size users*classes) — the seam telemetry importers and tests use.
+  /// Non-finite counters keep the previous baseline (the sample is
+  /// rejected); a counter that moved backwards (reset) re-baselines.
+  void close_period(const std::vector<double>& cumulative);
+
+  /// Samples rejected by sanitization (NaN/inf counters, negative deltas)
+  /// since construction. Each rejected sample was recorded as zero usage.
+  std::size_t rejected_samples() const { return rejected_samples_; }
 
   std::size_t periods_recorded() const { return per_period_.size(); }
   std::size_t users() const { return users_; }
@@ -53,10 +69,14 @@ class MeasurementEngine {
  private:
   std::size_t index(std::size_t user, std::size_t traffic_class) const;
 
+  /// Count and (rate-limitedly) warn about one rejected sample.
+  void reject_sample(std::size_t flat_index, double value);
+
   std::size_t users_;
   std::size_t classes_;
   std::vector<double> baseline_;                 ///< cumulative at phase start
   std::vector<std::vector<double>> per_period_;  ///< period -> flat (u,c)
+  std::size_t rejected_samples_ = 0;
 };
 
 }  // namespace tdp

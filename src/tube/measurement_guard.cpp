@@ -1,0 +1,101 @@
+#include "tube/measurement_guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace tdp {
+
+MeasurementGuard::MeasurementGuard(std::vector<double> reference,
+                                   MeasurementGuardConfig config)
+    : reference_(std::move(reference)),
+      config_(config),
+      last_good_(reference_.size(), 0.0),
+      has_last_good_(reference_.size(), false),
+      gap_streak_(reference_.size(), 0) {
+  TDP_REQUIRE(!reference_.empty(), "need at least one period");
+  TDP_REQUIRE(config_.max_spike_factor > 1.0,
+              "spike factor must exceed 1 or clean data would be clamped");
+  for (double r : reference_) {
+    TDP_REQUIRE(std::isfinite(r) && r >= 0.0,
+                "reference profile must be finite and nonnegative");
+  }
+}
+
+double MeasurementGuard::fill_gap(std::size_t period) {
+  ++gaps_filled_;
+  ++gap_streak_[period];
+  if (has_last_good_[period] &&
+      gap_streak_[period] <= config_.max_carry_forward) {
+    return last_good_[period];
+  }
+  // Extended blackout (or no history yet): interpolate toward the prior —
+  // keep one carry-forward's worth of weight on the last good sample so
+  // the transition is not a cliff, pure reference once even that is gone.
+  if (has_last_good_[period]) {
+    return 0.5 * (last_good_[period] + reference_[period]);
+  }
+  return reference_[period];
+}
+
+MeasurementGuard::Admitted MeasurementGuard::admit(
+    std::size_t period, std::optional<double> measured) {
+  TDP_REQUIRE(period < reference_.size(), "period out of range");
+  Admitted out;
+
+  if (!measured.has_value()) {
+    out.value = fill_gap(period);
+    out.degraded = true;
+    return out;
+  }
+  const double raw = *measured;
+  if (std::isnan(raw) || std::isinf(raw)) {
+    ++nan_rejected_;
+    TDP_LOG_WARN << "measurement guard: non-finite sample for period "
+                 << period << "; filling gap";
+    out.value = fill_gap(period);
+    out.degraded = true;
+    return out;
+  }
+  if (raw < 0.0) {
+    ++negative_rejected_;
+    TDP_LOG_WARN << "measurement guard: negative sample " << raw
+                 << " for period " << period << "; filling gap";
+    out.value = fill_gap(period);
+    out.degraded = true;
+    return out;
+  }
+
+  // The spike bound is anchored on the larger of the prior and the last
+  // good sample, so legitimately-grown demand keeps headroom.
+  const double anchor =
+      has_last_good_[period]
+          ? std::max(reference_[period], last_good_[period])
+          : reference_[period];
+  const double bound = config_.max_spike_factor * anchor;
+  if (anchor > 0.0 && raw > bound) {
+    ++spikes_clamped_;
+    TDP_LOG_WARN << "measurement guard: spike " << raw << " clamped to "
+                 << bound << " for period " << period;
+    out.value = bound;
+    out.degraded = true;
+    // A clamped sample is still evidence of elevated demand: remember the
+    // clamped level, not the outlier.
+    last_good_[period] = bound;
+    has_last_good_[period] = true;
+    gap_streak_[period] = 0;
+    return out;
+  }
+
+  // Clean sample: pass through bit-identical.
+  out.value = raw;
+  out.degraded = false;
+  last_good_[period] = raw;
+  has_last_good_[period] = true;
+  gap_streak_[period] = 0;
+  return out;
+}
+
+}  // namespace tdp

@@ -1,0 +1,82 @@
+// Guard between raw measured aggregates and OnlinePricer::observe_period.
+//
+// The online price-determination algorithm rescales a period's demand
+// estimate to whatever the measurement path reports. If that path degrades
+// — a lost sample, a NaN from a sick exporter, a negative delta, a spike
+// outlier — feeding the raw value would corrupt the demand model and the
+// reward trajectory with it. This guard admits exactly one sample per
+// period and returns the value that is safe to feed:
+//
+//   * finite, nonnegative, below the spike bound  -> passed through
+//     untouched (bit-identical: the guard is invisible on clean data);
+//   * NaN / negative                              -> rejected, treated as
+//     a gap;
+//   * missing (std::nullopt)                      -> a gap;
+//   * above `max_spike_factor` x the period's reference level -> clamped
+//     to that bound (a transient burst must not be learned as recurring
+//     demand);
+//   * gaps: carry the period's last-known-good value forward for up to
+//     `max_carry_forward` consecutive gapped days of that period, then
+//     interpolate to the reference profile (the model's expected demand) —
+//     an extended blackout decays to the prior instead of freezing a
+//     possibly-bad last sample forever.
+//
+// Every admitted value is labeled `degraded` when it is not the raw
+// measurement, so the pricer's health state machine can distinguish real
+// observations from synthesized ones.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tdp {
+
+struct MeasurementGuardConfig {
+  /// Spike bound as a multiple of the period's reference level.
+  double max_spike_factor = 8.0;
+  /// Consecutive gaps (per period index) filled with last-known-good
+  /// before decaying to the reference profile.
+  std::size_t max_carry_forward = 3;
+};
+
+class MeasurementGuard {
+ public:
+  /// `reference` is the per-period prior (the demand profile the pricer's
+  /// model was built from); it sizes the guard and anchors gap filling and
+  /// spike bounds. Must be finite and nonnegative.
+  explicit MeasurementGuard(std::vector<double> reference,
+                            MeasurementGuardConfig config = {});
+
+  std::size_t periods() const { return reference_.size(); }
+
+  struct Admitted {
+    double value = 0.0;
+    bool degraded = false;  ///< value is synthesized or altered, not raw
+  };
+
+  /// Sanitize one period's measured aggregate (`std::nullopt` = the sample
+  /// never arrived). Periods cycle day over day; call once per period.
+  Admitted admit(std::size_t period, std::optional<double> measured);
+
+  // Monotone counters (all-zero on a clean run).
+  std::size_t gaps_filled() const { return gaps_filled_; }
+  std::size_t nan_rejected() const { return nan_rejected_; }
+  std::size_t negative_rejected() const { return negative_rejected_; }
+  std::size_t spikes_clamped() const { return spikes_clamped_; }
+
+ private:
+  double fill_gap(std::size_t period);
+
+  std::vector<double> reference_;
+  MeasurementGuardConfig config_;
+  std::vector<double> last_good_;          ///< per period index
+  std::vector<bool> has_last_good_;
+  std::vector<std::size_t> gap_streak_;    ///< consecutive gaps per period
+  std::size_t gaps_filled_ = 0;
+  std::size_t nan_rejected_ = 0;
+  std::size_t negative_rejected_ = 0;
+  std::size_t spikes_clamped_ = 0;
+};
+
+}  // namespace tdp

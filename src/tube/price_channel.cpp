@@ -23,26 +23,101 @@ void PriceChannel::publish(const math::Vector& rewards) {
 
 std::size_t PriceChannel::subscribe() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  subscribers_.push_back(Subscriber{math::Vector(periods_, 0.0),
-                                    static_cast<std::size_t>(-1), false, 0,
-                                    0});
+  Subscriber sub;
+  sub.cache = math::Vector(periods_, 0.0);
+  subscribers_.push_back(std::move(sub));
   return subscribers_.size() - 1;
+}
+
+void PriceChannel::set_fault_injector(const FaultInjector* injector) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  injector_ = injector;
+}
+
+void PriceChannel::set_resilience(const ChannelResilienceConfig& config) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  resilience_ = config;
 }
 
 math::Vector PriceChannel::pull(std::size_t subscriber,
                                 std::size_t abs_period) {
+  return pull_with_source(subscriber, abs_period, nullptr);
+}
+
+math::Vector PriceChannel::pull_with_source(std::size_t subscriber,
+                                            std::size_t abs_period,
+                                            PullSource* source) {
   const std::lock_guard<std::mutex> lock(mutex_);
   TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
   Subscriber& sub = subscribers_[subscriber];
   TDP_REQUIRE(!sub.pulled_ever || abs_period >= sub.last_pull_period,
               "pulls must be time-ordered");
-  if (!sub.pulled_ever || abs_period != sub.last_pull_period) {
+
+  // Repeat pull within the period: read whatever this period resolved to
+  // (fresh, stale or fallback — repeats must agree with the first pull).
+  if (sub.pulled_ever && abs_period == sub.last_pull_period) {
+    ++sub.stats.cache_hits;
+    if (source != nullptr) *source = PullSource::kCache;
+    return sub.cache;
+  }
+
+  sub.last_pull_period = abs_period;
+  sub.pulled_ever = true;
+
+  // First pull of a new period: try the server. The fault-free path (no
+  // injector, or one that never fires) is exactly the pre-fault channel:
+  // one successful attempt, cache refreshed, fetch counted.
+  // A skewed clock is not a transport failure: the subscriber believes the
+  // period has not rolled over and reads its cache as if it were current.
+  // The miss streak is untouched — the next unskewed period fetches
+  // normally.
+  if (injector_ != nullptr && injector_->skew_clock(subscriber, abs_period)) {
+    ++sub.stats.skewed_periods;
+    if (source != nullptr) *source = PullSource::kStale;
+    return sub.cache;
+  }
+
+  // Bounded retry: while within the TTL the subscriber spends its retry
+  // budget; once in fallback it backs off to one attempt per period.
+  bool fetched = false;
+  const std::size_t attempts =
+      sub.stats.missed_streak > resilience_.staleness_ttl
+          ? 1
+          : 1 + resilience_.max_retries;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (injector_ != nullptr &&
+        injector_->drop_price_pull(subscriber, abs_period, attempt)) {
+      ++sub.stats.dropped_attempts;
+      if (attempt + 1 < attempts) ++sub.stats.retries;
+      continue;
+    }
+    fetched = true;
+    break;
+  }
+
+  if (fetched) {
     sub.cache = published_;
-    sub.last_pull_period = abs_period;
-    sub.pulled_ever = true;
-    ++sub.fetches;
+    ++sub.stats.fetches;
+    if (sub.stats.missed_streak > 0) {
+      ++sub.stats.recoveries;
+      sub.stats.missed_streak = 0;
+    }
+    if (source != nullptr) *source = PullSource::kServer;
+    return sub.cache;
+  }
+
+  // Miss: degrade. Within the TTL the last-known-good schedule is still a
+  // sane signal (rewards change slowly period-to-period); past it, pretend
+  // prices are flat — a zero-reward schedule under which nobody defers,
+  // which can never destabilize demand.
+  ++sub.stats.missed_streak;
+  if (sub.stats.missed_streak <= resilience_.staleness_ttl) {
+    ++sub.stats.stale_periods;
+    if (source != nullptr) *source = PullSource::kStale;
   } else {
-    ++sub.hits;
+    ++sub.stats.fallback_periods;
+    sub.cache = math::Vector(periods_, 0.0);
+    if (source != nullptr) *source = PullSource::kFallback;
   }
   return sub.cache;  // copy: the caller's snapshot outlives any mutation
 }
@@ -50,13 +125,19 @@ math::Vector PriceChannel::pull(std::size_t subscriber,
 std::size_t PriceChannel::server_fetches(std::size_t subscriber) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
-  return subscribers_[subscriber].fetches;
+  return subscribers_[subscriber].stats.fetches;
 }
 
 std::size_t PriceChannel::cache_hits(std::size_t subscriber) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
-  return subscribers_[subscriber].hits;
+  return subscribers_[subscriber].stats.cache_hits;
+}
+
+SubscriberTelemetry PriceChannel::telemetry(std::size_t subscriber) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TDP_REQUIRE(subscriber < subscribers_.size(), "unknown subscriber");
+  return subscribers_[subscriber].stats;
 }
 
 std::size_t PriceChannel::publish_count() const {

@@ -12,6 +12,18 @@
 // SSL/TLS transport is connection plumbing with no behavioral effect; this
 // in-process channel preserves the sync/caching semantics.)
 //
+// Graceful degradation: an optional FaultInjector models the transport
+// failing. A server fetch that is dropped is retried up to
+// `ChannelResilienceConfig::max_retries` times within the period; if every
+// attempt fails the subscriber serves its last-known-good schedule for up
+// to `staleness_ttl` consecutive missed periods, then falls back to the
+// flat-TIP (all-zero-reward) schedule — users simply stop deferring, which
+// is always safe — until a fetch succeeds again. While in fallback the
+// subscriber stops burning retries (bounded backoff: one attempt per
+// period) until the transport recovers. All of it is per-subscriber
+// deterministic accounting; with no injector (or a zero-rate plan) the pull
+// path is bit-identical to the fault-free channel.
+//
 // Thread safety: the optimizer publishes while many subscribers pull
 // concurrently (the fleet fan-out does exactly this), so all channel state
 // is guarded by one mutex and `pull` returns a *copy* of the schedule — a
@@ -19,16 +31,48 @@
 // `subscribe` (vector growth) or a same-subscriber pull in a later period.
 // Distinct subscribers may pull from distinct threads; pulls for one
 // subscriber must still be time-ordered (per-subscriber discipline, as
-// before).
+// before). The injector is const and stateless, so reading it under the
+// channel mutex is race-free.
 #pragma once
 
 #include <cstddef>
 #include <mutex>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "math/vector_ops.hpp"
 
 namespace tdp {
+
+/// Staleness/retry policy for degraded transports.
+struct ChannelResilienceConfig {
+  /// Consecutive missed periods a subscriber tolerates on last-known-good
+  /// before falling back to the flat-TIP schedule.
+  std::size_t staleness_ttl = 2;
+  /// Extra fetch attempts per period while not in fallback.
+  std::size_t max_retries = 2;
+};
+
+/// Where the schedule returned by one pull actually came from.
+enum class PullSource {
+  kServer,    ///< fresh fetch from the published schedule
+  kCache,     ///< repeat pull within the period (normal cache hit)
+  kStale,     ///< fetch failed; last-known-good within the TTL
+  kFallback,  ///< TTL exhausted; flat-TIP zero-reward schedule
+};
+
+/// Per-subscriber degradation counters (all monotone).
+struct SubscriberTelemetry {
+  std::size_t fetches = 0;           ///< successful server fetches
+  std::size_t cache_hits = 0;        ///< repeat pulls within a period
+  std::size_t dropped_attempts = 0;  ///< individual fetch attempts dropped
+  std::size_t retries = 0;           ///< extra attempts made after a drop
+  std::size_t stale_periods = 0;     ///< periods served last-known-good
+  std::size_t fallback_periods = 0;  ///< periods served flat-TIP
+  std::size_t skewed_periods = 0;    ///< periods lost to clock skew
+  std::size_t recoveries = 0;        ///< successful fetch after >=1 miss
+  std::size_t missed_streak = 0;     ///< current consecutive missed periods
+};
 
 class PriceChannel {
  public:
@@ -42,19 +86,36 @@ class PriceChannel {
   /// Register a GUI subscriber; returns its id.
   std::size_t subscribe();
 
+  /// Install the fault injector consulted on every fetch (nullptr = fault
+  /// free). The injector must outlive the channel; it is read-only and
+  /// thread-safe, so this merely swaps a pointer.
+  void set_fault_injector(const FaultInjector* injector);
+
+  /// Staleness/retry policy for degraded pulls.
+  void set_resilience(const ChannelResilienceConfig& config);
+
   /// GUI side: fetch the schedule during absolute period `abs_period`
   /// (monotonically nondecreasing across the run, not wrapped to the day).
   /// The first pull in a period goes "to the server" (copies the published
   /// schedule into the subscriber cache); later pulls in the same period
-  /// hit the cache. Returns a snapshot the caller owns — never a reference
-  /// that a concurrent publish/subscribe/pull could invalidate mid-read.
+  /// hit the cache. Under an injector the fetch may be dropped, in which
+  /// case the subscriber degrades as described in the header comment.
+  /// Returns a snapshot the caller owns — never a reference that a
+  /// concurrent publish/subscribe/pull could invalidate mid-read.
   math::Vector pull(std::size_t subscriber, std::size_t abs_period);
+
+  /// As `pull`, also reporting where the schedule came from.
+  math::Vector pull_with_source(std::size_t subscriber,
+                                std::size_t abs_period, PullSource* source);
 
   /// Server fetches this subscriber performed (for scalability assertions).
   std::size_t server_fetches(std::size_t subscriber) const;
 
   /// Cache hits (redundant pulls within a period).
   std::size_t cache_hits(std::size_t subscriber) const;
+
+  /// Full degradation counters for one subscriber.
+  SubscriberTelemetry telemetry(std::size_t subscriber) const;
 
   std::size_t publish_count() const;
 
@@ -63,8 +124,7 @@ class PriceChannel {
     math::Vector cache;
     std::size_t last_pull_period = static_cast<std::size_t>(-1);
     bool pulled_ever = false;
-    std::size_t fetches = 0;
-    std::size_t hits = 0;
+    SubscriberTelemetry stats;
   };
 
   std::size_t periods_;
@@ -72,6 +132,8 @@ class PriceChannel {
   math::Vector published_;
   std::size_t publish_count_ = 0;
   std::vector<Subscriber> subscribers_;
+  const FaultInjector* injector_ = nullptr;
+  ChannelResilienceConfig resilience_;
 };
 
 }  // namespace tdp

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "tube/measurement_guard.hpp"
 #include "math/piecewise_linear.hpp"
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
@@ -72,6 +73,17 @@ TubeSystem::PhaseReport TubeSystem::run_phase(
   netsim::BottleneckLink link(sim, config_.link_capacity_mbps);
   MeasurementEngine measurement(users, classes);
   PriceChannel channel(n);
+  const FaultInjector injector(config_.fault);
+  channel.set_resilience(config_.resilience);
+  if (injector.enabled()) channel.set_fault_injector(&injector);
+
+  // Sanitization for the measured-arrivals feed into the pricer: the prior
+  // is the model's own expected TIP demand per period.
+  std::unique_ptr<MeasurementGuard> guard;
+  if (pricer != nullptr) {
+    guard = std::make_unique<MeasurementGuard>(
+        pricer->model().arrivals().tip_demand_vector());
+  }
 
   // Publish the initial schedule.
   math::Vector schedule(n, 0.0);
@@ -184,9 +196,26 @@ TubeSystem::PhaseReport TubeSystem::run_phase(
       price_rrd_.add(elapsed_s_ + sim.now(), schedule[finished_period]);
       if (pricer != nullptr) {
         // Feed back measured arrivals (MB this period) and republish.
+        // The aggregate usage feed is a fault domain: samples can be lost
+        // (blackout -> the pricer freezes its schedule) or corrupted (the
+        // guard repairs them before they reach the model).
         const double measured =
             measurement.total_usage_mb(measurement.periods_recorded() - 1);
-        pricer->observe_period(finished_period, measured);
+        const std::uint64_t abs = static_cast<std::uint64_t>(k - 1);
+        const FaultInjector::MeasurementFault fault =
+            injector.measurement_fault(FaultInjector::kAggregateEntity, abs);
+        if (fault == FaultInjector::MeasurementFault::kLost) {
+          pricer->observe_missed(finished_period);
+        } else {
+          const MeasurementGuard::Admitted admitted = guard->admit(
+              finished_period, injector.corrupt(fault, measured));
+          const std::size_t budget =
+              injector.exhaust_solver(abs)
+                  ? injector.plan().solver_starved_budget
+                  : pricer->guard().solver_max_iterations;
+          pricer->observe_period_ex(finished_period, admitted.value,
+                                    admitted.degraded, budget);
+        }
         schedule = pricer->rewards();
         channel.publish(schedule);
       }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "dynamic/online_pricer.hpp"
 #include "math/vector_ops.hpp"
 #include "netsim/traffic.hpp"
@@ -59,6 +60,14 @@ struct TubeConfig {
   double capacity_target = 0.7;
 
   std::uint64_t seed = 20110620;
+
+  /// Fault plan for chaos experiments: price-pull drops/skew hit the GUI
+  /// agents' channel subscriptions, measurement faults hit the aggregate
+  /// usage feed into the online pricer. Default: nothing ever fires, and
+  /// every phase is bit-identical to a system without the plan.
+  FaultPlan fault;
+  /// Staleness/retry policy applied to the price channel when faults fire.
+  ChannelResilienceConfig resilience;
 };
 
 /// The standard testbed configuration used in Section VI's experiment.

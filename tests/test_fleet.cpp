@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -187,6 +188,54 @@ TEST(FleetDriver, OnlinePricerInTheLoopSmoothsThePeak) {
   const double realized_total = std::accumulate(
       metrics.realized_units.begin(), metrics.realized_units.end(), 0.0);
   EXPECT_NEAR(realized_total, measured_total, 0.05 * expected_total);
+}
+
+TEST(FleetDriver, ChaosRunDegradesGracefully) {
+  // The same population twice: clean, then under a 5% fault plan hitting
+  // every observation path at once. The chaos day must complete, keep its
+  // rewards inside [0, cap], surface its degradation in the counters, and
+  // stay within 10% of the clean run's peak-to-average ratio.
+  FleetDriverConfig config;
+  config.population = small_population(5000);
+  config.shards = 8;
+  config.threads = 2;
+  config.warmup_days = 1;
+
+  FleetDriver clean_driver(config);
+  const FleetMetrics clean = clean_driver.run_day();
+
+  config.fault.price_pull_drop = 0.05;
+  config.fault.measurement_loss = 0.025;
+  config.fault.measurement_nan = 0.0125;
+  config.fault.measurement_spike = 0.0125;
+  config.fault.solver_exhaustion = 0.05;
+  FleetDriver chaos_driver(config);
+  const FleetMetrics chaos = chaos_driver.run_day();
+
+  // The day completed on the same physical fleet (faults touch only the
+  // observation paths, never the simulated users).
+  EXPECT_EQ(chaos.sessions, clean.sessions);
+  EXPECT_EQ(chaos.offered_units.size(), clean.offered_units.size());
+
+  // Published rewards stayed sane throughout.
+  for (double reward : chaos_driver.pricer().rewards()) {
+    EXPECT_GE(reward, 0.0);
+    EXPECT_TRUE(std::isfinite(reward));
+  }
+
+  // The plan actually fired and the counters recorded it.
+  EXPECT_GT(chaos.price_pull_drops, 0u);
+  EXPECT_GT(chaos.shard_stripes_lost + chaos.measurement_gaps +
+                chaos.measurement_repairs,
+            0u);
+  const std::uint64_t bad_observations =
+      chaos.degraded_observations + chaos.fallback_observations +
+      chaos.skipped_updates;
+  EXPECT_GT(bad_observations, 0u);
+
+  // Graceful: the TDP benefit survives degraded control.
+  EXPECT_NEAR(chaos.peak_to_average_tdp, clean.peak_to_average_tdp,
+              0.10 * clean.peak_to_average_tdp);
 }
 
 TEST(FleetDriver, RunsAreSingleShot) {

@@ -64,6 +64,44 @@ TEST(Measurement, ResetKeepsBaseline) {
   EXPECT_NEAR(engine.total_usage_mb(0), 5.0, 1e-9);
 }
 
+// Broken exporters happen outside chaos runs too: non-finite counters are
+// dropped unconditionally (baseline kept, so the next good counter yields
+// the union of both periods), and a counter reset re-baselines.
+TEST(Measurement, RejectsNonFiniteAndResetCounters) {
+  MeasurementEngine engine(1, 2);
+  engine.close_period(std::vector<double>{10.0, 5.0});
+  EXPECT_NEAR(engine.usage_mb(0, 0, 0), 10.0, 1e-12);
+  EXPECT_NEAR(engine.usage_mb(0, 0, 1), 5.0, 1e-12);
+  EXPECT_EQ(engine.rejected_samples(), 0u);
+
+  // NaN counter: sample dropped, baseline kept.
+  engine.close_period(std::vector<double>{
+      std::numeric_limits<double>::quiet_NaN(), 8.0});
+  EXPECT_NEAR(engine.usage_mb(1, 0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(engine.usage_mb(1, 0, 1), 3.0, 1e-12);
+  EXPECT_EQ(engine.rejected_samples(), 1u);
+
+  // Class 0 recovers with the union of the two periods; class 1's counter
+  // went backwards (reset) so its sample is dropped and it re-baselines.
+  engine.close_period(std::vector<double>{16.0, 6.0});
+  EXPECT_NEAR(engine.usage_mb(2, 0, 0), 6.0, 1e-12);
+  EXPECT_NEAR(engine.usage_mb(2, 0, 1), 0.0, 1e-12);
+  EXPECT_EQ(engine.rejected_samples(), 2u);
+
+  engine.close_period(std::vector<double>{20.0, 10.0});
+  EXPECT_NEAR(engine.usage_mb(3, 0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(engine.usage_mb(3, 0, 1), 4.0, 1e-12);
+  EXPECT_EQ(engine.rejected_samples(), 2u);
+}
+
+TEST(Measurement, InfinityIsRejectedLikeNaN) {
+  MeasurementEngine engine(1, 1);
+  engine.close_period(std::vector<double>{
+      std::numeric_limits<double>::infinity()});
+  EXPECT_NEAR(engine.total_usage_mb(0), 0.0, 1e-12);
+  EXPECT_EQ(engine.rejected_samples(), 1u);
+}
+
 TEST(Measurement, RejectsBadIndices) {
   MeasurementEngine engine(2, 3);
   EXPECT_THROW(engine.usage_mb(0, 0, 0), PreconditionError);  // no periods
@@ -183,6 +221,149 @@ TEST(PriceChannel, ConcurrentPublishPullHammer) {
     // Exactly one server fetch per period, every repeat was a cache hit.
     EXPECT_EQ(channel.server_fetches(subscribers[i]), kPullsPerThread);
     EXPECT_EQ(channel.cache_hits(subscribers[i]), kPullsPerThread);
+  }
+}
+
+// --- staleness / fallback ladder -----------------------------------------
+
+TEST(PriceChannel, StalenessLadderServesLastKnownGoodThenFlatTip) {
+  FaultPlan plan;
+  plan.price_pull_drop = 1.0;  // the transport is completely down
+  const FaultInjector injector(plan);
+
+  PriceChannel channel(3);
+  channel.publish({0.1, 0.2, 0.3});
+  ChannelResilienceConfig resilience;
+  resilience.staleness_ttl = 2;
+  resilience.max_retries = 1;
+  channel.set_resilience(resilience);
+  const std::size_t gui = channel.subscribe();
+
+  // Establish a last-known-good schedule before the outage begins.
+  PullSource source;
+  math::Vector schedule = channel.pull_with_source(gui, 0, &source);
+  EXPECT_EQ(source, PullSource::kServer);
+  EXPECT_DOUBLE_EQ(schedule[1], 0.2);
+
+  channel.set_fault_injector(&injector);
+
+  // Misses 1 and 2: within the TTL, the stale cache is still served.
+  for (std::size_t period : {1u, 2u}) {
+    schedule = channel.pull_with_source(gui, period, &source);
+    EXPECT_EQ(source, PullSource::kStale) << "period " << period;
+    EXPECT_DOUBLE_EQ(schedule[1], 0.2);
+  }
+  // Miss 3: TTL exhausted — flat-TIP zero rewards (nobody defers: safe).
+  schedule = channel.pull_with_source(gui, 3, &source);
+  EXPECT_EQ(source, PullSource::kFallback);
+  EXPECT_DOUBLE_EQ(schedule[0], 0.0);
+  EXPECT_DOUBLE_EQ(schedule[2], 0.0);
+  // Repeat pull in the same period agrees with the first.
+  EXPECT_DOUBLE_EQ(channel.pull(gui, 3)[1], 0.0);
+
+  // In fallback the subscriber backs off to one attempt per period.
+  const SubscriberTelemetry before = channel.telemetry(gui);
+  channel.pull_with_source(gui, 4, &source);
+  EXPECT_EQ(source, PullSource::kFallback);
+  const SubscriberTelemetry after = channel.telemetry(gui);
+  EXPECT_EQ(after.dropped_attempts - before.dropped_attempts, 1u);
+
+  EXPECT_EQ(after.stale_periods, 2u);
+  EXPECT_EQ(after.fallback_periods, 2u);
+  EXPECT_EQ(after.missed_streak, 4u);
+  EXPECT_EQ(after.fetches, 1u);
+  // Periods 1..3 burned the retry budget (2 attempts each), period 4 one.
+  EXPECT_EQ(after.dropped_attempts, 7u);
+  EXPECT_EQ(after.retries, 3u);
+
+  // Transport restored: the next period fetches, counts a recovery, and
+  // the fresh schedule replaces the fallback zeros.
+  channel.set_fault_injector(nullptr);
+  schedule = channel.pull_with_source(gui, 5, &source);
+  EXPECT_EQ(source, PullSource::kServer);
+  EXPECT_DOUBLE_EQ(schedule[1], 0.2);
+  const SubscriberTelemetry recovered = channel.telemetry(gui);
+  EXPECT_EQ(recovered.recoveries, 1u);
+  EXPECT_EQ(recovered.missed_streak, 0u);
+}
+
+TEST(PriceChannel, ZeroRatePlanLeavesPullPathUntouched) {
+  const FaultInjector zero{};  // disabled
+  PriceChannel channel(2);
+  channel.publish({0.4, 0.6});
+  channel.set_fault_injector(&zero);
+  const std::size_t gui = channel.subscribe();
+  PullSource source;
+  const math::Vector schedule = channel.pull_with_source(gui, 9, &source);
+  EXPECT_EQ(source, PullSource::kServer);
+  EXPECT_DOUBLE_EQ(schedule[0], 0.4);
+  const SubscriberTelemetry stats = channel.telemetry(gui);
+  EXPECT_EQ(stats.fetches, 1u);
+  EXPECT_EQ(stats.dropped_attempts, 0u);
+  EXPECT_EQ(stats.stale_periods, 0u);
+}
+
+// The concurrent hammer with a flaky transport: publisher republishing,
+// subscribers pulling through a 30%-drop injector. Whatever each pull
+// returns must be internally consistent (no torn reads) and the
+// per-subscriber accounting must add up: every period resolves to exactly
+// one of fetched/stale/fallback. Runs under TSan via `ctest -L sanitize`.
+TEST(PriceChannel, ConcurrentFaultyPublishPullHammer) {
+  constexpr std::size_t kPeriods = 8;
+  constexpr std::size_t kPullers = 4;
+  constexpr std::size_t kPullsPerThread = 2000;
+  constexpr std::size_t kPublishes = 2000;
+
+  FaultPlan plan;
+  plan.price_pull_drop = 0.3;
+  plan.clock_skew = 0.05;
+  const FaultInjector injector(plan);
+
+  PriceChannel channel(kPeriods);
+  channel.publish(math::Vector(kPeriods, 0.0));
+  channel.set_fault_injector(&injector);
+
+  std::vector<std::size_t> subscribers(kPullers);
+  for (std::size_t i = 0; i < kPullers; ++i) {
+    subscribers[i] = channel.subscribe();
+  }
+
+  std::atomic<int> torn_reads{0};
+  std::thread publisher([&] {
+    for (std::size_t k = 1; k <= kPublishes; ++k) {
+      channel.publish(
+          math::Vector(kPeriods, static_cast<double>(k) * 0.001));
+    }
+  });
+
+  std::vector<std::thread> pullers;
+  for (std::size_t i = 0; i < kPullers; ++i) {
+    pullers.emplace_back([&, i] {
+      for (std::size_t period = 0; period < kPullsPerThread; ++period) {
+        for (int repeat = 0; repeat < 2; ++repeat) {
+          const math::Vector snapshot =
+              channel.pull(subscribers[i], period);
+          for (double value : snapshot) {
+            if (value != snapshot[0]) torn_reads.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  publisher.join();
+  for (std::thread& t : pullers) t.join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  for (std::size_t i = 0; i < kPullers; ++i) {
+    const SubscriberTelemetry stats = channel.telemetry(subscribers[i]);
+    // Each period resolved exactly once; the repeat was always a cache hit.
+    EXPECT_EQ(stats.fetches + stats.stale_periods + stats.fallback_periods +
+                  stats.skewed_periods,
+              kPullsPerThread);
+    EXPECT_EQ(stats.cache_hits, kPullsPerThread);
+    // The transport was genuinely flaky and the ladder genuinely used.
+    EXPECT_GT(stats.dropped_attempts, 0u);
   }
 }
 
