@@ -1,10 +1,16 @@
 #include "core/deferral_kernel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
 #include <limits>
+#include <mutex>
 
 #include "common/cyclic.hpp"
 #include "common/error.hpp"
+#include "core/kernel_plan.hpp"
 #include "math/quadrature.hpp"
 
 namespace tdp {
@@ -30,35 +36,188 @@ double lag_weight_derivative(const WaitingFunction& w, double reward,
       t - 1.0, t, 1);
 }
 
+void lag_weight_pair(const WaitingFunction& w, double reward, std::size_t lag,
+                     LagConvention convention, double& value_out,
+                     double& derivative_out) {
+  const double t = static_cast<double>(lag);
+  if (convention == LagConvention::kPeriodStart) {
+    w.value_and_reward_derivative(reward, t, value_out, derivative_out);
+    return;
+  }
+  // One sweep over the Gauss nodes of [t-1, t], accumulating both integrals
+  // with the exact arithmetic of integrate_gauss (1 segment) so each sum is
+  // bitwise identical to the corresponding separate call.
+  const double h = t - (t - 1.0);
+  const double mid = (t - 1.0) + 0.5 * h;
+  const double half = 0.5 * h;
+  double vsum = 0.0;
+  double dsum = 0.0;
+  for (std::size_t k = 0; k < math::kGauss8Nodes.size(); ++k) {
+    const double u = mid + half * math::kGauss8Nodes[k];
+    double v = 0.0;
+    double d = 0.0;
+    w.value_and_reward_derivative(reward, u, v, d);
+    vsum += math::kGauss8Weights[k] * v;
+    dsum += math::kGauss8Weights[k] * d;
+  }
+  value_out = vsum * half;
+  derivative_out = dsum * half;
+}
+
+namespace {
+
+/// Fingerprint of a demand snapshot: convention, period structure, the
+/// identity of every waiting-function object, and the exact bit pattern of
+/// every volume. Exact equality (not just hash equality) gates cache hits.
+struct KernelKey {
+  std::vector<std::uint64_t> words;
+
+  bool operator==(const KernelKey& other) const {
+    return words == other.words;
+  }
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    for (std::uint64_t w : words) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+KernelKey make_key(const DemandProfile& demand, LagConvention convention) {
+  KernelKey key;
+  const std::size_t n = demand.periods();
+  key.words.reserve(2 + 3 * n);
+  key.words.push_back(static_cast<std::uint64_t>(convention));
+  key.words.push_back(static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& classes = demand.classes(i);
+    key.words.push_back(static_cast<std::uint64_t>(classes.size()));
+    for (const SessionClass& sc : classes) {
+      key.words.push_back(
+          static_cast<std::uint64_t>(
+              reinterpret_cast<std::uintptr_t>(sc.waiting.get())));
+      key.words.push_back(std::bit_cast<std::uint64_t>(sc.volume));
+    }
+  }
+  return key;
+}
+
+std::atomic<std::uint64_t> g_cache_hits{0};
+std::atomic<std::uint64_t> g_cache_misses{0};
+
+}  // namespace
+
+/// Immutable shared construction state. The memo cache retains recently
+/// built states (including their waiting-function shared_ptrs, so a cached
+/// pointer-identity key can never alias a new object at a reused address).
+struct DeferralKernelState {
+  std::size_t periods = 0;
+  LagConvention convention = LagConvention::kPeriodStart;
+  bool linear = false;
+  std::vector<std::vector<SessionClass>> classes;
+  std::vector<double> unit;         // [from * n + to], empty unless linear
+  std::vector<double> unit_inflow;  // [to], empty unless linear
+
+  // Lazily computed, memoized per state.
+  mutable std::once_flag safe_reward_once;
+  mutable double safe_reward = 0.0;
+  mutable std::once_flag plan_once;
+  mutable std::shared_ptr<const KernelPlan> plan;
+};
+
+namespace {
+
+std::shared_ptr<const DeferralKernelState> build_state(
+    const DemandProfile& demand, LagConvention convention) {
+  auto state = std::make_shared<DeferralKernelState>();
+  state->periods = demand.periods();
+  state->convention = convention;
+  state->classes.reserve(state->periods);
+  state->linear = true;
+  for (std::size_t i = 0; i < state->periods; ++i) {
+    state->classes.push_back(demand.classes(i));
+    for (const SessionClass& sc : state->classes.back()) {
+      state->linear = state->linear && sc.waiting->is_linear_in_reward();
+    }
+  }
+
+  if (!state->linear) return state;
+
+  const std::size_t n = state->periods;
+  state->unit.assign(n * n, 0.0);
+  state->unit_inflow.assign(n, 0.0);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (to == from) continue;
+      const std::size_t lag = cyclic_lag(from, to, n);
+      double volume = 0.0;
+      for (const SessionClass& sc : state->classes[from]) {
+        volume += sc.volume * lag_weight(*sc.waiting, 1.0, lag, convention);
+      }
+      state->unit[from * n + to] = volume;
+      state->unit_inflow[to] += volume;
+    }
+  }
+  return state;
+}
+
+/// Bounded FIFO memo of recently built states.
+class KernelStateCache {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  std::shared_ptr<const DeferralKernelState> get(const DemandProfile& demand,
+                                                 LagConvention convention) {
+    KernelKey key = make_key(demand, convention);
+    const std::uint64_t hash = key.hash();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const Entry& e : entries_) {
+        if (e.hash == hash && e.key == key) {
+          g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return e.state;
+        }
+      }
+    }
+    g_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    auto state = build_state(demand, convention);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Another thread may have built the same state concurrently; prefer the
+    // cached one so equal profiles share a single state.
+    for (const Entry& e : entries_) {
+      if (e.hash == hash && e.key == key) return e.state;
+    }
+    entries_.push_back(Entry{hash, std::move(key), state});
+    if (entries_.size() > kCapacity) entries_.pop_front();
+    return state;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    KernelKey key;
+    std::shared_ptr<const DeferralKernelState> state;
+  };
+  std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
+KernelStateCache& state_cache() {
+  static KernelStateCache cache;
+  return cache;
+}
+
+}  // namespace
+
 DeferralKernel::DeferralKernel(const DemandProfile& demand,
                                LagConvention convention)
-    : periods_(demand.periods()), convention_(convention) {
-  classes_.reserve(periods_);
-  linear_ = true;
-  for (std::size_t i = 0; i < periods_; ++i) {
-    classes_.push_back(demand.classes(i));
-    for (const SessionClass& sc : classes_.back()) {
-      linear_ = linear_ && sc.waiting->is_linear_in_reward();
-    }
-  }
-
-  if (!linear_) return;
-
-  // Precompute unit-reward pair volumes.
-  unit_.assign(periods_ * periods_, 0.0);
-  unit_inflow_.assign(periods_, 0.0);
-  for (std::size_t from = 0; from < periods_; ++from) {
-    for (std::size_t to = 0; to < periods_; ++to) {
-      if (to == from) continue;
-      const std::size_t lag = cyclic_lag(from, to, periods_);
-      double volume = 0.0;
-      for (const SessionClass& sc : classes_[from]) {
-        volume += sc.volume * lag_weight(*sc.waiting, 1.0, lag, convention_);
-      }
-      unit_[from * periods_ + to] = volume;
-      unit_inflow_[to] += volume;
-    }
-  }
+    : periods_(demand.periods()),
+      convention_(convention),
+      state_(state_cache().get(demand, convention)) {
+  linear_ = state_->linear;
 }
 
 double DeferralKernel::pair_volume(std::size_t from, std::size_t to,
@@ -66,10 +225,10 @@ double DeferralKernel::pair_volume(std::size_t from, std::size_t to,
   TDP_REQUIRE(from < periods_ && to < periods_ && from != to,
               "invalid period pair");
   if (reward <= 0.0) return 0.0;
-  if (linear_) return unit_[from * periods_ + to] * reward;
+  if (linear_) return state_->unit[from * periods_ + to] * reward;
   const std::size_t lag = cyclic_lag(from, to, periods_);
   double volume = 0.0;
-  for (const SessionClass& sc : classes_[from]) {
+  for (const SessionClass& sc : state_->classes[from]) {
     volume += sc.volume * lag_weight(*sc.waiting, reward, lag, convention_);
   }
   return volume;
@@ -80,10 +239,10 @@ double DeferralKernel::pair_volume_derivative(std::size_t from,
                                               double reward) const {
   TDP_REQUIRE(from < periods_ && to < periods_ && from != to,
               "invalid period pair");
-  if (linear_) return unit_[from * periods_ + to];
+  if (linear_) return state_->unit[from * periods_ + to];
   const std::size_t lag = cyclic_lag(from, to, periods_);
   double deriv = 0.0;
-  for (const SessionClass& sc : classes_[from]) {
+  for (const SessionClass& sc : state_->classes[from]) {
     deriv += sc.volume *
              lag_weight_derivative(*sc.waiting, reward, lag, convention_);
   }
@@ -93,7 +252,7 @@ double DeferralKernel::pair_volume_derivative(std::size_t from,
 double DeferralKernel::inflow(std::size_t into, double reward) const {
   TDP_REQUIRE(into < periods_, "period out of range");
   if (reward <= 0.0) return 0.0;
-  if (linear_) return unit_inflow_[into] * reward;
+  if (linear_) return state_->unit_inflow[into] * reward;
   double total = 0.0;
   for (std::size_t from = 0; from < periods_; ++from) {
     if (from == into) continue;
@@ -105,7 +264,7 @@ double DeferralKernel::inflow(std::size_t into, double reward) const {
 double DeferralKernel::inflow_derivative(std::size_t into,
                                          double reward) const {
   TDP_REQUIRE(into < periods_, "period out of range");
-  if (linear_) return unit_inflow_[into];
+  if (linear_) return state_->unit_inflow[into];
   double total = 0.0;
   for (std::size_t from = 0; from < periods_; ++from) {
     if (from == into) continue;
@@ -122,7 +281,9 @@ double DeferralKernel::outflow(std::size_t from,
   for (std::size_t to = 0; to < periods_; ++to) {
     if (to == from) continue;
     if (linear_) {
-      if (rewards[to] > 0.0) total += unit_[from * periods_ + to] * rewards[to];
+      if (rewards[to] > 0.0) {
+        total += state_->unit[from * periods_ + to] * rewards[to];
+      }
     } else {
       total += pair_volume(from, to, rewards[to]);
     }
@@ -131,42 +292,78 @@ double DeferralKernel::outflow(std::size_t from,
 }
 
 double DeferralKernel::max_safe_reward() const {
-  double cap = std::numeric_limits<double>::infinity();
-  std::vector<double> demand(periods_, 0.0);
-  for (std::size_t i = 0; i < periods_; ++i) {
-    for (const SessionClass& sc : classes_[i]) demand[i] += sc.volume;
-  }
-
-  if (linear_) {
+  std::call_once(state_->safe_reward_once, [this] {
+    double cap = std::numeric_limits<double>::infinity();
+    std::vector<double> demand(periods_, 0.0);
     for (std::size_t i = 0; i < periods_; ++i) {
-      double unit_out = 0.0;
-      for (std::size_t m = 0; m < periods_; ++m) {
-        if (m != i) unit_out += unit_[i * periods_ + m];
-      }
-      if (unit_out > 0.0 && demand[i] > 0.0) {
-        cap = std::min(cap, demand[i] / unit_out);
+      for (const SessionClass& sc : state_->classes[i]) {
+        demand[i] += sc.volume;
       }
     }
-    return cap;
-  }
 
-  // Nonlinear: bisection per period on outflow(uniform r) <= demand.
-  for (std::size_t i = 0; i < periods_; ++i) {
-    if (demand[i] <= 0.0) continue;
-    auto outflow_at = [this, i](double r) {
-      return outflow(i, std::vector<double>(periods_, r));
-    };
-    double hi = 1.0;
-    while (outflow_at(hi) < demand[i] && hi < 1e9) hi *= 2.0;
-    if (hi >= 1e9) continue;  // never saturates
-    double lo = 0.0;
-    for (int iter = 0; iter < 60; ++iter) {
-      const double mid = 0.5 * (lo + hi);
-      (outflow_at(mid) < demand[i] ? lo : hi) = mid;
+    if (linear_) {
+      for (std::size_t i = 0; i < periods_; ++i) {
+        double unit_out = 0.0;
+        for (std::size_t m = 0; m < periods_; ++m) {
+          if (m != i) unit_out += state_->unit[i * periods_ + m];
+        }
+        if (unit_out > 0.0 && demand[i] > 0.0) {
+          cap = std::min(cap, demand[i] / unit_out);
+        }
+      }
+      state_->safe_reward = cap;
+      return;
     }
-    cap = std::min(cap, lo);
-  }
-  return cap;
+
+    // Nonlinear: bisection per period on outflow(uniform r) <= demand.
+    for (std::size_t i = 0; i < periods_; ++i) {
+      if (demand[i] <= 0.0) continue;
+      auto outflow_at = [this, i](double r) {
+        return outflow(i, std::vector<double>(periods_, r));
+      };
+      double hi = 1.0;
+      while (outflow_at(hi) < demand[i] && hi < 1e9) hi *= 2.0;
+      if (hi >= 1e9) continue;  // never saturates
+      double lo = 0.0;
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        (outflow_at(mid) < demand[i] ? lo : hi) = mid;
+      }
+      cap = std::min(cap, lo);
+    }
+    state_->safe_reward = cap;
+  });
+  return state_->safe_reward;
+}
+
+std::shared_ptr<const KernelPlan> DeferralKernel::plan() const {
+  std::call_once(state_->plan_once,
+                 [this] { state_->plan = std::make_shared<KernelPlan>(*this); });
+  return state_->plan;
+}
+
+const std::vector<SessionClass>& DeferralKernel::classes(
+    std::size_t period) const {
+  TDP_REQUIRE(period < periods_, "period out of range");
+  return state_->classes[period];
+}
+
+const std::vector<double>& DeferralKernel::unit_table() const {
+  return state_->unit;
+}
+
+const std::vector<double>& DeferralKernel::unit_inflow_table() const {
+  return state_->unit_inflow;
+}
+
+const void* DeferralKernel::state_id() const { return state_.get(); }
+
+std::uint64_t DeferralKernel::cache_hits() {
+  return g_cache_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DeferralKernel::cache_misses() {
+  return g_cache_misses.load(std::memory_order_relaxed);
 }
 
 }  // namespace tdp

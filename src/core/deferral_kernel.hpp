@@ -16,9 +16,19 @@
 //
 // and precomputes unit-reward coefficients when every waiting function is
 // linear in the reward, making model evaluations pure arithmetic.
+//
+// Construction is memoized: kernels built from bitwise-identical demand
+// snapshots (same waiting-function objects, same volume bit patterns, same
+// convention) share one immutable state — the unit tables, the lazily
+// computed validity bound, and the fused evaluation plan (core/kernel_plan)
+// are computed once per distinct profile, not once per model. The batch
+// solver's anchor pattern and the online pricer's confirmed-forecast
+// rescale (a scale-by-1.0 no-op) both hit this cache.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/demand_profile.hpp"
@@ -26,6 +36,9 @@
 namespace tdp {
 
 enum class LagConvention { kPeriodStart, kUniformArrival };
+
+class KernelPlan;
+struct DeferralKernelState;
 
 /// Effective waiting weight for a whole-period lag L under a convention:
 /// w(p, L) for kPeriodStart, or the uniform-arrival average
@@ -38,6 +51,14 @@ double lag_weight(const WaitingFunction& w, double reward, std::size_t lag,
 /// d/dp of lag_weight.
 double lag_weight_derivative(const WaitingFunction& w, double reward,
                              std::size_t lag, LagConvention convention);
+
+/// lag_weight and lag_weight_derivative in one pass: each waiting function
+/// is evaluated once per (lag, reward) — one fused virtual call for
+/// kPeriodStart, one quadrature sweep accumulating both integrals for
+/// kUniformArrival — with results bitwise identical to the separate calls.
+void lag_weight_pair(const WaitingFunction& w, double reward, std::size_t lag,
+                     LagConvention convention, double& value_out,
+                     double& derivative_out);
 
 class DeferralKernel {
  public:
@@ -71,19 +92,36 @@ class DeferralKernel {
   /// bound ("usage deferred out of a period is not greater than demand
   /// under TIP"). Under a normalization matched to the kernel's lag
   /// convention this equals the normalization point P. Returns +inf when
-  /// there is no demand to defer.
+  /// there is no demand to defer. Computed once per shared state.
   double max_safe_reward() const;
+
+  /// The fused structure-of-arrays evaluation plan for this demand
+  /// snapshot, built lazily once per shared state (see core/kernel_plan).
+  std::shared_ptr<const KernelPlan> plan() const;
+
+  /// Class mix snapshot for period i (plan construction, tests).
+  const std::vector<SessionClass>& classes(std::size_t period) const;
+
+  /// Unit-reward pair volumes / column sums (empty unless linear()).
+  const std::vector<double>& unit_table() const;
+  const std::vector<double>& unit_inflow_table() const;
+
+  /// Identity of the shared construction state — equal for kernels that hit
+  /// the same memo entry. Diagnostics/tests only.
+  const void* state_id() const;
+
+  /// Monotone counters for the construction memo (process-wide).
+  static std::uint64_t cache_hits();
+  static std::uint64_t cache_misses();
 
  private:
   std::size_t periods_;
   LagConvention convention_;
   bool linear_ = false;
-  /// Snapshot of the demand mix (shared waiting-function handles).
-  std::vector<std::vector<SessionClass>> classes_;
-  /// unit_[from * n + to]: pair volume at unit reward (linear fast path).
-  std::vector<double> unit_;
-  /// Column sums: inflow into each target at unit reward.
-  std::vector<double> unit_inflow_;
+  /// Shared immutable snapshot: class lists, unit tables, lazy validity
+  /// bound and evaluation plan. Kernels from bitwise-identical profiles
+  /// point at the same state (bounded process-wide memo).
+  std::shared_ptr<const DeferralKernelState> state_;
 };
 
 }  // namespace tdp

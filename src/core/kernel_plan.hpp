@@ -1,0 +1,174 @@
+// Fused structure-of-arrays evaluation plan for the deferral kernel.
+//
+// The reference DeferralKernel walks per-period session-class lists through
+// virtual WaitingFunction calls for every pair_volume / inflow / outflow
+// query — O(n^2 * classes) virtual dispatches and transcendental calls per
+// objective evaluation. The KernelPlan flattens one demand snapshot into
+// contiguous arrays:
+//
+//   terms:      per source period, (waiting-function id, volume) pairs in
+//               class order — one flat array indexed by period_begin_;
+//   functions:  the distinct waiting-function objects, with the power-law
+//               family specialised (normalization C, exponent gamma);
+//   lag tables: for kPeriodStart, pow(lag+1, -beta) per (function, lag);
+//               for kUniformArrival, the 8 Gauss-node powers
+//               pow(u_k+1, -beta) per (function, lag) plus the segment
+//               half-width, mirroring math::integrate_gauss bitwise.
+//
+// evaluate() then fills the full pair-volume matrix for all n reward
+// columns in one blocked pass: one pow per (function, column) instead of
+// one per (class, pair), no virtual dispatch for power-law classes, and a
+// fixed summation order chosen to match the reference path operation for
+// operation. The contract is *bitwise* identity: every double produced
+// here EXPECT_EQs the corresponding DeferralKernel result (see
+// tests/test_kernel_plan.cpp).
+//
+// update_coordinate() is the rolling-horizon fast path: when only period
+// m's reward changes, it refreshes column m of the cached matrix (O(n)
+// waiting-function evaluations) and re-derives the flow sums from cached
+// values in the reference summation order, so the refreshed FlowState is
+// bit-identical to a from-scratch evaluate() at the new reward vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/deferral_kernel.hpp"
+#include "core/waiting_function.hpp"
+
+namespace tdp {
+
+class KernelPlan;
+
+/// Mutable evaluation scratch: the cached pair-volume matrix and the flow
+/// sums derived from it. Owned by the caller (models keep one per solver
+/// loop) so repeated evaluations are allocation-free. Fill with
+/// KernelPlan::evaluate, refresh single columns with update_coordinate.
+struct FlowState {
+  std::vector<double> rewards;           ///< reward column per period
+  std::vector<double> pair;              ///< V[from * n + to]
+  std::vector<double> pair_derivative;   ///< dV/dp_to[from * n + to]
+  std::vector<double> inflow;            ///< sum_from V[from][i]
+  std::vector<double> inflow_derivative; ///< sum_from dV[from][i]
+  std::vector<double> outflow;           ///< sum_to V[i][to]
+  bool has_derivatives = false;
+  const KernelPlan* plan = nullptr;      ///< set by evaluate(); guards reuse
+  /// The plan's unique serial, checked alongside the pointer so a stale
+  /// pointer whose allocation was reused by a newer plan never passes for
+  /// a primed state.
+  std::uint64_t plan_serial = 0;
+
+  /// Per-distinct-function factor scratch used inside fill_column.
+  std::vector<double> wf_factor;
+  std::vector<double> wf_factor_derivative;
+
+  /// Model-level assembly scratch (usage / arrivals / sensitivity rows),
+  /// so fused cost evaluations stay allocation-free.
+  std::vector<double> aux_a;
+  std::vector<double> aux_b;
+};
+
+class KernelPlan {
+ public:
+  /// Snapshots the kernel's demand mix. The plan copies everything it needs
+  /// (and keeps the waiting functions alive); the kernel may be destroyed.
+  explicit KernelPlan(const DeferralKernel& kernel);
+
+  std::size_t periods() const { return periods_; }
+  LagConvention convention() const { return convention_; }
+  bool linear() const { return linear_; }
+
+  /// Process-unique construction serial (see FlowState::plan_serial).
+  std::uint64_t serial() const { return serial_; }
+
+  /// Number of distinct waiting-function objects in the snapshot.
+  std::size_t distinct_functions() const { return functions_.size(); }
+  /// Total flattened (function, volume) terms across all periods.
+  std::size_t term_count() const { return term_wf_.size(); }
+
+  /// Fill `state` for the full reward vector: the pair matrix, inflow and
+  /// outflow sums, and (optionally) the derivative matrix and inflow
+  /// derivative sums. Resizes the scratch on first use.
+  void evaluate(const std::vector<double>& rewards, bool with_derivatives,
+                FlowState& state) const;
+
+  /// Refresh `state` after changing only coordinate m's reward: recomputes
+  /// column m (O(periods) function evaluations) and re-derives the affected
+  /// flow sums from cached pair volumes in the reference summation order.
+  /// Requires a prior evaluate() on this plan; `with_derivatives` must not
+  /// exceed what that evaluate computed. Postcondition: `state` is bitwise
+  /// identical to evaluate() at the updated reward vector.
+  void update_coordinate(std::size_t m, double reward, bool with_derivatives,
+                         FlowState& state) const;
+
+ private:
+  enum class WfKind : std::uint8_t {
+    kGeneric,       ///< arbitrary WaitingFunction: per-term virtual calls
+    kPowerStart,    ///< power law under kPeriodStart: value = B(p) * lag_pow
+    kPowerUniform,  ///< power law under kUniformArrival: Gauss-node powers
+  };
+
+  struct WfEntry {
+    WaitingFunctionPtr wf;
+    WfKind kind = WfKind::kGeneric;
+    double norm = 0.0;        ///< power-law C
+    double gamma = 1.0;       ///< power-law reward exponent
+    double norm_gamma = 0.0;  ///< C * gamma (derivative prefactor)
+  };
+
+  void fill_column(std::size_t to, double reward, bool with_derivatives,
+                   FlowState& state) const;
+  void reduce_inflow(std::size_t into, bool with_derivatives,
+                     FlowState& state) const;
+  void reduce_outflow(std::size_t from, FlowState& state) const;
+
+  std::size_t periods_ = 0;
+  LagConvention convention_ = LagConvention::kPeriodStart;
+  bool linear_ = false;
+  std::uint64_t serial_ = 0;
+
+  std::vector<WfEntry> functions_;
+  std::vector<std::uint32_t> term_wf_;   ///< function id per term
+  std::vector<double> term_volume_;      ///< volume per term
+  std::vector<std::size_t> period_begin_;  ///< term range per period, n+1
+
+  std::vector<std::uint32_t> lag_;  ///< cyclic_lag(from, to) [from * n + to]
+  /// kPeriodStart: pow(lag+1, -beta) [wf * n + lag]; lag 0 unused.
+  std::vector<double> lag_pow_;
+  /// kUniformArrival: pow(u_k+1, -beta) [(wf * n + lag) * 8 + k].
+  std::vector<double> node_pow_;
+  /// Gauss segment half-width per lag (mirrors integrate_gauss).
+  std::vector<double> lag_half_;
+
+  /// Linear fast path: unit-reward tables copied from the kernel.
+  std::vector<double> unit_;
+  std::vector<double> unit_inflow_;
+};
+
+/// Precomputed uniform-arrival lag weights for a single waiting function:
+/// weight(reward, lag) is bitwise identical to
+/// lag_weight(w, reward, lag, LagConvention::kUniformArrival) but costs one
+/// pow (power-law case) instead of eight virtual calls through the
+/// quadrature. Used by the fleet's per-period deferral tables.
+class UniformLagWeightTable {
+ public:
+  /// @param wf      the waiting function (kept alive by the table).
+  /// @param periods n; valid lags are 1..n-1.
+  UniformLagWeightTable(WaitingFunctionPtr wf, std::size_t periods);
+
+  double weight(double reward, std::size_t lag) const;
+
+  std::size_t periods() const { return periods_; }
+
+ private:
+  WaitingFunctionPtr wf_;
+  std::size_t periods_ = 0;
+  bool power_ = false;
+  double norm_ = 0.0;
+  double gamma_ = 1.0;
+  std::vector<double> node_pow_;  ///< [lag * 8 + k]; lag 0 unused
+  std::vector<double> half_;      ///< [lag]
+};
+
+}  // namespace tdp

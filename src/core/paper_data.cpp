@@ -159,7 +159,7 @@ std::vector<MixRow> table15_mix_12() {
 
 DemandProfile make_profile(const std::vector<MixRow>& mix,
                            double max_reward,
-                           LagNormalization normalization) {
+                           LagNormalization normalization, double gamma) {
   TDP_REQUIRE(mix.size() >= 2, "need at least two periods");
   const std::size_t n = mix.size();
 
@@ -168,7 +168,7 @@ DemandProfile make_profile(const std::vector<MixRow>& mix,
   std::array<WaitingFunctionPtr, 10> waiting;
   for (std::size_t s = 0; s < kPatienceIndices.size(); ++s) {
     waiting[s] = std::make_shared<PowerLawWaitingFunction>(
-        kPatienceIndices[s], n, max_reward, 1.0, normalization);
+        kPatienceIndices[s], n, max_reward, gamma, normalization);
   }
 
   DemandProfile profile(n);

@@ -53,10 +53,14 @@ std::vector<MixRow> table15_mix_12();
 
 /// Build a demand profile from mix rows. Waiting functions are power laws
 /// normalized for `periods` periods at normalization point `max_reward`,
-/// on the discrete (static) or continuous (dynamic) lag grid.
+/// on the discrete (static) or continuous (dynamic) lag grid. `gamma` is
+/// the reward exponent: 1 (the paper's linear choice) by default; values in
+/// (0, 1) give the nonlinear concave family (used by the perf suite, where
+/// the nonlinear kernel path is the interesting one).
 DemandProfile make_profile(
     const std::vector<MixRow>& mix, double max_reward,
-    LagNormalization normalization = LagNormalization::kDiscrete);
+    LagNormalization normalization = LagNormalization::kDiscrete,
+    double gamma = 1.0);
 
 /// Headline 48-period static model: Table VII demand, capacity 180 MBps
 /// (18 units), capacity cost f(x) = 3 max(x, 0).

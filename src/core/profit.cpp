@@ -13,9 +13,12 @@ ProfitBreakdown evaluate_profit(const StaticModel& model,
   TDP_REQUIRE(marginal_op_cost >= 0.0, "marginal cost must be nonnegative");
 
   ProfitBreakdown out;
-  const math::Vector x = model.usage(rewards);
+  // One fused kernel evaluation covers both usage and the reward cost
+  // (bitwise identical to the per-call reference accessors).
+  FlowState state;
+  const math::Vector x = model.usage(rewards, state);
   out.revenue = flat_usage_price * model.demand().total_demand();
-  out.reward_cost = model.reward_cost(rewards);
+  out.reward_cost = model.reward_cost(state);
   out.operational_cost = marginal_op_cost * math::sum(x);
   out.capacity_cost = model.capacity_cost_value(x);
   out.profit = out.revenue - out.reward_cost - out.operational_cost -

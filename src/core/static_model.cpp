@@ -9,7 +9,8 @@ StaticModel::StaticModel(DemandProfile demand, std::vector<double> capacity,
     : demand_(std::move(demand)),
       capacity_(std::move(capacity)),
       cost_(std::move(capacity_cost)),
-      kernel_(demand_, LagConvention::kPeriodStart) {
+      kernel_(demand_, LagConvention::kPeriodStart),
+      tip_(demand_.tip_demand_vector()) {
   TDP_REQUIRE(capacity_.size() == demand_.periods(),
               "capacity vector must cover every period");
   for (double a : capacity_) {
@@ -22,7 +23,8 @@ StaticModel::StaticModel(DemandProfile demand, double capacity,
     : demand_(std::move(demand)),
       capacity_(demand_.periods(), capacity),
       cost_(std::move(capacity_cost)),
-      kernel_(demand_, LagConvention::kPeriodStart) {
+      kernel_(demand_, LagConvention::kPeriodStart),
+      tip_(demand_.tip_demand_vector()) {
   TDP_REQUIRE(capacity >= 0.0, "capacity must be nonnegative");
 }
 
@@ -118,6 +120,124 @@ void StaticModel::smoothed_gradient(const math::Vector& rewards, double mu,
     }
     grad[m] = g;
   }
+}
+
+// ---- Fused fast path -------------------------------------------------------
+// Each assembly below reproduces the corresponding reference method's
+// floating-point operations in order, reading the flows from the FlowState
+// instead of re-walking the kernel. See tests/test_kernel_plan.cpp for the
+// bitwise property tests.
+
+void StaticModel::prime_flow_state(const math::Vector& rewards,
+                                   bool with_derivatives,
+                                   FlowState& state) const {
+  kernel_.plan()->evaluate(rewards, with_derivatives, state);
+}
+
+double StaticModel::assemble_total_cost(FlowState& state) const {
+  const std::size_t n = periods();
+  // reward_cost's accumulator, then capacity_cost_value's, then their sum —
+  // exactly total_cost = reward_cost(p) + capacity_cost_value(usage(p)).
+  double reward_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    reward_total += state.rewards[i] * state.inflow[i];
+  }
+  double capacity_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = tip_[i] - state.outflow[i] + state.inflow[i];
+    capacity_total += cost_.value(x - capacity_[i]);
+  }
+  return reward_total + capacity_total;
+}
+
+double StaticModel::total_cost(const math::Vector& rewards,
+                               FlowState& state) const {
+  prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  return assemble_total_cost(state);
+}
+
+double StaticModel::total_cost_with_coordinate(std::size_t period,
+                                               double reward,
+                                               FlowState& state) const {
+  kernel_.plan()->update_coordinate(period, reward, /*with_derivatives=*/false,
+                                    state);
+  return assemble_total_cost(state);
+}
+
+math::Vector StaticModel::usage(const math::Vector& rewards,
+                                FlowState& state) const {
+  const std::size_t n = periods();
+  prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  math::Vector x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = tip_[i] - state.outflow[i] + state.inflow[i];
+  }
+  return x;
+}
+
+double StaticModel::reward_cost(const FlowState& state) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(state.rewards.size() == n, "state not primed on this model");
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += state.rewards[i] * state.inflow[i];
+  }
+  return total;
+}
+
+double StaticModel::smoothed_cost(const math::Vector& rewards, double mu,
+                                  FlowState& state) const {
+  const std::size_t n = periods();
+  prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += rewards[i] * state.inflow[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = tip_[i] - state.outflow[i] + state.inflow[i];
+    total += cost_.smoothed_value(x - capacity_[i], mu);
+  }
+  return total;
+}
+
+double StaticModel::smoothed_cost_and_gradient(const math::Vector& rewards,
+                                               double mu, math::Vector& grad,
+                                               FlowState& state) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(grad.size() == n, "gradient vector size mismatch");
+  prime_flow_state(rewards, /*with_derivatives=*/true, state);
+
+  math::Vector& x = state.aux_a;
+  math::Vector& fprime = state.aux_b;
+  x.resize(n);
+  fprime.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = tip_[i] - state.outflow[i] + state.inflow[i];
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += rewards[i] * state.inflow[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    total += cost_.smoothed_value(x[i] - capacity_[i], mu);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    fprime[i] = cost_.smoothed_derivative(x[i] - capacity_[i], mu);
+  }
+  const double* dV = state.pair_derivative.data();
+  for (std::size_t m = 0; m < n; ++m) {
+    const double din = state.inflow[m];
+    const double din_deriv = state.inflow_derivative[m];
+    double g = din + rewards[m] * din_deriv + fprime[m] * din_deriv;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == m) continue;
+      g -= fprime[i] * dV[i * n + m];
+    }
+    grad[m] = g;
+  }
+  return total;
 }
 
 }  // namespace tdp

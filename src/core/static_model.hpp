@@ -20,6 +20,7 @@
 
 #include "core/deferral_kernel.hpp"
 #include "core/demand_profile.hpp"
+#include "core/kernel_plan.hpp"
 #include "math/piecewise_linear.hpp"
 #include "math/vector_ops.hpp"
 
@@ -87,11 +88,50 @@ class StaticModel {
   /// The pairwise deferral kernel (period-start lag convention).
   const DeferralKernel& kernel() const { return kernel_; }
 
+  // ---- Fused fast path (core/kernel_plan) --------------------------------
+  // These overloads evaluate through the kernel's structure-of-arrays plan
+  // with a caller-owned FlowState scratch. Every result is bitwise
+  // identical to the reference method of the same name; the reference path
+  // stays as the oracle (tests/test_kernel_plan.cpp).
+
+  /// Fill `state` with the deferral flows at `rewards` (the pair matrix is
+  /// cached inside `state` for subsequent update_coordinate calls).
+  void prime_flow_state(const math::Vector& rewards, bool with_derivatives,
+                        FlowState& state) const;
+
+  /// total_cost via the plan; primes `state` at `rewards`.
+  double total_cost(const math::Vector& rewards, FlowState& state) const;
+
+  /// total_cost after changing only coordinate `period`'s reward — O(n)
+  /// kernel work against the matrix cached in `state` (which must have been
+  /// primed on this model). Leaves `state` at the updated reward vector.
+  double total_cost_with_coordinate(std::size_t period, double reward,
+                                    FlowState& state) const;
+
+  /// usage via the plan; primes `state` at `rewards` (no derivatives).
+  math::Vector usage(const math::Vector& rewards, FlowState& state) const;
+
+  /// reward_cost read off an already-primed `state`.
+  double reward_cost(const FlowState& state) const;
+
+  /// smoothed_cost via the plan; primes `state` at `rewards`.
+  double smoothed_cost(const math::Vector& rewards, double mu,
+                       FlowState& state) const;
+
+  /// smoothed_cost and its gradient in one flow evaluation (the reference
+  /// path recomputes the flows for the value and again for the gradient).
+  double smoothed_cost_and_gradient(const math::Vector& rewards, double mu,
+                                    math::Vector& grad,
+                                    FlowState& state) const;
+
  private:
+  double assemble_total_cost(FlowState& state) const;
+
   DemandProfile demand_;
   std::vector<double> capacity_;
   math::PiecewiseLinearCost cost_;
   DeferralKernel kernel_;
+  math::Vector tip_;  ///< cached tip_demand_vector() for the fast path
 };
 
 }  // namespace tdp

@@ -19,6 +19,7 @@ PricingSolution optimize_static_prices(const StaticModel& model,
   const double cap = model.max_reward() * options.reward_cap_factor;
   const math::BoxBounds box = math::uniform_box(n, 0.0, cap);
 
+  FlowState scratch;
   math::Vector p(n, 0.0);
   if (!options.initial_rewards.empty()) {
     TDP_REQUIRE(options.initial_rewards.size() == n,
@@ -33,13 +34,24 @@ PricingSolution optimize_static_prices(const StaticModel& model,
     mu = std::max(mu, options.mu_final);
 
     math::SmoothObjective objective;
-    objective.value = [&model, mu](const math::Vector& rewards) {
-      return model.smoothed_cost(rewards, mu);
-    };
-    objective.gradient = [&model, mu](const math::Vector& rewards,
-                                      math::Vector& grad) {
-      model.smoothed_gradient(rewards, mu, grad);
-    };
+    if (options.fused) {
+      objective.value = [&model, mu, &scratch](const math::Vector& rewards) {
+        return model.smoothed_cost(rewards, mu, scratch);
+      };
+      objective.value_and_gradient = [&model, mu, &scratch](
+                                         const math::Vector& rewards,
+                                         math::Vector& grad) {
+        return model.smoothed_cost_and_gradient(rewards, mu, grad, scratch);
+      };
+    } else {
+      objective.value = [&model, mu](const math::Vector& rewards) {
+        return model.smoothed_cost(rewards, mu);
+      };
+      objective.gradient = [&model, mu](const math::Vector& rewards,
+                                        math::Vector& grad) {
+        model.smoothed_gradient(rewards, mu, grad);
+      };
+    }
 
     const math::FistaResult stage =
         math::minimize_box(objective, box, p, options.fista);
@@ -60,6 +72,30 @@ PricingSolution optimize_static_prices(const StaticModel& model,
   solution.tip_cost = model.tip_cost();
   solution.converged = all_converged;
   return solution;
+}
+
+math::GoldenSectionResult resolve_static_coordinate(
+    const StaticModel& model, math::Vector& rewards, std::size_t period,
+    FlowState& state, double reward_cap, double tolerance,
+    std::size_t max_iterations) {
+  const std::size_t n = model.periods();
+  TDP_REQUIRE(rewards.size() == n, "reward vector size mismatch");
+  TDP_REQUIRE(period < n, "period out of range");
+  TDP_REQUIRE(reward_cap > 0.0, "reward cap must be positive");
+
+  const KernelPlan* plan = model.kernel().plan().get();
+  if (state.plan != plan || state.plan_serial != plan->serial()) {
+    model.prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  }
+  const auto objective = [&model, &state, period](double candidate) {
+    return model.total_cost_with_coordinate(period, candidate, state);
+  };
+  const math::GoldenSectionResult result = math::minimize_golden_section(
+      objective, 0.0, reward_cap, tolerance, max_iterations);
+  rewards[period] = result.x;
+  // Leave the cached matrix at the accepted reward, not the last probe.
+  model.total_cost_with_coordinate(period, result.x, state);
+  return result;
 }
 
 }  // namespace tdp

@@ -43,6 +43,7 @@ DynamicModel::DynamicModel(DemandProfile arrivals,
   TDP_REQUIRE(arrivals_.total_demand() < total_capacity,
               "daily demand must not exceed daily capacity or the backlog "
               "diverges and no steady state exists");
+  tip_ = arrivals_.tip_demand_vector();
 }
 
 DynamicModel::DynamicModel(DemandProfile arrivals, double capacity,
@@ -59,6 +60,7 @@ DynamicModel::DynamicModel(DemandProfile arrivals, double capacity,
                   capacity * static_cast<double>(periods()),
               "daily demand must not exceed daily capacity or the backlog "
               "diverges and no steady state exists");
+  tip_ = arrivals_.tip_demand_vector();
 }
 
 void DynamicModel::arrivals_after_deferral(const math::Vector& rewards,
@@ -184,6 +186,140 @@ void DynamicModel::smoothed_gradient(const math::Vector& rewards, double mu,
     grad[m] += kernel_.inflow(m, rewards[m]) +
                rewards[m] * kernel_.inflow_derivative(m, rewards[m]);
   }
+}
+
+// ---- Fused fast path -------------------------------------------------------
+// Each assembly reproduces the reference method's floating-point operations
+// in order, reading the deferral flows from the FlowState instead of
+// re-walking the kernel (tests/test_kernel_plan.cpp checks bitwise
+// identity).
+
+void DynamicModel::prime_flow_state(const math::Vector& rewards,
+                                    bool with_derivatives,
+                                    FlowState& state) const {
+  kernel_.plan()->evaluate(rewards, with_derivatives, state);
+}
+
+double DynamicModel::assemble_total_cost(FlowState& state) const {
+  const std::size_t n = periods();
+  math::Vector& arr = state.aux_a;
+  math::Vector& end_backlog = state.aux_b;
+  arr.resize(n);
+  end_backlog.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arr[i] = tip_[i] - state.outflow[i] + state.inflow[i];
+  }
+
+  double backlog = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double load = backlog + arr[i];
+      const double served = std::min(load, capacity_[i]);
+      backlog = load - served;
+      if (last) end_backlog[i] = backlog;
+    }
+  }
+
+  double reward_total = 0.0;
+  double backlog_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    reward_total += state.rewards[i] * state.inflow[i];
+    backlog_total += cost_.value(end_backlog[i]);
+  }
+  return reward_total + backlog_total;
+}
+
+double DynamicModel::total_cost(const math::Vector& rewards,
+                                FlowState& state) const {
+  prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  return assemble_total_cost(state);
+}
+
+double DynamicModel::total_cost_with_coordinate(std::size_t period,
+                                                double reward,
+                                                FlowState& state) const {
+  kernel_.plan()->update_coordinate(period, reward, /*with_derivatives=*/false,
+                                    state);
+  return assemble_total_cost(state);
+}
+
+double DynamicModel::smoothed_cost(const math::Vector& rewards, double mu,
+                                   FlowState& state) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(mu > 0.0, "smoothing parameter must be positive");
+  prime_flow_state(rewards, /*with_derivatives=*/false, state);
+
+  math::Vector& arr = state.aux_a;
+  arr.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arr[i] = tip_[i] - state.outflow[i] + state.inflow[i];
+  }
+
+  double cost = 0.0;
+  double backlog = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      backlog = smooth_hinge(backlog + arr[i] - capacity_[i], mu);
+      if (last) cost += cost_.smoothed_value(backlog, mu);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    cost += rewards[i] * state.inflow[i];
+  }
+  return cost;
+}
+
+double DynamicModel::smoothed_cost_and_gradient(const math::Vector& rewards,
+                                                double mu, math::Vector& grad,
+                                                FlowState& state) const {
+  const std::size_t n = periods();
+  TDP_REQUIRE(grad.size() == n, "gradient vector size mismatch");
+  TDP_REQUIRE(mu > 0.0, "smoothing parameter must be positive");
+  prime_flow_state(rewards, /*with_derivatives=*/true, state);
+
+  math::Vector& arr = state.aux_a;
+  math::Vector& dbacklog = state.aux_b;
+  arr.resize(n);
+  dbacklog.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    arr[i] = tip_[i] - state.outflow[i] + state.inflow[i];
+  }
+
+  // One warmup sweep computes the smoothed cost and the forward-accumulated
+  // backlog sensitivities together; the arrival Jacobian rows are read
+  // straight off the cached derivative matrix
+  // (darr[i][m] = inflow'(i) if m == i else -dV[i][m]).
+  const double* dV = state.pair_derivative.data();
+  std::fill(grad.begin(), grad.end(), 0.0);
+  double cost = 0.0;
+  double backlog = 0.0;
+  for (std::size_t day = 0; day < warmup_days_; ++day) {
+    const bool last = (day + 1 == warmup_days_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pre = backlog + arr[i] - capacity_[i];
+      const double sigma = smooth_hinge_derivative(pre, mu);
+      backlog = smooth_hinge(pre, mu);
+      for (std::size_t m = 0; m < n; ++m) {
+        const double darr_im =
+            m == i ? state.inflow_derivative[i] : -dV[i * n + m];
+        dbacklog[m] = sigma * (dbacklog[m] + darr_im);
+      }
+      if (last) {
+        cost += cost_.smoothed_value(backlog, mu);
+        const double fprime = cost_.smoothed_derivative(backlog, mu);
+        for (std::size_t m = 0; m < n; ++m) {
+          grad[m] += fprime * dbacklog[m];
+        }
+      }
+    }
+  }
+  for (std::size_t m = 0; m < n; ++m) {
+    cost += rewards[m] * state.inflow[m];
+    grad[m] += state.inflow[m] + rewards[m] * state.inflow_derivative[m];
+  }
+  return cost;
 }
 
 double DynamicModel::reward_cap() const {

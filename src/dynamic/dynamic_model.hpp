@@ -26,6 +26,7 @@
 
 #include "core/deferral_kernel.hpp"
 #include "core/demand_profile.hpp"
+#include "core/kernel_plan.hpp"
 #include "math/piecewise_linear.hpp"
 #include "math/vector_ops.hpp"
 
@@ -83,16 +84,48 @@ class DynamicModel {
   /// the cap is that run length times f's max slope (evaluated under TIP).
   double reward_cap() const;
 
+  // ---- Fused fast path (core/kernel_plan) --------------------------------
+  // Bitwise identical to the reference methods of the same name; the
+  // online pricer's per-period golden-section solve runs on
+  // total_cost_with_coordinate so each candidate costs O(n) kernel work.
+
+  /// Fill `state` with the deferral flows at `rewards`.
+  void prime_flow_state(const math::Vector& rewards, bool with_derivatives,
+                        FlowState& state) const;
+
+  /// total_cost via the plan; primes `state` at `rewards`.
+  double total_cost(const math::Vector& rewards, FlowState& state) const;
+
+  /// total_cost after changing only coordinate `period`'s reward against
+  /// the matrix cached in `state` (must be primed on this model). Leaves
+  /// `state` at the updated reward vector.
+  double total_cost_with_coordinate(std::size_t period, double reward,
+                                    FlowState& state) const;
+
+  /// smoothed_cost via the plan; primes `state` at `rewards`.
+  double smoothed_cost(const math::Vector& rewards, double mu,
+                       FlowState& state) const;
+
+  /// smoothed_cost and its gradient in one flow evaluation.
+  double smoothed_cost_and_gradient(const math::Vector& rewards, double mu,
+                                    math::Vector& grad,
+                                    FlowState& state) const;
+
  private:
   /// Post-deferral arrivals a_i(p) and optionally their Jacobian rows.
   void arrivals_after_deferral(const math::Vector& rewards,
                                math::Vector& out) const;
+
+  /// Exact steady-state cost from a filled FlowState (shared by the fast
+  /// total_cost entry points).
+  double assemble_total_cost(FlowState& state) const;
 
   DemandProfile arrivals_;
   std::vector<double> capacity_;
   math::PiecewiseLinearCost cost_;
   DeferralKernel kernel_;
   std::size_t warmup_days_;
+  math::Vector tip_;  ///< cached tip_demand_vector() for the fast path
 };
 
 }  // namespace tdp

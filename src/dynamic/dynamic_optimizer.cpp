@@ -19,6 +19,7 @@ DynamicPricingSolution optimize_dynamic_prices(
   const double cap = model.reward_cap() * options.reward_cap_factor;
   const math::BoxBounds box = math::uniform_box(n, 0.0, cap);
 
+  FlowState scratch;
   math::Vector p(n, 0.0);
   DynamicPricingSolution solution;
   bool all_converged = true;
@@ -27,13 +28,24 @@ DynamicPricingSolution optimize_dynamic_prices(
     mu = std::max(mu, options.mu_final);
 
     math::SmoothObjective objective;
-    objective.value = [&model, mu](const math::Vector& rewards) {
-      return model.smoothed_cost(rewards, mu);
-    };
-    objective.gradient = [&model, mu](const math::Vector& rewards,
-                                      math::Vector& grad) {
-      model.smoothed_gradient(rewards, mu, grad);
-    };
+    if (options.fused) {
+      objective.value = [&model, mu, &scratch](const math::Vector& rewards) {
+        return model.smoothed_cost(rewards, mu, scratch);
+      };
+      objective.value_and_gradient = [&model, mu, &scratch](
+                                         const math::Vector& rewards,
+                                         math::Vector& grad) {
+        return model.smoothed_cost_and_gradient(rewards, mu, grad, scratch);
+      };
+    } else {
+      objective.value = [&model, mu](const math::Vector& rewards) {
+        return model.smoothed_cost(rewards, mu);
+      };
+      objective.gradient = [&model, mu](const math::Vector& rewards,
+                                        math::Vector& grad) {
+        model.smoothed_gradient(rewards, mu, grad);
+      };
+    }
 
     const math::FistaResult stage =
         math::minimize_box(objective, box, p, options.fista);

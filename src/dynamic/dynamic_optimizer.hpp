@@ -19,6 +19,10 @@ struct DynamicOptimizerOptions {
   /// The cap itself already over-approximates the rational maximum.
   double reward_cap_factor = 1.0;
   math::FistaOptions fista;
+  /// Evaluate the continuation stages through the fused kernel plan
+  /// (bitwise identical to the reference objective; disable to run the
+  /// reference path as the oracle).
+  bool fused = true;
 
   DynamicOptimizerOptions() {
     fista.max_iterations = 6000;

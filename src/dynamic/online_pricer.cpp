@@ -31,9 +31,10 @@ PricerGuardConfig PricerGuardConfig::protective() {
 
 OnlinePricer::OnlinePricer(DynamicModel model,
                            DynamicOptimizerOptions offline_options,
-                           bool speculative, PricerGuardConfig guard)
+                           bool speculative, PricerGuardConfig guard,
+                           bool incremental)
     : model_(std::move(model)), reward_cap_(0.0), guard_(guard),
-      speculative_(speculative) {
+      speculative_(speculative), incremental_(incremental) {
   TDP_REQUIRE(guard_.solver_max_iterations >= 1,
               "solver budget must allow at least one iteration");
   TDP_REQUIRE(guard_.fallback_after >= 1 && guard_.recover_after >= 1,
@@ -59,6 +60,44 @@ math::GoldenSectionResult OnlinePricer::solve_period(
                                        max_iterations);
 }
 
+math::GoldenSectionResult OnlinePricer::solve_period_incremental(
+    const DynamicModel& model, const math::Vector& rewards,
+    std::size_t period, double reward_cap, std::size_t max_iterations,
+    FlowState& scratch) {
+  // Resync instead of reprime when the scratch already holds this kernel's
+  // pair matrix: after a confirmed-forecast update the rescaled demand is
+  // bitwise unchanged, the construction memo returns the same shared kernel
+  // state, and only the coordinates accepted since the last solve need an
+  // O(n) column refresh.
+  const KernelPlan* plan = model.kernel().plan().get();
+  if (scratch.plan == plan && scratch.plan_serial == plan->serial() &&
+      scratch.rewards.size() == rewards.size()) {
+    for (std::size_t i = 0; i < rewards.size(); ++i) {
+      if (scratch.rewards[i] != rewards[i]) {
+        plan->update_coordinate(i, rewards[i], /*with_derivatives=*/false,
+                                scratch);
+      }
+    }
+  } else {
+    model.prime_flow_state(rewards, /*with_derivatives=*/false, scratch);
+  }
+  const auto objective = [&model, &scratch, period](double candidate) {
+    return model.total_cost_with_coordinate(period, candidate, scratch);
+  };
+  return math::minimize_golden_section(objective, 0.0, reward_cap, 1e-7,
+                                       max_iterations);
+}
+
+math::GoldenSectionResult OnlinePricer::run_solve(
+    const DynamicModel& model, const math::Vector& rewards,
+    std::size_t period, std::size_t max_iterations) {
+  if (incremental_) {
+    return solve_period_incremental(model, rewards, period, reward_cap_,
+                                    max_iterations, solve_scratch_);
+  }
+  return solve_period(model, rewards, period, reward_cap_, max_iterations);
+}
+
 void OnlinePricer::join_speculation() {
   if (speculation_thread_.joinable()) speculation_thread_.join();
 }
@@ -74,9 +113,19 @@ void OnlinePricer::launch_speculation(std::size_t next_period) {
   Speculation* task = speculation_.get();
   const double cap = reward_cap_;
   const std::size_t budget = guard_.solver_max_iterations;
-  speculation_thread_ = std::thread([task, cap, budget] {
-    task->best =
-        solve_period(task->model, task->rewards, task->period, cap, budget);
+  const bool incremental = incremental_;
+  speculation_thread_ = std::thread([task, cap, budget, incremental] {
+    if (incremental) {
+      // Worker-private scratch: the member scratch belongs to the
+      // synchronous path's thread.
+      FlowState scratch;
+      task->best = solve_period_incremental(task->model, task->rewards,
+                                            task->period, cap, budget,
+                                            scratch);
+    } else {
+      task->best =
+          solve_period(task->model, task->rewards, task->period, cap, budget);
+    }
   });
 }
 
@@ -230,8 +279,7 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
     }
 
     // 1-D re-optimization of this period's reward, all others fixed.
-    best = solve_period(model_, rewards_, period, reward_cap_,
-                        iteration_budget);
+    best = run_solve(model_, rewards_, period, iteration_budget);
     TDP_LOG_DEBUG << "online update period " << period << ": reward "
                   << result.old_reward << " -> " << best.x;
   }

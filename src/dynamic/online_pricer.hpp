@@ -99,10 +99,17 @@ class OnlinePricer {
  public:
   /// Initializes rewards by solving the offline dynamic model.
   /// `speculative` pre-solves each next period in the background.
+  /// `incremental` runs each 1-D solve on the kernel plan's cached pair
+  /// matrix (core/kernel_plan): the first candidate primes or resyncs the
+  /// matrix and every later candidate is an O(n) column update instead of a
+  /// full O(n^2) cost evaluation. Published rewards are bitwise identical
+  /// either way (the incremental objective is property-tested against the
+  /// reference); disable to run the reference path.
   explicit OnlinePricer(DynamicModel model,
                         DynamicOptimizerOptions offline_options = {},
                         bool speculative = false,
-                        PricerGuardConfig guard = {});
+                        PricerGuardConfig guard = {},
+                        bool incremental = true);
   ~OnlinePricer();
 
   OnlinePricer(const OnlinePricer&) = delete;
@@ -151,6 +158,7 @@ class OnlinePricer {
   double expected_cost() const { return model_.total_cost(rewards_); }
 
   bool speculative() const { return speculative_; }
+  bool incremental() const { return incremental_; }
   /// Steps answered from the background pre-solve / recomputed live.
   std::size_t speculation_hits() const { return speculation_hits_; }
   std::size_t speculation_misses() const { return speculation_misses_; }
@@ -173,12 +181,26 @@ class OnlinePricer {
   static constexpr std::size_t kMaxTransitionLog = 256;
 
   /// The synchronous 1-D step: minimize the daily cost over `period`'s
-  /// reward with the others fixed at `rewards`.
+  /// reward with the others fixed at `rewards` (reference path).
   static math::GoldenSectionResult solve_period(const DynamicModel& model,
                                                 math::Vector rewards,
                                                 std::size_t period,
                                                 double reward_cap,
                                                 std::size_t max_iterations);
+
+  /// Incremental variant: primes (or resyncs) `scratch`'s cached pair
+  /// matrix, then evaluates every golden-section candidate through
+  /// total_cost_with_coordinate. Bitwise identical to solve_period.
+  static math::GoldenSectionResult solve_period_incremental(
+      const DynamicModel& model, const math::Vector& rewards,
+      std::size_t period, double reward_cap, std::size_t max_iterations,
+      FlowState& scratch);
+
+  /// Dispatch on incremental_ using this pricer's member scratch.
+  math::GoldenSectionResult run_solve(const DynamicModel& model,
+                                      const math::Vector& rewards,
+                                      std::size_t period,
+                                      std::size_t max_iterations);
 
   void launch_speculation(std::size_t next_period);
   void join_speculation();
@@ -213,6 +235,11 @@ class OnlinePricer {
           rewards(std::move(r)) {}
   };
   bool speculative_ = false;
+  bool incremental_ = true;
+  /// Pair-matrix cache reused across synchronous solves; the resync in
+  /// solve_period_incremental keeps warm starts cheap when the demand
+  /// update was a confirmed-forecast no-op (same memoized kernel state).
+  FlowState solve_scratch_;
   std::thread speculation_thread_;
   std::unique_ptr<Speculation> speculation_;
   std::size_t speculation_hits_ = 0;

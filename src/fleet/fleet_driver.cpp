@@ -139,10 +139,20 @@ FleetMetrics FleetDriver::run_day() {
 
   std::uint64_t all_day_sessions = 0;
   const auto start = std::chrono::steady_clock::now();
+  // Phase timing: `mark` rolls forward at each phase boundary; the lap sink
+  // accumulates across all periods and days (pure observation, no effect on
+  // any simulated value).
+  auto mark = start;
+  const auto lap = [&mark](double& sink) {
+    const auto t = std::chrono::steady_clock::now();
+    sink += std::chrono::duration<double>(t - mark).count();
+    mark = t;
+  };
 
   for (std::size_t day = 0; day < total_days; ++day) {
     const bool measured = day + 1 == total_days;
     for (std::size_t period = 0; period < n; ++period) {
+      mark = std::chrono::steady_clock::now();
       // Publish the current schedule and fan it out (one server fetch per
       // group; every user in a group reads the group cache).
       channel_.publish(pricer_->rewards());
@@ -152,7 +162,9 @@ FleetMetrics FleetDriver::run_day() {
       for (std::size_t c = 0; c < classes; ++c) {
         schedules[c] = &fanout_.schedule(c);
       }
+      lap(metrics.publish_seconds);
       const DeferralTable table(population_, schedules, period);
+      lap(metrics.table_seconds);
 
       parallel_for(
           shards_.size(),
@@ -161,6 +173,7 @@ FleetMetrics FleetDriver::run_day() {
                 s, period, shards_[s].simulate_period(day, period, table));
           },
           threads_);
+      lap(metrics.simulate_seconds);
 
       const PeriodStats merged = aggregator_.merged(period);
       all_day_sessions += merged.sessions;
@@ -171,6 +184,7 @@ FleetMetrics FleetDriver::run_day() {
         metrics.realized_units[period] = merged.realized_work * calibration;
         metrics.reward_paid_units += merged.reward_paid * calibration;
       }
+      lap(metrics.aggregate_seconds);
 
       if (config_.online_pricing) {
         const std::uint64_t abs_period =
@@ -195,6 +209,7 @@ FleetMetrics FleetDriver::run_day() {
               period, admitted.value,
               admitted.degraded || obs.lost_stripes > 0, budget);
         }
+        lap(metrics.pricer_seconds);
       }
     }
   }

@@ -75,6 +75,16 @@ std::string FleetMetrics::to_json() const {
   out += ',';
   append_field(out, "user_periods_per_second", user_periods_per_second);
   out += ',';
+  append_field(out, "publish_seconds", publish_seconds);
+  out += ',';
+  append_field(out, "table_seconds", table_seconds);
+  out += ',';
+  append_field(out, "simulate_seconds", simulate_seconds);
+  out += ',';
+  append_field(out, "aggregate_seconds", aggregate_seconds);
+  out += ',';
+  append_field(out, "pricer_seconds", pricer_seconds);
+  out += ',';
   append_field(out, "peak_to_average_tip", peak_to_average_tip);
   out += ',';
   append_field(out, "peak_to_average_tdp", peak_to_average_tdp);

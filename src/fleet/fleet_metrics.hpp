@@ -26,6 +26,15 @@ struct FleetMetrics {
   double sessions_per_second = 0.0;
   double user_periods_per_second = 0.0;
 
+  // Per-phase wall time over the whole run (seconds). The phases cover the
+  // period loop end to end, so they sum to ~wall_seconds; examples/
+  // profile_day prints this breakdown for a 100k-user day.
+  double publish_seconds = 0.0;    ///< schedule publish + fan-out sync
+  double table_seconds = 0.0;      ///< per-period DeferralTable builds
+  double simulate_seconds = 0.0;   ///< sharded user walks (thread pool)
+  double aggregate_seconds = 0.0;  ///< stripe merges + metric folds
+  double pricer_seconds = 0.0;     ///< telemetry, guard, online re-solve
+
   // Traffic shape (measured day, demand units per period).
   std::vector<double> offered_units;   ///< pre-deferral (TIP baseline)
   std::vector<double> realized_units;  ///< post-deferral (under TDP)

@@ -66,10 +66,12 @@ Population::Population(PopulationConfig config)
   // Waiting functions on the continuous lag grid (the dynamic model's
   // convention) normalized at the paper's maximum rational reward.
   waiting_.reserve(classes);
+  lag_tables_.reserve(classes);
   for (std::size_t c = 0; c < classes; ++c) {
     waiting_.push_back(std::make_shared<PowerLawWaitingFunction>(
         paper::kPatienceIndices[c], n, paper::kStaticNormalizationReward,
         1.0, LagNormalization::kContinuous));
+    lag_tables_.emplace_back(waiting_.back(), n);
   }
 
   // Calibration: expected aggregate work per period in user units is

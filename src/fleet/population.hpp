@@ -18,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "core/demand_profile.hpp"
+#include "core/kernel_plan.hpp"
 
 namespace tdp::fleet {
 
@@ -72,6 +73,13 @@ class Population {
     return waiting_[cls];
   }
 
+  /// Precomputed uniform-arrival lag weights for a patience class — bitwise
+  /// identical to lag_weight() on waiting(cls) but without the per-node
+  /// quadrature dispatch. DeferralTable rebuilds read through this.
+  const UniformLagWeightTable& lag_table(std::uint32_t cls) const {
+    return lag_tables_[cls];
+  }
+
   /// Fraction of users in each patience class (Table VII day totals).
   const std::vector<double>& class_shares() const { return class_share_; }
 
@@ -92,6 +100,7 @@ class Population {
   double mean_session_size_ = 1.0;
   double unit_calibration_ = 1.0;
   std::vector<WaitingFunctionPtr> waiting_;
+  std::vector<UniformLagWeightTable> lag_tables_;  ///< per class
   std::vector<double> class_share_;      ///< per class, sums to 1
   std::vector<double> class_cdf_;        ///< cumulative shares
   std::vector<double> session_rate_;     ///< [cls * periods + period]

@@ -23,13 +23,14 @@ DeferralTable::DeferralTable(
   for (std::size_t c = 0; c < classes; ++c) {
     const math::Vector& schedule = *schedule_by_class[c];
     TDP_REQUIRE(schedule.size() == n, "schedule size mismatch");
-    const WaitingFunction& waiting = *population.waiting(
-        static_cast<std::uint32_t>(c));
+    // Precomputed per-class lag weights — bitwise identical to calling
+    // lag_weight() on the class's waiting function (test_kernel_plan.cpp).
+    const UniformLagWeightTable& weights =
+        population.lag_table(static_cast<std::uint32_t>(c));
     double total = 0.0;
     for (std::size_t lag = 1; lag < n; ++lag) {
       const std::size_t target = (period + lag) % n;
-      const double p = lag_weight(waiting, schedule[target], lag,
-                                  LagConvention::kUniformArrival);
+      const double p = weights.weight(schedule[target], lag);
       total += p;
       cumulative_[c * n + lag] = total;
       reward_[c * n + lag] = schedule[target];

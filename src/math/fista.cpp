@@ -16,7 +16,8 @@ FistaResult minimize_box(const SmoothObjective& objective,
                          const BoxBounds& bounds, Vector x0,
                          const FistaOptions& options) {
   TDP_REQUIRE(static_cast<bool>(objective.value) &&
-                  static_cast<bool>(objective.gradient),
+                  (static_cast<bool>(objective.gradient) ||
+                   static_cast<bool>(objective.value_and_gradient)),
               "objective callbacks must be set");
   TDP_REQUIRE(x0.size() == bounds.lower.size() &&
                   x0.size() == bounds.upper.size(),
@@ -40,8 +41,13 @@ FistaResult minimize_box(const SmoothObjective& objective,
 
   FistaResult result;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    const double fy = objective.value(y);
-    objective.gradient(y, grad);
+    double fy = 0.0;
+    if (objective.value_and_gradient) {
+      fy = objective.value_and_gradient(y, grad);
+    } else {
+      fy = objective.value(y);
+      objective.gradient(y, grad);
+    }
 
     // Backtracking: find L such that the quadratic model at y upper-bounds
     // the objective at the projected step.

@@ -20,6 +20,13 @@ struct SmoothObjective {
   std::function<double(const Vector&)> value;
   /// Writes the gradient of `value` at x into `grad` (pre-sized to x.size()).
   std::function<void(const Vector&, Vector&)> gradient;
+  /// Optional fused evaluation: returns value(x) and writes the gradient in
+  /// one pass. FISTA needs both at the same extrapolated point every
+  /// iteration; objectives that share work between them (the kernel-plan
+  /// paths evaluate the deferral flows once instead of twice) set this.
+  /// Must produce exactly the numbers value/gradient would. When set,
+  /// `gradient` may be empty.
+  std::function<double(const Vector&, Vector&)> value_and_gradient;
 };
 
 struct BoxBounds {

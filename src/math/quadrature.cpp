@@ -8,15 +8,10 @@
 namespace tdp::math {
 namespace {
 
-// 8-point Gauss-Legendre nodes/weights on [-1, 1].
-constexpr std::array<double, 8> kNodes = {
-    -0.9602898564975363, -0.7966664774136267, -0.5255324099163290,
-    -0.1834346424956498, 0.1834346424956498,  0.5255324099163290,
-    0.7966664774136267,  0.9602898564975363};
-constexpr std::array<double, 8> kWeights = {
-    0.1012285362903763, 0.2223810344533745, 0.3137066458778873,
-    0.3626837833783620, 0.3626837833783620, 0.3137066458778873,
-    0.2223810344533745, 0.1012285362903763};
+// The 8-point Gauss-Legendre rule lives in the header (kGauss8Nodes /
+// kGauss8Weights) so precomputed fast paths can mirror it bitwise.
+constexpr const std::array<double, 8>& kNodes = kGauss8Nodes;
+constexpr const std::array<double, 8>& kWeights = kGauss8Weights;
 
 double simpson(double a, double fa, double b, double fb, double fm) {
   return (b - a) / 6.0 * (fa + 4.0 * fm + fb);

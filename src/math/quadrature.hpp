@@ -6,10 +6,24 @@
 // adaptive Simpson is provided as an independent cross-check for tests.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
 
 namespace tdp::math {
+
+/// The 8-point Gauss-Legendre rule on [-1, 1] used by integrate_gauss.
+/// Exposed so precomputed fast paths (core/kernel_plan) can replicate the
+/// quadrature arithmetic bitwise: same nodes, same weights, same
+/// accumulation order.
+inline constexpr std::array<double, 8> kGauss8Nodes = {
+    -0.9602898564975363, -0.7966664774136267, -0.5255324099163290,
+    -0.1834346424956498, 0.1834346424956498,  0.5255324099163290,
+    0.7966664774136267,  0.9602898564975363};
+inline constexpr std::array<double, 8> kGauss8Weights = {
+    0.1012285362903763, 0.2223810344533745, 0.3137066458778873,
+    0.3626837833783620, 0.3626837833783620, 0.3137066458778873,
+    0.2223810344533745, 0.1012285362903763};
 
 /// Integrate f over [a, b] with composite 8-point Gauss-Legendre on
 /// `segments` equal subintervals.

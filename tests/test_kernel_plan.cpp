@@ -1,0 +1,527 @@
+// Bitwise property tests for the fused kernel plan (core/kernel_plan).
+//
+// The contract under test is *identity*, not closeness: every double the
+// fast paths produce must EXPECT_EQ the corresponding reference-path value.
+// The reference DeferralKernel / model methods stay in the codebase exactly
+// so they can serve as the oracle here.
+#include "core/kernel_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/deferral_kernel.hpp"
+#include "core/paper_data.hpp"
+#include "core/profit.hpp"
+#include "core/static_model.hpp"
+#include "core/static_optimizer.hpp"
+#include "dynamic/dynamic_model.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "math/golden_section.hpp"
+#include "math/piecewise_linear.hpp"
+
+namespace tdp {
+namespace {
+
+enum class WfFamily { kLinearPower, kNonlinearPower, kCallable };
+
+const char* family_name(WfFamily family) {
+  switch (family) {
+    case WfFamily::kLinearPower: return "linear";
+    case WfFamily::kNonlinearPower: return "nonlinear";
+    case WfFamily::kCallable: return "callable";
+  }
+  return "?";
+}
+
+/// A demand profile exercising shared waiting functions (one per class,
+/// reused across periods), empty periods, and mixed class counts.
+DemandProfile make_test_profile(std::size_t n, WfFamily family,
+                                LagNormalization normalization,
+                                double max_reward) {
+  std::vector<WaitingFunctionPtr> wfs;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const double beta = 0.5 + static_cast<double>(s) * 1.1;
+    switch (family) {
+      case WfFamily::kLinearPower:
+        wfs.push_back(std::make_shared<PowerLawWaitingFunction>(
+            beta, n, max_reward, 1.0, normalization));
+        break;
+      case WfFamily::kNonlinearPower:
+        wfs.push_back(std::make_shared<PowerLawWaitingFunction>(
+            beta, n, max_reward, 0.6 + 0.1 * static_cast<double>(s),
+            normalization));
+        break;
+      case WfFamily::kCallable: {
+        // Bounded concave-in-p family the plan cannot specialize: forces
+        // the generic per-term dispatch path.
+        const double scale = 0.02 + 0.01 * static_cast<double>(s);
+        wfs.push_back(std::make_shared<CallableWaitingFunction>(
+            [scale, beta](double p, double t) {
+              if (p <= 0.0) return 0.0;
+              return scale * std::log1p(p) / std::pow(t + 1.0, beta);
+            },
+            [scale, beta](double p, double t) {
+              if (p < 0.0) return 0.0;
+              return scale / (1.0 + p) / std::pow(t + 1.0, beta);
+            },
+            "test-log"));
+        break;
+      }
+    }
+  }
+
+  DemandProfile profile(n);
+  Rng rng(17 + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (n > 2 && i % 5 == 4) continue;  // leave some periods empty
+    const std::size_t classes = 1 + i % wfs.size();
+    for (std::size_t c = 0; c < classes; ++c) {
+      profile.add_class(i, SessionClass{wfs[c], 1.0 + rng.uniform(0.0, 4.0)});
+    }
+  }
+  return profile;
+}
+
+math::Vector random_rewards(Rng& rng, std::size_t n, double cap) {
+  math::Vector rewards(n);
+  for (double& r : rewards) {
+    const double u = rng.uniform();
+    r = u < 0.15 ? 0.0 : rng.uniform(0.0, cap);  // exercise the p <= 0 gate
+  }
+  return rewards;
+}
+
+/// Reference flows straight off the DeferralKernel.
+struct ReferenceFlows {
+  math::Vector inflow, inflow_derivative, outflow;
+  std::vector<double> pair, pair_derivative;
+};
+
+ReferenceFlows reference_flows(const DeferralKernel& kernel,
+                               const math::Vector& rewards) {
+  const std::size_t n = kernel.periods();
+  ReferenceFlows ref;
+  ref.inflow.resize(n);
+  ref.inflow_derivative.resize(n);
+  ref.outflow.resize(n);
+  ref.pair.assign(n * n, 0.0);
+  ref.pair_derivative.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref.inflow[i] = kernel.inflow(i, rewards[i]);
+    ref.inflow_derivative[i] = kernel.inflow_derivative(i, rewards[i]);
+    ref.outflow[i] = kernel.outflow(i, rewards);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      ref.pair[i * n + j] = kernel.pair_volume(i, j, rewards[j]);
+      ref.pair_derivative[i * n + j] =
+          kernel.pair_volume_derivative(i, j, rewards[j]);
+    }
+  }
+  return ref;
+}
+
+void expect_state_matches(const ReferenceFlows& ref, const FlowState& state,
+                          std::size_t n, const char* context) {
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ref.inflow[i], state.inflow[i]) << context << " inflow " << i;
+    EXPECT_EQ(ref.inflow_derivative[i], state.inflow_derivative[i])
+        << context << " dinflow " << i;
+    EXPECT_EQ(ref.outflow[i], state.outflow[i]) << context << " outflow "
+                                                << i;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(ref.pair[i * n + j], state.pair[i * n + j])
+          << context << " pair " << i << "," << j;
+      EXPECT_EQ(ref.pair_derivative[i * n + j],
+                state.pair_derivative[i * n + j])
+          << context << " dpair " << i << "," << j;
+    }
+  }
+}
+
+TEST(KernelPlan, BitwiseIdentityAcrossConventionsFamiliesAndSizes) {
+  Rng rng(2024);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{12},
+                              std::size_t{48}}) {
+    for (const WfFamily family : {WfFamily::kLinearPower,
+                                  WfFamily::kNonlinearPower,
+                                  WfFamily::kCallable}) {
+      for (const LagConvention convention :
+           {LagConvention::kPeriodStart, LagConvention::kUniformArrival}) {
+        const LagNormalization norm =
+            convention == LagConvention::kPeriodStart
+                ? LagNormalization::kDiscrete
+                : LagNormalization::kContinuous;
+        const DeferralKernel kernel(make_test_profile(n, family, norm, 1.5),
+                                    convention);
+        const auto plan = kernel.plan();
+        ASSERT_NE(plan, nullptr);
+        EXPECT_EQ(plan->periods(), n);
+        EXPECT_EQ(plan->linear(), kernel.linear());
+
+        FlowState state;
+        for (int trial = 0; trial < 3; ++trial) {
+          const math::Vector rewards = random_rewards(rng, n, 1.5);
+          plan->evaluate(rewards, /*with_derivatives=*/true, state);
+          const ReferenceFlows ref = reference_flows(kernel, rewards);
+          expect_state_matches(
+              ref, state, n,
+              (std::string(family_name(family)) + " n=" +
+               std::to_string(n))
+                  .c_str());
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelPlan, IncrementalCoordinateUpdateIsBitIdenticalToFullEvaluate) {
+  Rng rng(99);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{12},
+                              std::size_t{48}}) {
+    for (const WfFamily family :
+         {WfFamily::kLinearPower, WfFamily::kNonlinearPower}) {
+      const DeferralKernel kernel(
+          make_test_profile(n, family, LagNormalization::kContinuous, 1.5),
+          LagConvention::kUniformArrival);
+      const auto plan = kernel.plan();
+
+      math::Vector rewards = random_rewards(rng, n, 1.5);
+      FlowState incremental;
+      plan->evaluate(rewards, /*with_derivatives=*/true, incremental);
+
+      FlowState full;
+      for (int step = 0; step < 40; ++step) {
+        const std::size_t m = static_cast<std::size_t>(
+            rng.uniform() * static_cast<double>(n)) % n;
+        const double u = rng.uniform();
+        rewards[m] = u < 0.2 ? 0.0 : rng.uniform(0.0, 1.5);
+        plan->update_coordinate(m, rewards[m], /*with_derivatives=*/true,
+                                incremental);
+        plan->evaluate(rewards, /*with_derivatives=*/true, full);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(full.inflow[i], incremental.inflow[i]);
+          EXPECT_EQ(full.inflow_derivative[i],
+                    incremental.inflow_derivative[i]);
+          EXPECT_EQ(full.outflow[i], incremental.outflow[i]);
+        }
+        for (std::size_t k = 0; k < n * n; ++k) {
+          EXPECT_EQ(full.pair[k], incremental.pair[k]);
+          EXPECT_EQ(full.pair_derivative[k], incremental.pair_derivative[k]);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelPlan, UpdateCoordinateRejectsForeignState) {
+  const DeferralKernel kernel(
+      make_test_profile(6, WfFamily::kNonlinearPower,
+                        LagNormalization::kDiscrete, 1.5),
+      LagConvention::kPeriodStart);
+  FlowState state;
+  EXPECT_THROW(kernel.plan()->update_coordinate(0, 0.5, false, state),
+               PreconditionError);
+}
+
+TEST(LagWeightPair, MatchesSeparateCallsBitwise) {
+  const std::size_t n = 12;
+  std::vector<WaitingFunctionPtr> wfs = {
+      std::make_shared<PowerLawWaitingFunction>(1.5, n, 1.5, 1.0),
+      std::make_shared<PowerLawWaitingFunction>(2.5, n, 1.5, 0.7,
+                                                LagNormalization::kContinuous),
+      std::make_shared<CallableWaitingFunction>(
+          [](double p, double t) {
+            return p <= 0.0 ? 0.0 : 0.05 * std::sqrt(p) / (t + 1.0);
+          },
+          [](double p, double t) {
+            return p <= 0.0 ? 0.0 : 0.025 / std::sqrt(p) / (t + 1.0);
+          })};
+  for (const auto& wf : wfs) {
+    for (const LagConvention convention :
+         {LagConvention::kPeriodStart, LagConvention::kUniformArrival}) {
+      for (std::size_t lag = 1; lag < n; ++lag) {
+        for (double p : {0.0, 0.05, 0.4, 1.2, 1.5}) {
+          double value = -1.0;
+          double derivative = -1.0;
+          lag_weight_pair(*wf, p, lag, convention, value, derivative);
+          EXPECT_EQ(value, lag_weight(*wf, p, lag, convention));
+          EXPECT_EQ(derivative,
+                    lag_weight_derivative(*wf, p, lag, convention));
+        }
+      }
+    }
+  }
+}
+
+TEST(UniformLagWeightTableTest, MatchesLagWeightBitwise) {
+  const std::size_t n = 48;
+  const std::vector<WaitingFunctionPtr> wfs = {
+      std::make_shared<PowerLawWaitingFunction>(
+          0.5, n, 1.5, 1.0, LagNormalization::kContinuous),
+      std::make_shared<PowerLawWaitingFunction>(
+          3.0, n, 1.5, 0.8, LagNormalization::kContinuous),
+      std::make_shared<CallableWaitingFunction>([](double p, double t) {
+        return p <= 0.0 ? 0.0 : 0.01 * p / std::sqrt(t + 1.0);
+      })};
+  Rng rng(7);
+  for (const auto& wf : wfs) {
+    const UniformLagWeightTable table(wf, n);
+    for (std::size_t lag = 1; lag < n; ++lag) {
+      for (int trial = 0; trial < 4; ++trial) {
+        const double p = trial == 0 ? 0.0 : rng.uniform(0.0, 1.5);
+        EXPECT_EQ(table.weight(p, lag),
+                  lag_weight(*wf, p, lag, LagConvention::kUniformArrival))
+            << wf->label() << " lag=" << lag << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(KernelMemo, IdenticalProfilesShareStateAndCountHits) {
+  const DemandProfile profile = make_test_profile(
+      12, WfFamily::kNonlinearPower, LagNormalization::kDiscrete, 1.5);
+  const std::uint64_t hits_before = DeferralKernel::cache_hits();
+  const DeferralKernel first(profile, LagConvention::kPeriodStart);
+  const DeferralKernel second(profile, LagConvention::kPeriodStart);
+  EXPECT_EQ(first.state_id(), second.state_id());
+  EXPECT_GT(DeferralKernel::cache_hits(), hits_before);
+  // Shared state means shared lazy artifacts: one plan, one validity bound.
+  EXPECT_EQ(first.plan().get(), second.plan().get());
+  EXPECT_EQ(first.max_safe_reward(), second.max_safe_reward());
+  // A different convention over the same mix must NOT share.
+  const DeferralKernel other(profile, LagConvention::kUniformArrival);
+  EXPECT_NE(other.state_id(), first.state_id());
+}
+
+TEST(StaticModelFused, CostAndGradientBitIdenticalToReference) {
+  const StaticModel model(
+      make_test_profile(12, WfFamily::kNonlinearPower,
+                        LagNormalization::kDiscrete, 1.5),
+      6.0, math::PiecewiseLinearCost::hinge(3.0, 0.0));
+  Rng rng(11);
+  FlowState state;
+  const std::size_t n = model.periods();
+  for (int trial = 0; trial < 8; ++trial) {
+    const math::Vector rewards = random_rewards(rng, n, 1.5);
+    EXPECT_EQ(model.total_cost(rewards), model.total_cost(rewards, state));
+    for (double mu : {1.0, 1e-3}) {
+      EXPECT_EQ(model.smoothed_cost(rewards, mu),
+                model.smoothed_cost(rewards, mu, state));
+      math::Vector ref_grad(n, 0.0);
+      math::Vector fused_grad(n, 0.0);
+      model.smoothed_gradient(rewards, mu, ref_grad);
+      const double fused_value =
+          model.smoothed_cost_and_gradient(rewards, mu, fused_grad, state);
+      EXPECT_EQ(model.smoothed_cost(rewards, mu), fused_value);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(ref_grad[i], fused_grad[i]) << "grad " << i;
+      }
+    }
+    // usage / reward_cost overloads (the profit path).
+    const math::Vector ref_usage = model.usage(rewards);
+    FlowState usage_state;
+    const math::Vector fused_usage = model.usage(rewards, usage_state);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(ref_usage[i], fused_usage[i]);
+    }
+    EXPECT_EQ(model.reward_cost(rewards), model.reward_cost(usage_state));
+  }
+}
+
+TEST(StaticModelFused, CoordinateUpdateCostMatchesReference) {
+  const StaticModel model(
+      make_test_profile(12, WfFamily::kNonlinearPower,
+                        LagNormalization::kDiscrete, 1.5),
+      6.0, math::PiecewiseLinearCost::hinge(3.0, 0.0));
+  Rng rng(5);
+  const std::size_t n = model.periods();
+  math::Vector rewards = random_rewards(rng, n, 1.5);
+  FlowState state;
+  model.prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  for (int step = 0; step < 30; ++step) {
+    const std::size_t m = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(n)) % n;
+    rewards[m] = rng.uniform(0.0, 1.5);
+    EXPECT_EQ(model.total_cost(rewards),
+              model.total_cost_with_coordinate(m, rewards[m], state));
+  }
+}
+
+TEST(StaticOptimizerFused, SolutionBitIdenticalToReferencePath) {
+  const StaticModel model = paper::static_model_12();
+  StaticOptimizerOptions fused;
+  fused.fused = true;
+  StaticOptimizerOptions reference;
+  reference.fused = false;
+  const PricingSolution a = optimize_static_prices(model, fused);
+  const PricingSolution b = optimize_static_prices(model, reference);
+  ASSERT_EQ(a.rewards.size(), b.rewards.size());
+  for (std::size_t i = 0; i < a.rewards.size(); ++i) {
+    EXPECT_EQ(a.rewards[i], b.rewards[i]) << "reward " << i;
+  }
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(StaticOptimizerFused, NonlinearSolveBitIdenticalToReferencePath) {
+  const StaticModel model(
+      paper::make_profile(paper::table8_mix_12(),
+                          paper::kStaticNormalizationReward,
+                          LagNormalization::kDiscrete, /*gamma=*/0.7),
+      paper::kStaticCapacityUnits,
+      math::PiecewiseLinearCost::hinge(paper::kStaticCostSlope, 0.0));
+  StaticOptimizerOptions fused;
+  fused.fused = true;
+  fused.fista.max_iterations = 800;
+  StaticOptimizerOptions reference = fused;
+  reference.fused = false;
+  const PricingSolution a = optimize_static_prices(model, fused);
+  const PricingSolution b = optimize_static_prices(model, reference);
+  for (std::size_t i = 0; i < a.rewards.size(); ++i) {
+    EXPECT_EQ(a.rewards[i], b.rewards[i]) << "reward " << i;
+  }
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(StaticOptimizerFused, ResolveCoordinateMatchesReferenceGoldenSection) {
+  const StaticModel model = paper::static_model_12();
+  const double cap = model.max_reward();
+  Rng rng(3);
+  math::Vector rewards = random_rewards(rng, model.periods(), cap);
+  math::Vector reference_rewards = rewards;
+
+  FlowState state;
+  for (int step = 0; step < 12; ++step) {
+    const std::size_t period = static_cast<std::size_t>(step) % 12;
+    const math::GoldenSectionResult fast = resolve_static_coordinate(
+        model, rewards, period, state, cap);
+    // Reference: golden section over the full-recompute objective.
+    const auto objective = [&](double candidate) {
+      math::Vector probe = reference_rewards;
+      probe[period] = candidate;
+      return model.total_cost(probe);
+    };
+    const math::GoldenSectionResult ref =
+        math::minimize_golden_section(objective, 0.0, cap, 1e-7, 200);
+    reference_rewards[period] = ref.x;
+    EXPECT_EQ(fast.x, ref.x) << "period " << period;
+    EXPECT_EQ(fast.value, ref.value);
+    EXPECT_EQ(fast.iterations, ref.iterations);
+  }
+}
+
+DynamicModel nonlinear_dynamic_model() {
+  return DynamicModel(
+      paper::make_profile(paper::table8_mix_12(),
+                          paper::kStaticNormalizationReward,
+                          LagNormalization::kContinuous, /*gamma=*/0.7),
+      paper::kDynamicCapacityUnits,
+      math::PiecewiseLinearCost::hinge(paper::kDynamicCostSlope, 0.0));
+}
+
+TEST(DynamicModelFused, CostAndGradientBitIdenticalToReference) {
+  const DynamicModel model = nonlinear_dynamic_model();
+  Rng rng(21);
+  FlowState state;
+  const std::size_t n = model.periods();
+  for (int trial = 0; trial < 8; ++trial) {
+    const math::Vector rewards = random_rewards(rng, n, 1.5);
+    EXPECT_EQ(model.total_cost(rewards), model.total_cost(rewards, state));
+    for (double mu : {1.0, 1e-4}) {
+      EXPECT_EQ(model.smoothed_cost(rewards, mu),
+                model.smoothed_cost(rewards, mu, state));
+      math::Vector ref_grad(n, 0.0);
+      math::Vector fused_grad(n, 0.0);
+      model.smoothed_gradient(rewards, mu, ref_grad);
+      const double fused_value =
+          model.smoothed_cost_and_gradient(rewards, mu, fused_grad, state);
+      EXPECT_EQ(model.smoothed_cost(rewards, mu), fused_value);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(ref_grad[i], fused_grad[i]) << "grad " << i;
+      }
+    }
+  }
+}
+
+TEST(DynamicModelFused, CoordinateUpdateCostMatchesReference) {
+  const DynamicModel model = nonlinear_dynamic_model();
+  Rng rng(31);
+  const std::size_t n = model.periods();
+  math::Vector rewards = random_rewards(rng, n, 1.2);
+  FlowState state;
+  model.prime_flow_state(rewards, /*with_derivatives=*/false, state);
+  for (int step = 0; step < 30; ++step) {
+    const std::size_t m = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(n)) % n;
+    rewards[m] = rng.uniform(0.0, 1.2);
+    EXPECT_EQ(model.total_cost(rewards),
+              model.total_cost_with_coordinate(m, rewards[m], state));
+  }
+}
+
+TEST(DynamicOptimizerFused, SolutionBitIdenticalToReferencePath) {
+  const DynamicModel model = nonlinear_dynamic_model();
+  DynamicOptimizerOptions fused;
+  fused.fused = true;
+  fused.fista.max_iterations = 600;
+  DynamicOptimizerOptions reference = fused;
+  reference.fused = false;
+  const DynamicPricingSolution a = optimize_dynamic_prices(model, fused);
+  const DynamicPricingSolution b = optimize_dynamic_prices(model, reference);
+  for (std::size_t i = 0; i < a.rewards.size(); ++i) {
+    EXPECT_EQ(a.rewards[i], b.rewards[i]) << "reward " << i;
+  }
+  EXPECT_EQ(a.evaluation.total_cost, b.evaluation.total_cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(OnlinePricerIncremental, DayOfObservationsBitIdenticalToReference) {
+  DynamicOptimizerOptions offline;
+  offline.fista.max_iterations = 400;
+
+  OnlinePricer incremental(nonlinear_dynamic_model(), offline,
+                           /*speculative=*/false, PricerGuardConfig{},
+                           /*incremental=*/true);
+  OnlinePricer reference(nonlinear_dynamic_model(), offline,
+                         /*speculative=*/false, PricerGuardConfig{},
+                         /*incremental=*/false);
+  EXPECT_TRUE(incremental.incremental());
+  EXPECT_FALSE(reference.incremental());
+
+  const std::size_t n = incremental.periods();
+  Rng rng(404);
+  for (std::size_t period = 0; period < n; ++period) {
+    // Mix confirmed forecasts (scale-by-1.0 resyncs) with real deviations.
+    const double forecast =
+        incremental.model().arrivals().tip_demand(period);
+    const double measured =
+        period % 3 == 0 ? forecast : forecast * rng.uniform(0.8, 1.2);
+    const auto a = incremental.observe_period(period, measured);
+    const auto b = reference.observe_period(period, measured);
+    EXPECT_EQ(a.new_reward, b.new_reward) << "period " << period;
+    EXPECT_EQ(a.expected_cost, b.expected_cost) << "period " << period;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(incremental.rewards()[i], reference.rewards()[i]);
+  }
+}
+
+TEST(ProfitFused, BreakdownMatchesReferenceAccessors) {
+  const StaticModel model = paper::static_model_12();
+  Rng rng(8);
+  const math::Vector rewards = random_rewards(rng, model.periods(), 1.5);
+  const ProfitBreakdown out = evaluate_profit(model, rewards, 2.0, 0.5);
+  const math::Vector x = model.usage(rewards);
+  EXPECT_EQ(out.reward_cost, model.reward_cost(rewards));
+  EXPECT_EQ(out.capacity_cost, model.capacity_cost_value(x));
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Gate the kernel perf suite: speedup floors + wall-time regression.
+
+Reads the BENCH_kernel.json written by bench_kernel_suite and fails (exit 1)
+when either
+
+  * a machine-independent speedup ratio is below its floor (the fused static
+    solve must stay >= 5x the reference objective, the incremental online
+    re-solve >= 3x the full-recompute golden section), or
+  * a wall-time field regressed more than --tolerance (default 15%) against
+    the checked-in baseline, after normalizing both runs by their
+    calibration_seconds (a fixed reference workload timed in-process, so the
+    gate measures code changes rather than host-speed changes).
+
+Usage:
+  tools/check_bench_regression.py BENCH_kernel.json \
+      [--baseline bench/baselines/BENCH_kernel.baseline.json] \
+      [--tolerance 0.15] [--min-static-speedup 5] [--min-online-speedup 3] \
+      [--update]
+
+--update rewrites the baseline from the current run (after the speedup
+floors pass) instead of comparing.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+WALL_SUFFIX = "_seconds"
+
+
+def load(path: Path) -> dict:
+    with path.open() as handle:
+        data = json.load(handle)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {data.get('schema')!r}")
+    return data
+
+
+def check_speedup_floors(current: dict, floors: dict[str, tuple[str, float]]
+                         ) -> list[str]:
+    failures = []
+    benches = current.get("benches", {})
+    for bench, (field, floor) in floors.items():
+        entry = benches.get(bench)
+        if entry is None:
+            failures.append(f"missing bench '{bench}' in current run")
+            continue
+        value = entry.get(field)
+        if value is None:
+            failures.append(f"{bench}: missing field '{field}'")
+        elif value < floor:
+            failures.append(
+                f"{bench}: {field} = {value:.2f}x below the {floor:.0f}x floor")
+        else:
+            print(f"  OK  {bench}.{field} = {value:.1f}x (floor {floor:.0f}x)")
+    return failures
+
+
+def check_wall_regressions(current: dict, baseline: dict,
+                           tolerance: float) -> list[str]:
+    failures = []
+    cur_cal = current.get("calibration_seconds", 0.0)
+    base_cal = baseline.get("calibration_seconds", 0.0)
+    if cur_cal <= 0.0 or base_cal <= 0.0:
+        return ["calibration_seconds missing or non-positive; "
+                "cannot normalize wall times"]
+
+    for bench, base_entry in baseline.get("benches", {}).items():
+        cur_entry = current.get("benches", {}).get(bench)
+        if cur_entry is None:
+            failures.append(f"missing bench '{bench}' present in baseline")
+            continue
+        for field, base_value in base_entry.items():
+            if not field.endswith(WALL_SUFFIX):
+                continue
+            cur_value = cur_entry.get(field)
+            if cur_value is None:
+                failures.append(f"{bench}: missing wall field '{field}'")
+                continue
+            if base_value <= 0.0:
+                continue
+            ratio = (cur_value / cur_cal) / (base_value / base_cal)
+            label = f"{bench}.{field}"
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{label}: {ratio:.2f}x the baseline "
+                    f"(normalized; tolerance {1.0 + tolerance:.2f}x)")
+            else:
+                print(f"  OK  {label}: {ratio:.2f}x baseline (normalized)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path,
+                        help="BENCH_kernel.json from this run")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("bench/baselines/"
+                                     "BENCH_kernel.baseline.json"))
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed normalized wall-time regression "
+                             "(0.15 = 15%%)")
+    parser.add_argument("--min-static-speedup", type=float, default=5.0)
+    parser.add_argument("--min-online-speedup", type=float, default=3.0)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    print(f"checking {args.current}")
+    failures = check_speedup_floors(
+        current,
+        {
+            "static_solve": ("speedup", args.min_static_speedup),
+            "online_resolve": ("speedup", args.min_online_speedup),
+        })
+
+    if args.update:
+        if failures:
+            print("refusing to update baseline with failing speedup floors:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if args.baseline.exists():
+        failures += check_wall_regressions(current, load(args.baseline),
+                                           args.tolerance)
+    else:
+        print(f"  (no baseline at {args.baseline}; speedup floors only)")
+
+    if failures:
+        print("perf gate FAILED:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
