@@ -6,8 +6,15 @@
 // log concurrently without interleaved or torn lines; each log_message call
 // emits exactly one whole line. Only the netsim event loop remains a
 // single-threaded component (see DESIGN.md "Threading model").
+//
+// The logger is itself observable: every emitted line bumps
+// log.emitted_total.<level> in the metrics registry, and lines dropped by
+// the TDP_LOG_EVERY_POW2 rate limiter bump log.suppressed_total instead of
+// vanishing — a flooding-but-throttled warning site is visible in any
+// metrics export even when no line of it reaches the sink.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -31,6 +38,13 @@ LogSink set_log_sink(LogSink sink);
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
+
+/// Power-of-two-cadence gate for rate-limited log sites: true when
+/// `occurrence` (1-based) is 1, 2, 4, 8, ... — the cadence every such site
+/// in the repo already used by hand. A false return counts the line in
+/// log.suppressed_total (always, independent of the metrics switch), so
+/// throttled floods stay measurable.
+bool rate_limit_pass(std::uint64_t occurrence);
 
 class LogLine {
  public:
@@ -57,6 +71,15 @@ class LogLine {
   if (static_cast<int>(level) < static_cast<int>(::tdp::log_level())) { \
   } else                                                 \
     ::tdp::detail::LogLine(level)
+
+/// Rate-limited logging: emit the line only on the 1st, 2nd, 4th, 8th, ...
+/// occurrence (pass the site's own 1-based occurrence counter); suppressed
+/// lines are counted in the registry (log.suppressed_total) instead of
+/// silently dropped.
+#define TDP_LOG_EVERY_POW2(level, occurrence)        \
+  if (!::tdp::detail::rate_limit_pass(occurrence)) { \
+  } else                                             \
+    TDP_LOG(level)
 
 #define TDP_LOG_DEBUG TDP_LOG(::tdp::LogLevel::kDebug)
 #define TDP_LOG_INFO TDP_LOG(::tdp::LogLevel::kInfo)

@@ -6,6 +6,9 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdp {
 
@@ -33,6 +36,7 @@ std::vector<PricingSolution> BatchSolver::solve_generated(
 
 std::vector<PricingSolution> BatchSolver::run(
     std::size_t count, const GetModel& get_model) {
+  TDP_OBS_SPAN("batch.solve");
   timing_ = BatchTiming{};
   timing_.tasks = count;
   std::size_t threads =
@@ -87,6 +91,20 @@ std::vector<PricingSolution> BatchSolver::run(
                << timing_.total_iterations << " FISTA iterations ("
                << timing_.anchor_iterations << " anchor) in "
                << timing_.wall_seconds << " s";
+  if (obs::metrics_enabled()) {
+    static obs::Counter& batches =
+        obs::Registry::global().counter("batch.solves_total");
+    static obs::Counter& tasks =
+        obs::Registry::global().counter("batch.tasks_total");
+    batches.add_always(1);
+    tasks.add_always(timing_.tasks);
+    obs::journal_record(
+        "batch.solve", -1, -1, "batch solve finished",
+        {{"tasks", static_cast<double>(timing_.tasks)},
+         {"threads", static_cast<double>(timing_.threads)},
+         {"iterations", static_cast<double>(timing_.total_iterations)},
+         {"wall_seconds", timing_.wall_seconds}});
+  }
   return results;
 }
 

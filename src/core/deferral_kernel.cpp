@@ -1,7 +1,6 @@
 #include "core/deferral_kernel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <deque>
@@ -12,6 +11,7 @@
 #include "common/error.hpp"
 #include "core/kernel_plan.hpp"
 #include "math/quadrature.hpp"
+#include "obs/registry.hpp"
 
 namespace tdp {
 
@@ -105,8 +105,20 @@ KernelKey make_key(const DemandProfile& demand, LagConvention convention) {
   return key;
 }
 
-std::atomic<std::uint64_t> g_cache_hits{0};
-std::atomic<std::uint64_t> g_cache_misses{0};
+/// Memo effectiveness lives in the metrics registry (always on — the
+/// static DeferralKernel::cache_hits()/cache_misses() accessors are views
+/// over these counters and must work with telemetry disabled too).
+obs::Counter& memo_hits_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("kernel.memo_hits_total");
+  return counter;
+}
+
+obs::Counter& memo_misses_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("kernel.memo_misses_total");
+  return counter;
+}
 
 }  // namespace
 
@@ -177,12 +189,12 @@ class KernelStateCache {
       std::lock_guard<std::mutex> lock(mutex_);
       for (const Entry& e : entries_) {
         if (e.hash == hash && e.key == key) {
-          g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          memo_hits_counter().add_always(1);
           return e.state;
         }
       }
     }
-    g_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    memo_misses_counter().add_always(1);
     auto state = build_state(demand, convention);
     std::lock_guard<std::mutex> lock(mutex_);
     // Another thread may have built the same state concurrently; prefer the
@@ -359,11 +371,11 @@ const std::vector<double>& DeferralKernel::unit_inflow_table() const {
 const void* DeferralKernel::state_id() const { return state_.get(); }
 
 std::uint64_t DeferralKernel::cache_hits() {
-  return g_cache_hits.load(std::memory_order_relaxed);
+  return memo_hits_counter().value();
 }
 
 std::uint64_t DeferralKernel::cache_misses() {
-  return g_cache_misses.load(std::memory_order_relaxed);
+  return memo_misses_counter().value();
 }
 
 }  // namespace tdp

@@ -7,6 +7,8 @@
 #include "common/cyclic.hpp"
 #include "common/error.hpp"
 #include "math/quadrature.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdp {
 namespace {
@@ -31,6 +33,12 @@ KernelPlan::KernelPlan(const DeferralKernel& kernel)
     : periods_(kernel.periods()),
       convention_(kernel.convention()),
       linear_(kernel.linear()) {
+  TDP_OBS_SPAN("kernel.plan_build");
+  {
+    static obs::Counter& builds =
+        obs::Registry::global().counter("kernel.plan_builds_total");
+    builds.add(1);
+  }
   static std::atomic<std::uint64_t> next_serial{1};
   serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = periods_;

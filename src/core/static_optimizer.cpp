@@ -4,11 +4,15 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdp {
 
 PricingSolution optimize_static_prices(const StaticModel& model,
                                        const StaticOptimizerOptions& options) {
+  TDP_OBS_SPAN("solver.static");
   TDP_REQUIRE(options.mu_initial >= options.mu_final && options.mu_final > 0.0,
               "invalid smoothing schedule");
   TDP_REQUIRE(options.mu_decay > 0.0 && options.mu_decay < 1.0,
@@ -71,6 +75,21 @@ PricingSolution optimize_static_prices(const StaticModel& model,
   solution.total_cost = solution.reward_cost + solution.capacity_cost;
   solution.tip_cost = model.tip_cost();
   solution.converged = all_converged;
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& solves =
+        obs::Registry::global().counter("solver.static_solves_total");
+    static obs::Counter& iterations =
+        obs::Registry::global().counter("solver.static_iterations_total");
+    solves.add_always(1);
+    iterations.add_always(solution.iterations);
+    obs::journal_record(
+        "solver.converged", -1, -1,
+        all_converged ? "static solve converged" : "static solve hit cap",
+        {{"iterations", static_cast<double>(solution.iterations)},
+         {"cost", solution.total_cost},
+         {"converged", all_converged ? 1.0 : 0.0}});
+  }
   return solution;
 }
 

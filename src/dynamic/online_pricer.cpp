@@ -2,13 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "math/golden_section.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdp {
+namespace {
+
+/// Registry mirrors of PricerHealthStats: bumped at the same sites as the
+/// per-instance stats (always on — FleetMetrics reads these as deltas), so
+/// registry views and health_stats() can never disagree.
+struct PricerCounters {
+  obs::Counter& solve_failures =
+      obs::Registry::global().counter("pricer.solve_failures_total");
+  obs::Counter& clamped_steps =
+      obs::Registry::global().counter("pricer.clamped_steps_total");
+  obs::Counter& skipped_updates =
+      obs::Registry::global().counter("pricer.skipped_updates_total");
+  obs::Counter& transitions =
+      obs::Registry::global().counter("pricer.health_transitions_total");
+  obs::Counter& recoveries =
+      obs::Registry::global().counter("pricer.recoveries_total");
+  obs::Counter& healthy_observations =
+      obs::Registry::global().counter("pricer.healthy_observations_total");
+  obs::Counter& degraded_observations =
+      obs::Registry::global().counter("pricer.degraded_observations_total");
+  obs::Counter& fallback_observations =
+      obs::Registry::global().counter("pricer.fallback_observations_total");
+  obs::Counter& missed_observations =
+      obs::Registry::global().counter("pricer.missed_observations_total");
+};
+
+PricerCounters& pricer_counters() {
+  static PricerCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 const char* to_string(PricerHealth health) {
   switch (health) {
@@ -161,9 +197,14 @@ void OnlinePricer::update_health(bool bad) {
   if (prev != PricerHealth::kHealthy) ++excursion_periods_;
   if (next != prev) {
     ++health_stats_.transitions;
+    pricer_counters().transitions.add_always(1);
     if (health_log_.size() < kMaxTransitionLog) {
       health_log_.push_back({observation_count_ - 1, prev, next});
     }
+    obs::journal_record(
+        "pricer.health", -1, -1,
+        std::string(to_string(prev)) + "->" + to_string(next),
+        {{"observation", static_cast<double>(observation_count_ - 1)}});
     TDP_LOG_INFO << "online pricer health: " << to_string(prev) << " -> "
                  << to_string(next) << " after observation "
                  << observation_count_ - 1;
@@ -171,6 +212,7 @@ void OnlinePricer::update_health(bool bad) {
       excursion_periods_ = 1;  // this observation opened the excursion
     } else if (next == PricerHealth::kHealthy) {
       ++health_stats_.recoveries;
+      pricer_counters().recoveries.add_always(1);
       health_stats_.max_recovery_periods = std::max(
           health_stats_.max_recovery_periods, excursion_periods_);
       excursion_periods_ = 0;
@@ -181,12 +223,15 @@ void OnlinePricer::update_health(bool bad) {
   switch (health_) {
     case PricerHealth::kHealthy:
       ++health_stats_.healthy_observations;
+      pricer_counters().healthy_observations.add_always(1);
       break;
     case PricerHealth::kDegraded:
       ++health_stats_.degraded_observations;
+      pricer_counters().degraded_observations.add_always(1);
       break;
     case PricerHealth::kFallback:
       ++health_stats_.fallback_observations;
+      pricer_counters().fallback_observations.add_always(1);
       break;
   }
 }
@@ -194,6 +239,7 @@ void OnlinePricer::update_health(bool bad) {
 void OnlinePricer::observe_missed(std::size_t period) {
   TDP_REQUIRE(period < model_.periods(), "period out of range");
   ++health_stats_.missed_observations;
+  pricer_counters().missed_observations.add_always(1);
   TDP_LOG_WARN << "online pricer: no measurement for period " << period
                << "; schedule frozen";
   update_health(/*bad=*/true);
@@ -208,6 +254,7 @@ OnlinePricer::StepResult OnlinePricer::observe_period(
 OnlinePricer::StepResult OnlinePricer::observe_period_ex(
     std::size_t period, double measured_arrivals, bool degraded_input,
     std::size_t iteration_budget) {
+  TDP_OBS_SPAN("pricer.observe");
   TDP_REQUIRE(period < model_.periods(), "period out of range");
   TDP_REQUIRE(measured_arrivals >= 0.0, "arrivals must be nonnegative");
   TDP_REQUIRE(iteration_budget >= 1, "need at least one solver iteration");
@@ -225,6 +272,7 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
     if (speculation_) ++speculation_misses_;
     speculation_.reset();
     ++health_stats_.skipped_updates;
+    pricer_counters().skipped_updates.add_always(1);
     result.new_reward = result.old_reward;
     result.expected_cost = model_.total_cost(rewards_);
     result.skipped = true;
@@ -289,7 +337,10 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
   // keep the previous reward; an accepted step can be trust-region bound.
   const bool failed = !best.converged || !std::isfinite(best.x) ||
                       !std::isfinite(best.value);
-  if (failed) ++health_stats_.solve_failures;
+  if (failed) {
+    ++health_stats_.solve_failures;
+    pricer_counters().solve_failures.add_always(1);
+  }
   if (failed && guard_.keep_reward_on_failure) {
     result.solve_failed = true;
     result.new_reward = result.old_reward;
@@ -314,6 +365,7 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
       TDP_LOG_WARN << "online update period " << period
                    << ": trust region clamps reward step to " << accepted;
     }
+    if (result.clamped) pricer_counters().clamped_steps.add_always(1);
     rewards_[period] = accepted;
     result.new_reward = accepted;
     result.expected_cost = cost;
@@ -321,6 +373,15 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
 
   update_health(degraded_input || result.solve_failed);
 
+  if (obs::metrics_enabled()) {
+    obs::journal_record(
+        "pricer.solve", static_cast<std::int64_t>(period), -1,
+        result.solve_failed ? "period re-solve failed" : "period re-solve",
+        {{"iterations", static_cast<double>(best.iterations)},
+         {"converged", best.converged ? 1.0 : 0.0},
+         {"cost", result.expected_cost},
+         {"step", result.new_reward - result.old_reward}});
+  }
   if (speculative_) {
     launch_speculation((period + 1) % model_.periods());
   }

@@ -3,15 +3,50 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <optional>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "core/paper_data.hpp"
 #include "math/piecewise_linear.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdp::fleet {
 namespace {
+
+/// The fleet's registry instruments. Phase timers are nanosecond counters
+/// (always on: FleetMetrics' phase seconds are views over their per-run
+/// deltas); the robustness counters here cover the driver's own fault
+/// domains, while channel.* / pricer.* are bumped by those components.
+struct FleetCounters {
+  obs::Counter& publish_ns =
+      obs::Registry::global().counter("fleet.phase.publish_ns");
+  obs::Counter& table_ns =
+      obs::Registry::global().counter("fleet.phase.table_ns");
+  obs::Counter& simulate_ns =
+      obs::Registry::global().counter("fleet.phase.simulate_ns");
+  obs::Counter& aggregate_ns =
+      obs::Registry::global().counter("fleet.phase.aggregate_ns");
+  obs::Counter& pricer_ns =
+      obs::Registry::global().counter("fleet.phase.pricer_ns");
+  obs::Counter& periods =
+      obs::Registry::global().counter("fleet.periods_total");
+  obs::Counter& stripes_lost =
+      obs::Registry::global().counter("fleet.shard_stripes_lost_total");
+  obs::Counter& measurement_gaps =
+      obs::Registry::global().counter("fleet.measurement_gaps_total");
+  obs::Counter& measurement_repairs =
+      obs::Registry::global().counter("fleet.measurement_repairs_total");
+};
+
+FleetCounters& fleet_counters() {
+  static FleetCounters counters;
+  return counters;
+}
 
 /// The fluid dynamic model whose expected arrivals match the population's:
 /// the published mix on the continuous lag grid, at the paper's 48-period
@@ -121,6 +156,7 @@ FleetDriver::Observation FleetDriver::observe(
 FleetMetrics FleetDriver::run_day() {
   TDP_REQUIRE(!ran_, "FleetDriver instances are single-shot");
   ran_ = true;
+  TDP_OBS_SPAN("fleet.run_day");
 
   const std::size_t n = population_.periods();
   const std::size_t classes = population_.patience_classes();
@@ -137,24 +173,76 @@ FleetMetrics FleetDriver::run_day() {
   metrics.offered_units.assign(n, 0.0);
   metrics.realized_units.assign(n, 0.0);
 
+  // FleetMetrics' timing and robustness fields are per-run views over the
+  // process-wide registry: capture each counter's baseline now, read the
+  // deltas after the loop. Safe because a driver is single-shot and nothing
+  // else exercises this channel/pricer while run_day runs.
+  FleetCounters& fc = fleet_counters();
+  obs::Registry& reg = obs::Registry::global();
+  const obs::CounterDelta d_publish(fc.publish_ns);
+  const obs::CounterDelta d_table(fc.table_ns);
+  const obs::CounterDelta d_simulate(fc.simulate_ns);
+  const obs::CounterDelta d_aggregate(fc.aggregate_ns);
+  const obs::CounterDelta d_pricer(fc.pricer_ns);
+  const obs::CounterDelta d_stripes(fc.stripes_lost);
+  const obs::CounterDelta d_gaps(fc.measurement_gaps);
+  const obs::CounterDelta d_repairs(fc.measurement_repairs);
+  const obs::CounterDelta d_fetches(reg.counter("channel.fetches_total"));
+  const obs::CounterDelta d_drops(
+      reg.counter("channel.dropped_attempts_total"));
+  const obs::CounterDelta d_retries(reg.counter("channel.retries_total"));
+  const obs::CounterDelta d_stale(reg.counter("channel.stale_periods_total"));
+  const obs::CounterDelta d_chan_fallback(
+      reg.counter("channel.fallback_periods_total"));
+  const obs::CounterDelta d_skewed(
+      reg.counter("channel.skewed_periods_total"));
+  const obs::CounterDelta d_chan_recoveries(
+      reg.counter("channel.recoveries_total"));
+  const obs::CounterDelta d_solve_failures(
+      reg.counter("pricer.solve_failures_total"));
+  const obs::CounterDelta d_clamps(
+      reg.counter("pricer.clamped_steps_total"));
+  const obs::CounterDelta d_skipped(
+      reg.counter("pricer.skipped_updates_total"));
+  const obs::CounterDelta d_transitions(
+      reg.counter("pricer.health_transitions_total"));
+  const obs::CounterDelta d_degraded(
+      reg.counter("pricer.degraded_observations_total"));
+  const obs::CounterDelta d_fallback_obs(
+      reg.counter("pricer.fallback_observations_total"));
+  const obs::CounterDelta d_recoveries(
+      reg.counter("pricer.recoveries_total"));
+
   std::uint64_t all_day_sessions = 0;
   const auto start = std::chrono::steady_clock::now();
-  // Phase timing: `mark` rolls forward at each phase boundary; the lap sink
-  // accumulates across all periods and days (pure observation, no effect on
-  // any simulated value).
+  // Phase timing: `mark` rolls forward at each phase boundary; each lap
+  // charges the elapsed nanoseconds to that phase's registry counter and
+  // closes the phase's trace span (pure observation, no effect on any
+  // simulated value).
   auto mark = start;
-  const auto lap = [&mark](double& sink) {
+  std::optional<obs::Span> phase_span;
+  const auto begin_phase = [&phase_span](std::string_view name) {
+    phase_span.emplace(name);
+  };
+  const auto lap = [&mark, &phase_span](obs::Counter& sink) {
     const auto t = std::chrono::steady_clock::now();
-    sink += std::chrono::duration<double>(t - mark).count();
+    sink.add_always(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - mark)
+            .count()));
     mark = t;
+    phase_span.reset();
   };
 
   for (std::size_t day = 0; day < total_days; ++day) {
     const bool measured = day + 1 == total_days;
     for (std::size_t period = 0; period < n; ++period) {
+      std::optional<obs::Span> period_span;
+      period_span.emplace("fleet.period");
+      fc.periods.add(1);
       mark = std::chrono::steady_clock::now();
       // Publish the current schedule and fan it out (one server fetch per
       // group; every user in a group reads the group cache).
+      begin_phase("fleet.publish");
       channel_.publish(pricer_->rewards());
       fanout_.sync(day * n + period);
 
@@ -162,19 +250,23 @@ FleetMetrics FleetDriver::run_day() {
       for (std::size_t c = 0; c < classes; ++c) {
         schedules[c] = &fanout_.schedule(c);
       }
-      lap(metrics.publish_seconds);
+      lap(fc.publish_ns);
+      begin_phase("fleet.table");
       const DeferralTable table(population_, schedules, period);
-      lap(metrics.table_seconds);
+      lap(fc.table_ns);
 
+      begin_phase("fleet.simulate");
       parallel_for(
           shards_.size(),
           [&](std::size_t s) {
+            TDP_OBS_SPAN("fleet.shard");
             aggregator_.record(
                 s, period, shards_[s].simulate_period(day, period, table));
           },
           threads_);
-      lap(metrics.simulate_seconds);
+      lap(fc.simulate_ns);
 
+      begin_phase("fleet.aggregate");
       const PeriodStats merged = aggregator_.merged(period);
       all_day_sessions += merged.sessions;
       if (measured) {
@@ -184,23 +276,38 @@ FleetMetrics FleetDriver::run_day() {
         metrics.realized_units[period] = merged.realized_work * calibration;
         metrics.reward_paid_units += merged.reward_paid * calibration;
       }
-      lap(metrics.aggregate_seconds);
+      lap(fc.aggregate_ns);
 
       if (config_.online_pricing) {
+        begin_phase("fleet.pricer");
         const std::uint64_t abs_period =
             static_cast<std::uint64_t>(day) * n + period;
         const Observation obs =
             observe(period, abs_period, calibration, merged);
-        metrics.shard_stripes_lost += obs.lost_stripes;
+        if (obs.lost_stripes > 0) {
+          fc.stripes_lost.add_always(obs.lost_stripes);
+          obs::journal_record("fleet.stripe_lost",
+                              static_cast<std::int64_t>(period), -1,
+                              "shard measurement stripes lost",
+                              {{"stripes",
+                                static_cast<double>(obs.lost_stripes)},
+                               {"abs_period",
+                                static_cast<double>(abs_period)}});
+        }
         if (!obs.sample.has_value()) {
           // Total telemetry blackout for the period: the pricer is told
           // explicitly and freezes its schedule.
-          ++metrics.measurement_gaps;
+          fc.measurement_gaps.add_always(1);
+          obs::journal_record("fleet.measurement_gap",
+                              static_cast<std::int64_t>(period), -1,
+                              "telemetry blackout, schedule frozen",
+                              {{"abs_period",
+                                static_cast<double>(abs_period)}});
           pricer_->observe_missed(period);
         } else {
           const MeasurementGuard::Admitted admitted =
               guard_.admit(period, obs.sample);
-          if (admitted.degraded) ++metrics.measurement_repairs;
+          if (admitted.degraded) fc.measurement_repairs.add_always(1);
           const std::size_t budget =
               injector_.exhaust_solver(abs_period)
                   ? injector_.plan().solver_starved_budget
@@ -209,7 +316,7 @@ FleetMetrics FleetDriver::run_day() {
               period, admitted.value,
               admitted.degraded || obs.lost_stripes > 0, budget);
         }
-        lap(metrics.pricer_seconds);
+        lap(fc.pricer_ns);
       }
     }
   }
@@ -217,6 +324,11 @@ FleetMetrics FleetDriver::run_day() {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   metrics.wall_seconds =
       std::chrono::duration<double>(elapsed).count();
+  metrics.publish_seconds = static_cast<double>(d_publish.delta()) * 1e-9;
+  metrics.table_seconds = static_cast<double>(d_table.delta()) * 1e-9;
+  metrics.simulate_seconds = static_cast<double>(d_simulate.delta()) * 1e-9;
+  metrics.aggregate_seconds = static_cast<double>(d_aggregate.delta()) * 1e-9;
+  metrics.pricer_seconds = static_cast<double>(d_pricer.delta()) * 1e-9;
   const double user_periods = static_cast<double>(population_.users()) *
                               static_cast<double>(n) *
                               static_cast<double>(total_days);
@@ -228,24 +340,29 @@ FleetMetrics FleetDriver::run_day() {
   metrics.peak_to_average_tip = peak_to_average(metrics.offered_units);
   metrics.peak_to_average_tdp = peak_to_average(metrics.realized_units);
   metrics.pricer_expected_cost = pricer_->expected_cost();
-  metrics.price_server_fetches = fanout_.total_server_fetches();
 
-  const SubscriberTelemetry channel_stats = fanout_.total_telemetry();
-  metrics.price_pull_drops = channel_stats.dropped_attempts;
-  metrics.price_pull_retries = channel_stats.retries;
-  metrics.price_stale_periods = channel_stats.stale_periods;
-  metrics.price_fallback_periods = channel_stats.fallback_periods;
-  metrics.price_skewed_periods = channel_stats.skewed_periods;
-  metrics.price_recoveries = channel_stats.recoveries;
-  const PricerHealthStats& health = pricer_->health_stats();
-  metrics.solver_failures = health.solve_failures;
-  metrics.reward_clamps = health.clamped_steps;
-  metrics.skipped_updates = health.skipped_updates;
-  metrics.health_transitions = health.transitions;
-  metrics.degraded_observations = health.degraded_observations;
-  metrics.fallback_observations = health.fallback_observations;
-  metrics.pricer_recoveries = health.recoveries;
-  metrics.max_recovery_periods = health.max_recovery_periods;
+  // Robustness counters: per-run deltas of the channel/pricer/fleet
+  // registry counters (the components bump them at the event sites).
+  metrics.price_server_fetches = d_fetches.delta();
+  metrics.price_pull_drops = d_drops.delta();
+  metrics.price_pull_retries = d_retries.delta();
+  metrics.price_stale_periods = d_stale.delta();
+  metrics.price_fallback_periods = d_chan_fallback.delta();
+  metrics.price_skewed_periods = d_skewed.delta();
+  metrics.price_recoveries = d_chan_recoveries.delta();
+  metrics.shard_stripes_lost = d_stripes.delta();
+  metrics.measurement_gaps = d_gaps.delta();
+  metrics.measurement_repairs = d_repairs.delta();
+  metrics.solver_failures = d_solve_failures.delta();
+  metrics.reward_clamps = d_clamps.delta();
+  metrics.skipped_updates = d_skipped.delta();
+  metrics.health_transitions = d_transitions.delta();
+  metrics.degraded_observations = d_degraded.delta();
+  metrics.fallback_observations = d_fallback_obs.delta();
+  metrics.pricer_recoveries = d_recoveries.delta();
+  // The maximum and the final rung are state, not counts: read them from
+  // the pricer directly.
+  metrics.max_recovery_periods = pricer_->health_stats().max_recovery_periods;
   metrics.final_health = to_string(pricer_->health());
   return metrics;
 }

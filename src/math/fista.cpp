@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace tdp::math {
 
@@ -70,6 +71,7 @@ FistaResult minimize_box(const SmoothObjective& objective,
         break;
       }
       lipschitz *= options.backtrack_factor;
+      ++result.backtracks;
     }
 
     const double step_norm = max_abs_diff(candidate, y);
@@ -108,6 +110,24 @@ FistaResult minimize_box(const SmoothObjective& objective,
 
   result.x = std::move(x);
   result.value = objective.value(result.x);
+
+  // Solver telemetry: totals only, bumped once per solve so the iteration
+  // loop itself stays untouched. Gated — a disabled registry costs one
+  // relaxed load here.
+  if (obs::metrics_enabled()) {
+    static obs::Counter& solves =
+        obs::Registry::global().counter("fista.solves_total");
+    static obs::Counter& iterations =
+        obs::Registry::global().counter("fista.iterations_total");
+    static obs::Counter& backtracks =
+        obs::Registry::global().counter("fista.backtracks_total");
+    static obs::Counter& failures =
+        obs::Registry::global().counter("fista.nonconverged_total");
+    solves.add_always(1);
+    iterations.add_always(result.iterations);
+    backtracks.add_always(result.backtracks);
+    if (!result.converged) failures.add_always(1);
+  }
   return result;
 }
 

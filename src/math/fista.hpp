@@ -54,6 +54,9 @@ struct FistaResult {
   Vector x;
   double value = 0.0;
   std::size_t iterations = 0;
+  /// Line-search Lipschitz growths across all iterations (a high count
+  /// means the initial estimate or decay is mistuned for the objective).
+  std::size_t backtracks = 0;
   bool converged = false;
 };
 

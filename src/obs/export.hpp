@@ -1,0 +1,29 @@
+// Exporters for the metrics registry: one JSON snapshot writer (reused by
+// benches and examples) and a Prometheus-style text dump. Both serialize a
+// merged Snapshot with instruments sorted by name, so two runs doing the
+// same work produce byte-identical files regardless of registration races.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace tdp::obs {
+
+/// {"counters":{name:value,...},"gauges":{...},
+///  "histograms":{name:{"count":...,"sum":...,"sum_fp":...,"scale":...,
+///                      "buckets":[{"le":bound,"count":n},...]}}}
+/// The final bucket's "le" is the string "+Inf".
+std::string metrics_json(const Snapshot& snapshot);
+std::string metrics_json();  ///< of Registry::global()
+
+/// Prometheus exposition text: HELP-less "# TYPE" blocks, metric names
+/// sanitized (dots -> underscores), histograms as cumulative _bucket
+/// series plus _sum and _count.
+std::string prometheus_text(const Snapshot& snapshot);
+std::string prometheus_text();  ///< of Registry::global()
+
+/// Write `content` to `path`; false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace tdp::obs

@@ -1,0 +1,78 @@
+// Scoped tracing spans exported as Chrome trace_event JSON.
+//
+// A Span is an RAII guard: construction records a 'B' (begin) event,
+// destruction the matching 'E' (end). Spans nest naturally (stack order)
+// and may be opened on any thread — each thread appends to its own buffer,
+// so recording is contention-free in the steady state and events within
+// one thread are monotone in timestamp by construction. The export merges
+// the per-thread buffers (thread registration order) into the Chrome
+// `traceEvents` array; load the file in chrome://tracing or Perfetto to
+// see a full fleet day (publish → tables → simulate → aggregate → pricer)
+// on a per-thread timeline.
+//
+// Tracing is OFF by default (the TDP_TRACE environment variable or
+// set_trace_enabled turns it on): a disabled Span costs one relaxed atomic
+// load and records nothing. Timestamps are steady-clock nanoseconds since
+// the session epoch (first touch); they are diagnostic wall time, never an
+// input to any simulated or optimized value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdp::obs {
+
+/// Global trace switch (default off; TDP_TRACE=1 enables at startup).
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'B';      ///< 'B' begin, 'E' end, 'i' instant
+  std::uint64_t ts_ns = 0;  ///< steady nanoseconds since session epoch
+  std::uint32_t tid = 0;    ///< registration-order thread id
+};
+
+/// RAII span; see file header. Safe to construct when tracing is disabled
+/// (records nothing) and balanced even if tracing is toggled mid-span.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Record a zero-duration instant event (gated like spans).
+void trace_instant(std::string_view name);
+
+/// All recorded events, grouped by thread (registration order) and
+/// timestamp-monotone within each thread.
+std::vector<TraceEvent> trace_events();
+
+/// Total events recorded (cheap; for tests and overhead accounting).
+std::size_t trace_event_count();
+
+/// Drop every recorded event (buffers stay registered).
+void trace_clear();
+
+/// Serialize to Chrome trace_event JSON ({"traceEvents":[...]}, ts in
+/// microseconds).
+std::string chrome_trace_json();
+
+/// chrome_trace_json() to a file; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace tdp::obs
+
+#define TDP_OBS_CONCAT_INNER(a, b) a##b
+#define TDP_OBS_CONCAT(a, b) TDP_OBS_CONCAT_INNER(a, b)
+/// Open a span covering the rest of the enclosing scope.
+#define TDP_OBS_SPAN(name) \
+  ::tdp::obs::Span TDP_OBS_CONCAT(tdp_obs_span_, __COUNTER__)(name)

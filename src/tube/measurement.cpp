@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/registry.hpp"
 
 namespace tdp {
 
@@ -56,15 +57,15 @@ void MeasurementEngine::close_period(const std::vector<double>& cumulative) {
 
 void MeasurementEngine::reject_sample(std::size_t flat_index, double value) {
   ++rejected_samples_;
+  static obs::Counter& rejected =
+      obs::Registry::global().counter("measurement.rejected_samples_total");
+  rejected.add_always(1);
   // Rate-limited: warn on the 1st, 2nd, 4th, 8th, ... rejection so a
   // persistently sick exporter cannot flood the log.
-  const std::size_t n = rejected_samples_;
-  if ((n & (n - 1)) == 0) {
-    TDP_LOG_WARN << "measurement: rejected sample for (user "
-                 << flat_index / classes_ << ", class "
-                 << flat_index % classes_ << ") value " << value << " ("
-                 << n << " rejected so far)";
-  }
+  TDP_LOG_EVERY_POW2(::tdp::LogLevel::kWarn, rejected_samples_)
+      << "measurement: rejected sample for (user " << flat_index / classes_
+      << ", class " << flat_index % classes_ << ") value " << value << " ("
+      << rejected_samples_ << " rejected so far)";
 }
 
 double MeasurementEngine::usage_mb(std::size_t period, std::size_t user,

@@ -5,8 +5,30 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
 
 namespace tdp {
+namespace {
+
+/// Registry mirrors of the guard's repair counters. The guard's own fields
+/// stay the per-instance source of truth; these aggregate across instances.
+struct GuardCounters {
+  obs::Counter& gaps = obs::Registry::global().counter("guard.gaps_filled_total");
+  obs::Counter& nan_rejected =
+      obs::Registry::global().counter("guard.nan_rejected_total");
+  obs::Counter& negative_rejected =
+      obs::Registry::global().counter("guard.negative_rejected_total");
+  obs::Counter& spikes =
+      obs::Registry::global().counter("guard.spikes_clamped_total");
+};
+
+GuardCounters& guard_counters() {
+  static GuardCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 MeasurementGuard::MeasurementGuard(std::vector<double> reference,
                                    MeasurementGuardConfig config)
@@ -26,6 +48,7 @@ MeasurementGuard::MeasurementGuard(std::vector<double> reference,
 
 double MeasurementGuard::fill_gap(std::size_t period) {
   ++gaps_filled_;
+  guard_counters().gaps.add_always(1);
   ++gap_streak_[period];
   if (has_last_good_[period] &&
       gap_streak_[period] <= config_.max_carry_forward) {
@@ -53,16 +76,25 @@ MeasurementGuard::Admitted MeasurementGuard::admit(
   const double raw = *measured;
   if (std::isnan(raw) || std::isinf(raw)) {
     ++nan_rejected_;
-    TDP_LOG_WARN << "measurement guard: non-finite sample for period "
-                 << period << "; filling gap";
+    guard_counters().nan_rejected.add_always(1);
+    obs::journal_record("guard.repair", static_cast<std::int64_t>(period), -1,
+                        "non-finite sample rejected");
+    TDP_LOG_EVERY_POW2(::tdp::LogLevel::kWarn, nan_rejected_)
+        << "measurement guard: non-finite sample for period " << period
+        << "; filling gap (" << nan_rejected_ << " rejected so far)";
     out.value = fill_gap(period);
     out.degraded = true;
     return out;
   }
   if (raw < 0.0) {
     ++negative_rejected_;
-    TDP_LOG_WARN << "measurement guard: negative sample " << raw
-                 << " for period " << period << "; filling gap";
+    guard_counters().negative_rejected.add_always(1);
+    obs::journal_record("guard.repair", static_cast<std::int64_t>(period), -1,
+                        "negative sample rejected", {{"value", raw}});
+    TDP_LOG_EVERY_POW2(::tdp::LogLevel::kWarn, negative_rejected_)
+        << "measurement guard: negative sample " << raw << " for period "
+        << period << "; filling gap (" << negative_rejected_
+        << " rejected so far)";
     out.value = fill_gap(period);
     out.degraded = true;
     return out;
@@ -77,8 +109,13 @@ MeasurementGuard::Admitted MeasurementGuard::admit(
   const double bound = config_.max_spike_factor * anchor;
   if (anchor > 0.0 && raw > bound) {
     ++spikes_clamped_;
-    TDP_LOG_WARN << "measurement guard: spike " << raw << " clamped to "
-                 << bound << " for period " << period;
+    guard_counters().spikes.add_always(1);
+    obs::journal_record("guard.repair", static_cast<std::int64_t>(period), -1,
+                        "spike clamped", {{"value", raw}, {"bound", bound}});
+    TDP_LOG_EVERY_POW2(::tdp::LogLevel::kWarn, spikes_clamped_)
+        << "measurement guard: spike " << raw << " clamped to " << bound
+        << " for period " << period << " (" << spikes_clamped_
+        << " clamped so far)";
     out.value = bound;
     out.degraded = true;
     // A clamped sample is still evidence of elevated demand: remember the

@@ -3,8 +3,40 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
 
 namespace tdp {
+namespace {
+
+/// Registry mirrors of the per-subscriber SubscriberTelemetry, aggregated
+/// across all subscribers and channels (always on — the fleet driver reads
+/// these as per-day deltas for FleetMetrics).
+struct ChannelCounters {
+  obs::Counter& fetches =
+      obs::Registry::global().counter("channel.fetches_total");
+  obs::Counter& cache_hits =
+      obs::Registry::global().counter("channel.cache_hits_total");
+  obs::Counter& dropped_attempts =
+      obs::Registry::global().counter("channel.dropped_attempts_total");
+  obs::Counter& retries =
+      obs::Registry::global().counter("channel.retries_total");
+  obs::Counter& stale_periods =
+      obs::Registry::global().counter("channel.stale_periods_total");
+  obs::Counter& fallback_periods =
+      obs::Registry::global().counter("channel.fallback_periods_total");
+  obs::Counter& skewed_periods =
+      obs::Registry::global().counter("channel.skewed_periods_total");
+  obs::Counter& recoveries =
+      obs::Registry::global().counter("channel.recoveries_total");
+};
+
+ChannelCounters& channel_counters() {
+  static ChannelCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 PriceChannel::PriceChannel(std::size_t periods)
     : periods_(periods), published_(periods, 0.0) {
@@ -57,6 +89,7 @@ math::Vector PriceChannel::pull_with_source(std::size_t subscriber,
   // (fresh, stale or fallback — repeats must agree with the first pull).
   if (sub.pulled_ever && abs_period == sub.last_pull_period) {
     ++sub.stats.cache_hits;
+    channel_counters().cache_hits.add_always(1);
     if (source != nullptr) *source = PullSource::kCache;
     return sub.cache;
   }
@@ -73,6 +106,7 @@ math::Vector PriceChannel::pull_with_source(std::size_t subscriber,
   // normally.
   if (injector_ != nullptr && injector_->skew_clock(subscriber, abs_period)) {
     ++sub.stats.skewed_periods;
+    channel_counters().skewed_periods.add_always(1);
     if (source != nullptr) *source = PullSource::kStale;
     return sub.cache;
   }
@@ -88,7 +122,11 @@ math::Vector PriceChannel::pull_with_source(std::size_t subscriber,
     if (injector_ != nullptr &&
         injector_->drop_price_pull(subscriber, abs_period, attempt)) {
       ++sub.stats.dropped_attempts;
-      if (attempt + 1 < attempts) ++sub.stats.retries;
+      channel_counters().dropped_attempts.add_always(1);
+      if (attempt + 1 < attempts) {
+        ++sub.stats.retries;
+        channel_counters().retries.add_always(1);
+      }
       continue;
     }
     fetched = true;
@@ -98,8 +136,16 @@ math::Vector PriceChannel::pull_with_source(std::size_t subscriber,
   if (fetched) {
     sub.cache = published_;
     ++sub.stats.fetches;
+    channel_counters().fetches.add_always(1);
     if (sub.stats.missed_streak > 0) {
       ++sub.stats.recoveries;
+      channel_counters().recoveries.add_always(1);
+      obs::journal_record("channel.recovery",
+                          static_cast<std::int64_t>(abs_period),
+                          static_cast<std::int64_t>(subscriber),
+                          "fetch succeeded after misses",
+                          {{"missed_streak",
+                            static_cast<double>(sub.stats.missed_streak)}});
       sub.stats.missed_streak = 0;
     }
     if (source != nullptr) *source = PullSource::kServer;
@@ -113,9 +159,21 @@ math::Vector PriceChannel::pull_with_source(std::size_t subscriber,
   ++sub.stats.missed_streak;
   if (sub.stats.missed_streak <= resilience_.staleness_ttl) {
     ++sub.stats.stale_periods;
+    channel_counters().stale_periods.add_always(1);
     if (source != nullptr) *source = PullSource::kStale;
   } else {
     ++sub.stats.fallback_periods;
+    channel_counters().fallback_periods.add_always(1);
+    if (sub.stats.missed_streak == resilience_.staleness_ttl + 1) {
+      // First fallback period of this excursion: one journal event per
+      // excursion, not one per degraded period.
+      obs::journal_record("channel.fallback",
+                          static_cast<std::int64_t>(abs_period),
+                          static_cast<std::int64_t>(subscriber),
+                          "staleness TTL exhausted, zero-reward fallback",
+                          {{"missed_streak",
+                            static_cast<double>(sub.stats.missed_streak)}});
+    }
     sub.cache = math::Vector(periods_, 0.0);
     if (source != nullptr) *source = PullSource::kFallback;
   }

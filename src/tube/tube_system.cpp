@@ -5,6 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "tube/measurement_guard.hpp"
 #include "math/piecewise_linear.hpp"
 #include "netsim/link.hpp"
@@ -63,6 +66,19 @@ TubeSystem::PhaseReport TubeSystem::run_phase(
     const math::Vector* fixed_rewards, OnlinePricer* pricer,
     std::size_t cycles) {
   TDP_REQUIRE(cycles >= 1, "need at least one cycle");
+  const char* const phase_name = pricer != nullptr ? "tube.phase.optimized"
+                                 : fixed_rewards != nullptr
+                                     ? "tube.phase.trial"
+                                     : "tube.phase.tip";
+  TDP_OBS_SPAN(phase_name);
+  {
+    static obs::Counter& phases =
+        obs::Registry::global().counter("tube.phases_total");
+    static obs::Counter& cycle_counter =
+        obs::Registry::global().counter("tube.cycles_total");
+    phases.add(1);
+    cycle_counter.add(cycles);
+  }
   const std::size_t n = config_.periods;
   const std::size_t users = config_.users;
   const std::size_t classes = config_.classes.size();
@@ -189,6 +205,7 @@ TubeSystem::PhaseReport TubeSystem::run_phase(
   for (std::size_t k = 1; k <= cycles * n; ++k) {
     const double boundary = static_cast<double>(k) * period_s;
     sim.at(boundary - 1e-6, [&, k] {
+      obs::trace_instant("tube.period");
       utilization_acc += link.utilization();
       ++utilization_samples;
       measurement.close_period(link);
@@ -254,6 +271,15 @@ TubeSystem::PhaseReport TubeSystem::run_phase(
     profiler_.set_tip_baseline(std::move(totals));
   } else if (fixed_rewards != nullptr) {
     profiler_.add_tdp_window(*fixed_rewards, std::move(totals));
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::journal_record(
+        "tube.phase", -1, -1, phase_name,
+        {{"cycles", static_cast<double>(cycles)},
+         {"sessions", static_cast<double>(report.sessions)},
+         {"deferrals", static_cast<double>(report.deferrals)},
+         {"mean_utilization", report.mean_utilization}});
   }
   return report;
 }

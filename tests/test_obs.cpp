@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "core/deferral_kernel.hpp"
+#include "core/paper_data.hpp"
+#include "fleet/fleet_driver.hpp"
+#include "fleet/fleet_metrics.hpp"
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace tdp::obs {
+namespace {
+
+/// Restores the three observability switches on scope exit so tests can
+/// flip them freely without leaking state into later tests.
+class SwitchGuard {
+ public:
+  SwitchGuard()
+      : metrics_(metrics_enabled()),
+        journal_(journal_enabled()),
+        trace_(trace_enabled()) {}
+  ~SwitchGuard() {
+    set_metrics_enabled(metrics_);
+    set_journal_enabled(journal_);
+    set_trace_enabled(trace_);
+  }
+
+ private:
+  bool metrics_;
+  bool journal_;
+  bool trace_;
+};
+
+/// The hammer workload: every task bumps the same instruments with
+/// task-dependent amounts. Same work regardless of how tasks map to
+/// threads, so the merged snapshot must not depend on the thread count.
+void hammer(Registry& registry, std::size_t tasks, std::size_t threads) {
+  Counter& even = registry.counter("hammer.even_total");
+  Counter& odd = registry.counter("hammer.odd_total");
+  Histogram& hist = registry.histogram(
+      "hammer.values", HistogramSpec{{1.0, 10.0, 100.0}, 1e9});
+  Gauge& gauge = registry.gauge("hammer.tasks");
+  gauge.set_always(static_cast<double>(tasks));
+  parallel_for(
+      tasks,
+      [&](std::size_t i) {
+        if (i % 2 == 0) {
+          even.add_always(i + 1);
+        } else {
+          odd.add_always(2 * i + 1);
+        }
+        hist.observe_always(0.5 * static_cast<double>(i % 7));
+        hist.observe_always(static_cast<double>(i % 211));
+      },
+      threads);
+}
+
+TEST(Registry, SnapshotIsBitwiseThreadCountIndependent) {
+  const std::size_t hw = default_thread_count();
+  Registry serial;
+  Registry parallel;
+  hammer(serial, 10000, 1);
+  hammer(parallel, 10000, hw > 1 ? hw : 4);
+  // Byte-equal JSON: counter sums, histogram bucket counts AND the
+  // fixed-point sample sum all merge to identical values regardless of
+  // which thread recorded what.
+  EXPECT_EQ(metrics_json(serial.snapshot()), metrics_json(parallel.snapshot()));
+}
+
+TEST(Registry, GatedPathsHonorTheSwitchAndAlwaysPathsIgnoreIt) {
+  SwitchGuard guard;
+  Registry registry;
+  Counter& gated = registry.counter("switch.gated");
+  Counter& always = registry.counter("switch.always");
+  Gauge& gauge = registry.gauge("switch.gauge");
+  Histogram& hist = registry.histogram("switch.hist");
+
+  set_metrics_enabled(false);
+  gated.add(5);
+  always.add_always(5);
+  gauge.set(1.5);
+  hist.observe(1.0);
+  EXPECT_EQ(gated.value(), 0u);
+  EXPECT_EQ(always.value(), 5u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+
+  set_metrics_enabled(true);
+  gated.add(5);
+  gauge.set(1.5);
+  hist.observe(1.0);
+  EXPECT_EQ(gated.value(), 5u);
+  EXPECT_EQ(gauge.value(), 1.5);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry registry;
+  Counter& a = registry.counter("stable.counter");
+  a.add_always(3);
+  Counter& b = registry.counter("stable.counter");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+
+  CounterDelta delta(a);
+  a.add_always(4);
+  EXPECT_EQ(delta.delta(), 4u);
+}
+
+TEST(Registry, HistogramBucketsPartitionTheSamples) {
+  Registry registry;
+  Histogram& hist = registry.histogram(
+      "partition.hist", HistogramSpec{{1.0, 2.0, 4.0}, 1e9});
+  const double samples[] = {0.5, 1.0, 1.5, 3.0, 8.0, 100.0};
+  for (double s : samples) hist.observe_always(s);
+  ASSERT_EQ(hist.buckets(), 4u);
+  // le=1: {0.5, 1.0}; le=2: {1.5}; le=4: {3.0}; +inf: {8, 100}.
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 2u);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 114.0);
+
+  std::uint64_t total = 0;
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  for (std::uint64_t c : snap.histograms[0].buckets) total += c;
+  EXPECT_EQ(total, snap.histograms[0].count);
+}
+
+TEST(Exporters, PrometheusTextHasSanitizedNamesAndCumulativeBuckets) {
+  Registry registry;
+  registry.counter("exp.requests_total").add_always(7);
+  registry.gauge("exp.level").set_always(2.0);
+  Histogram& hist =
+      registry.histogram("exp.latency", HistogramSpec{{1.0, 2.0}, 1e9});
+  hist.observe_always(0.5);
+  hist.observe_always(1.5);
+  hist.observe_always(9.0);
+
+  const std::string text = prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE exp_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("exp_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE exp_level gauge"), std::string::npos);
+  // Cumulative: le=1 -> 1, le=2 -> 2, +Inf -> 3.
+  EXPECT_NE(text.find("exp_latency_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("exp_latency_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("exp_latency_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("exp_latency_count 3"), std::string::npos);
+}
+
+TEST(Trace, SpansNestWithMatchedPairsAndMonotoneTimestamps) {
+  SwitchGuard guard;
+  set_trace_enabled(true);
+  trace_clear();
+  {
+    TDP_OBS_SPAN("outer");
+    {
+      TDP_OBS_SPAN("inner");
+      trace_instant("tick");
+    }
+    TDP_OBS_SPAN("sibling");
+  }
+  std::thread worker([] { TDP_OBS_SPAN("worker"); });
+  worker.join();
+  set_trace_enabled(false);
+
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 9u);
+
+  // Per-thread: B/E strictly stack-matched, timestamps monotone.
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+  EXPECT_EQ(by_tid.size(), 2u);
+  for (const auto& [tid, list] : by_tid) {
+    std::vector<std::string> stack;
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent* e : list) {
+      EXPECT_GE(e->ts_ns, last_ts) << "timestamps regress on tid " << tid;
+      last_ts = e->ts_ns;
+      if (e->phase == 'B') {
+        stack.push_back(e->name);
+      } else if (e->phase == 'E') {
+        ASSERT_FALSE(stack.empty()) << "E without matching B on tid " << tid;
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  trace_clear();
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  SwitchGuard guard;
+  set_trace_enabled(false);
+  trace_clear();
+  const std::size_t before = trace_event_count();
+  {
+    TDP_OBS_SPAN("invisible");
+  }
+  EXPECT_EQ(trace_event_count(), before);
+}
+
+TEST(Journal, EventsAreSequencedAndBounded) {
+  SwitchGuard guard;
+  set_journal_enabled(true);
+  Journal& journal = Journal::global();
+  journal.clear();
+  journal.set_capacity(4);
+
+  for (int i = 0; i < 6; ++i) {
+    journal_record("test.kind", i, -1, "event", {{"i", double(i)}});
+  }
+  const std::vector<JournalEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(journal.appended(), 4u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].kind, "test.kind");
+    EXPECT_EQ(events[i].period, static_cast<std::int64_t>(i));
+    ASSERT_EQ(events[i].fields.size(), 1u);
+    EXPECT_EQ(events[i].fields[0].first, "i");
+  }
+
+  const std::string json = journal.json();
+  EXPECT_NE(json.find("\"kind\":\"test.kind\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":0"), std::string::npos);
+
+  set_journal_enabled(false);
+  journal_record("test.kind", 9, -1, "dropped while disabled");
+  EXPECT_EQ(Journal::global().appended(), 4u);
+
+  journal.set_capacity(1 << 16);
+  journal.clear();
+}
+
+TEST(Logging, RateLimitedMacroCountsSuppressedLines) {
+  const LogLevel previous_level = log_level();
+  set_log_level(LogLevel::kWarn);
+  std::size_t emitted = 0;
+  LogSink old_sink = set_log_sink(
+      [&emitted](LogLevel, const std::string&) { ++emitted; });
+
+  CounterDelta suppressed(Registry::global().counter("log.suppressed_total"));
+  CounterDelta warned(Registry::global().counter("log.emitted_total.warn"));
+  for (std::uint64_t occurrence = 1; occurrence <= 100; ++occurrence) {
+    TDP_LOG_EVERY_POW2(LogLevel::kWarn, occurrence) << "flood " << occurrence;
+  }
+  set_log_sink(std::move(old_sink));
+  set_log_level(previous_level);
+
+  // Powers of two in [1, 100]: 1, 2, 4, 8, 16, 32, 64 -> 7 emitted.
+  EXPECT_EQ(emitted, 7u);
+  EXPECT_EQ(warned.delta(), 7u);
+  EXPECT_EQ(suppressed.delta(), 93u);
+}
+
+TEST(Logging, EmittedLinesAreCountedPerLevel) {
+  const LogLevel previous_level = log_level();
+  set_log_level(LogLevel::kInfo);
+  LogSink old_sink = set_log_sink([](LogLevel, const std::string&) {});
+
+  CounterDelta info(Registry::global().counter("log.emitted_total.info"));
+  CounterDelta debug(Registry::global().counter("log.emitted_total.debug"));
+  TDP_LOG_INFO << "counted";
+  TDP_LOG_INFO << "counted again";
+  TDP_LOG_DEBUG << "below threshold, not emitted, not counted";
+  set_log_sink(std::move(old_sink));
+  set_log_level(previous_level);
+
+  EXPECT_EQ(info.delta(), 2u);
+  EXPECT_EQ(debug.delta(), 0u);
+}
+
+TEST(KernelMemo, StaticAccessorsAreViewsOverTheRegistry) {
+  const std::uint64_t hits_before = DeferralKernel::cache_hits();
+  const std::uint64_t misses_before = DeferralKernel::cache_misses();
+  CounterDelta hits(Registry::global().counter("kernel.memo_hits_total"));
+  CounterDelta misses(Registry::global().counter("kernel.memo_misses_total"));
+
+  const DemandProfile profile = paper::make_profile(
+      paper::table8_mix_12(), paper::kStaticNormalizationReward);
+  // cold: miss, then memoized: hit
+  const DeferralKernel first(profile, LagConvention::kPeriodStart);
+  const DeferralKernel second(profile, LagConvention::kPeriodStart);
+
+  EXPECT_EQ(DeferralKernel::cache_hits() - hits_before, hits.delta());
+  EXPECT_EQ(DeferralKernel::cache_misses() - misses_before, misses.delta());
+  EXPECT_GE(hits.delta(), 1u);
+  EXPECT_GE(misses.delta(), 1u);
+}
+
+TEST(FleetObservability, TelemetryNeverPerturbsTheSimulation) {
+  SwitchGuard guard;
+  fleet::FleetDriverConfig config;
+  config.population.users = 400;
+  config.population.periods = 12;
+  config.population.seed = 20110611;
+  config.shards = 4;
+  config.threads = 2;
+  config.fault.price_pull_drop = 0.05;
+  config.fault.seed = 7;
+
+  set_metrics_enabled(true);
+  set_journal_enabled(true);
+  const fleet::FleetMetrics on = fleet::FleetDriver(config).run_day();
+
+  set_metrics_enabled(false);
+  set_journal_enabled(false);
+  set_trace_enabled(false);
+  const fleet::FleetMetrics off = fleet::FleetDriver(config).run_day();
+
+  // Bitwise: telemetry is pure observation, so every simulated number is
+  // identical with observability on or off.
+  ASSERT_EQ(on.offered_units.size(), off.offered_units.size());
+  for (std::size_t i = 0; i < on.offered_units.size(); ++i) {
+    EXPECT_EQ(on.offered_units[i], off.offered_units[i]);
+    EXPECT_EQ(on.realized_units[i], off.realized_units[i]);
+  }
+  EXPECT_EQ(on.sessions, off.sessions);
+  EXPECT_EQ(on.deferred_sessions, off.deferred_sessions);
+  EXPECT_EQ(on.reward_paid_units, off.reward_paid_units);
+  EXPECT_EQ(on.pricer_expected_cost, off.pricer_expected_cost);
+  // The always-on robustness counters keep counting in both modes.
+  EXPECT_EQ(on.price_pull_drops, off.price_pull_drops);
+  EXPECT_EQ(on.price_server_fetches, off.price_server_fetches);
+  EXPECT_EQ(on.final_health, off.final_health);
+}
+
+TEST(FleetObservability, MetricsAreViewsOverRegistryDeltas) {
+  SwitchGuard guard;
+  set_metrics_enabled(true);
+  fleet::FleetDriverConfig config;
+  config.population.users = 300;
+  config.population.periods = 12;
+  config.population.seed = 20110611;
+  config.shards = 3;
+  config.threads = 2;
+
+  CounterDelta fetches(Registry::global().counter("channel.fetches_total"));
+  CounterDelta periods(Registry::global().counter("fleet.periods_total"));
+  const fleet::FleetMetrics metrics = fleet::FleetDriver(config).run_day();
+
+  EXPECT_EQ(metrics.price_server_fetches, fetches.delta());
+  EXPECT_EQ(periods.delta(),
+            static_cast<std::uint64_t>(metrics.periods) * metrics.days);
+  // Phase timers flowed through the registry's nanosecond counters.
+  EXPECT_GT(metrics.simulate_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace tdp::obs

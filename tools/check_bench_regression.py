@@ -20,6 +20,20 @@ Usage:
 
 --update rewrites the baseline from the current run (after the speedup
 floors pass) instead of comparing.
+
+A second mode gates telemetry overhead instead: give it the stdout logs of
+two bench_fleet_scale runs — one with observability on (TDP_OBS=1
+TDP_TRACE=1), one with it off (TDP_OBS=0) — and it compares the
+`fleet_wall_seconds` of matching (users, threads) cells, taking the min
+across repetitions, and fails when telemetry costs more than
+--overhead-tolerance (default 5%):
+
+  tools/check_bench_regression.py \
+      --fleet-overhead fleet_obs_on.log fleet_obs_off.log \
+      [--overhead-tolerance 0.05]
+
+Same-process comparison needs no calibration: both logs should come from
+the same host, back to back.
 """
 from __future__ import annotations
 
@@ -93,10 +107,71 @@ def check_wall_regressions(current: dict, baseline: dict,
     return failures
 
 
+BENCH_JSON_PREFIX = "BENCH_JSON "
+
+
+def parse_bench_log(path: Path) -> dict[tuple[int, int], float]:
+    """Extract min fleet_wall_seconds per (users, threads) cell from the
+    BENCH_JSON lines of a bench_fleet_scale stdout log."""
+    cells: dict[tuple[int, int], float] = {}
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line.startswith(BENCH_JSON_PREFIX):
+                continue
+            record = json.loads(line[len(BENCH_JSON_PREFIX):])
+            wall = record.get("fleet_wall_seconds")
+            if wall is None:
+                continue
+            key = (int(record["users"]), int(record["threads"]))
+            cells[key] = min(wall, cells.get(key, float("inf")))
+    if not cells:
+        sys.exit(f"{path}: no BENCH_JSON lines with fleet_wall_seconds")
+    return cells
+
+
+def check_fleet_overhead(on_log: Path, off_log: Path,
+                         tolerance: float) -> int:
+    on_cells = parse_bench_log(on_log)
+    off_cells = parse_bench_log(off_log)
+    failures = []
+    for key in sorted(off_cells):
+        users, threads = key
+        label = f"fleet_scale[users={users}, threads={threads}]"
+        if key not in on_cells:
+            failures.append(f"{label}: missing from telemetry-on log")
+            continue
+        on_wall, off_wall = on_cells[key], off_cells[key]
+        if off_wall <= 0.0:
+            continue
+        ratio = on_wall / off_wall
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{label}: telemetry-on {on_wall:.3f}s is {ratio:.3f}x "
+                f"telemetry-off {off_wall:.3f}s "
+                f"(tolerance {1.0 + tolerance:.2f}x)")
+        else:
+            print(f"  OK  {label}: on {on_wall:.3f}s / off {off_wall:.3f}s "
+                  f"= {ratio:.3f}x")
+    if failures:
+        print("telemetry overhead gate FAILED:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("telemetry overhead gate passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", type=Path,
+    parser.add_argument("current", type=Path, nargs="?",
                         help="BENCH_kernel.json from this run")
+    parser.add_argument("--fleet-overhead", nargs=2, type=Path,
+                        metavar=("ON_LOG", "OFF_LOG"),
+                        help="compare bench_fleet_scale stdout logs with "
+                             "telemetry on vs off instead of the kernel gate")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.05,
+                        help="allowed telemetry-on slowdown (0.05 = 5%%)")
     parser.add_argument("--baseline", type=Path,
                         default=Path("bench/baselines/"
                                      "BENCH_kernel.baseline.json"))
@@ -108,6 +183,12 @@ def main() -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
     args = parser.parse_args()
+
+    if args.fleet_overhead:
+        on_log, off_log = args.fleet_overhead
+        return check_fleet_overhead(on_log, off_log, args.overhead_tolerance)
+    if args.current is None:
+        parser.error("pass BENCH_kernel.json, or use --fleet-overhead")
 
     current = load(args.current)
     print(f"checking {args.current}")
