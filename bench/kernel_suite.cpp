@@ -39,6 +39,7 @@
 #include "dynamic/online_pricer.hpp"
 #include "fleet/fleet_driver.hpp"
 #include "fleet/population.hpp"
+#include "fleet/aggregator.hpp"
 #include "fleet/shard.hpp"
 #include "math/golden_section.hpp"
 #include "math/piecewise_linear.hpp"
@@ -347,12 +348,13 @@ int main(int argc, char** argv) {
     std::vector<const math::Vector*> schedules(classes, &schedule);
     const fleet::DeferralTable table(population, schedules, 0);
 
-    fleet::Shard shard(population, 0, config.users);
+    fleet::Shard shard(population, 0, 1, 1);  // one slice covering all users
+    fleet::StripedAggregator aggregator(1, population.periods());
     double sink = 0.0;
     const std::size_t shard_reps = 10;
     const double shard_seconds = time_reps(shard_reps, [&] {
-      const fleet::PeriodStats stats = shard.simulate_period(0, 0, table);
-      sink += stats.offered_work;
+      shard.simulate_period(0, 0, table, aggregator);
+      sink += aggregator.stripe(0, 0).offered_work;
     });
     if (sink < 0.0) std::printf("?\n");
 

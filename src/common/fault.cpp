@@ -33,6 +33,8 @@ FaultInjector::FaultInjector(FaultPlan plan)
   TDP_REQUIRE(plan_.spike_factor > 0.0, "spike factor must be positive");
   TDP_REQUIRE(plan_.solver_starved_budget >= 1,
               "starved budget must allow at least one iteration");
+  TDP_REQUIRE(plan_.drift_beta_rate > -1.0 && plan_.drift_beta_step > -1.0,
+              "beta drift factors must keep patience indices positive");
   std::sort(plan_.measurement_blackouts.begin(),
             plan_.measurement_blackouts.end());
 }
@@ -96,6 +98,17 @@ double FaultInjector::corrupt(MeasurementFault fault, double clean) const {
       return clean * plan_.spike_factor + 1.0;
   }
   return clean;
+}
+
+double FaultInjector::beta_drift_scale(std::uint32_t /*cls*/,
+                                       std::size_t day) const {
+  if (!plan_.drifts()) return 1.0;
+  double scale = std::pow(1.0 + plan_.drift_beta_rate,
+                          static_cast<double>(day));
+  if (plan_.drift_beta_step != 0.0 && day >= plan_.drift_step_day) {
+    scale *= 1.0 + plan_.drift_beta_step;
+  }
+  return scale;
 }
 
 bool FaultInjector::exhaust_solver(std::uint64_t abs_period) const {

@@ -53,10 +53,30 @@ struct FaultPlan {
                                    ///< starved to solver_starved_budget)
   std::size_t solver_starved_budget = 2;
 
+  // --- population drift (per day; long-horizon runs only) ---
+  // Drift is NOT an observation fault: it perturbs the simulated users'
+  // patience indices themselves, so the clean and the observed world drift
+  // together. It therefore never arms guards and never contributes to
+  // any(). The multi-day driver reads beta_drift_scale() and rebuilds the
+  // deferral lag tables for each day; single-day drivers ignore it.
+  /// Smooth geometric drift: every class's patience index is scaled by
+  /// (1 + drift_beta_rate)^day. Must exceed -1.
+  double drift_beta_rate = 0.0;
+  /// One-time regime shift: from drift_step_day onward the scale gains an
+  /// extra factor (1 + drift_beta_step). Must exceed -1.
+  double drift_beta_step = 0.0;
+  std::size_t drift_step_day = 0;
+
   std::uint64_t seed = 20110704;
 
-  /// True when any fault can ever fire under this plan.
+  /// True when any *observation* fault can ever fire under this plan
+  /// (population drift deliberately excluded — see above).
   bool any() const;
+
+  /// True when the plan drifts the population's patience indices.
+  bool drifts() const {
+    return drift_beta_rate != 0.0 || drift_beta_step != 0.0;
+  }
 };
 
 class FaultInjector {
@@ -91,6 +111,12 @@ class FaultInjector {
 
   /// Is the 1-D re-pricing solve starved of iterations in `abs_period`?
   bool exhaust_solver(std::uint64_t abs_period) const;
+
+  /// Multiplicative scale on class `cls`'s patience index for `day`: a pure
+  /// function of the plan alone (same for every class today; the class
+  /// argument fixes the signature for per-class drift later). 1.0 when the
+  /// plan carries no drift — including for a disabled injector.
+  double beta_drift_scale(std::uint32_t cls, std::size_t day) const;
 
  private:
   enum Domain : std::uint64_t {

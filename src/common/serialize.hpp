@@ -1,0 +1,142 @@
+// Versioned, byte-stable binary serialization for checkpoint/restore.
+//
+// Long-horizon runs must be able to kill a process mid-day and restore it
+// bit-identically, which makes the on-disk encoding part of the system's
+// determinism contract. The format here is therefore explicit about
+// everything a compiler or platform could otherwise choose for us:
+//
+//   * all integers are little-endian, written byte by byte;
+//   * doubles are written as the little-endian bytes of their IEEE-754
+//     bit pattern (std::bit_cast to uint64_t) — bitwise round-trip, no
+//     textual conversion;
+//   * every payload starts with a magic/version header and ends under a
+//     CRC-32 so a truncated or bit-flipped file is *detected*, never
+//     trusted;
+//   * content is framed into tagged sections (tag + byte length) so future
+//     versions can add sections old readers skip and old files stay
+//     loadable under the documented compatibility policy (DESIGN.md §12).
+//
+// The Reader is written for hostile input: every read is bounds-checked,
+// vector lengths are validated against the bytes actually remaining before
+// any allocation, and all failures throw FormatError — a corrupt checkpoint
+// must produce a clean error, never UB or an OOM crash (enforced by the
+// corruption fuzz tests in tests/test_serialize.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tdp::ser {
+
+/// Thrown on any structural problem with serialized bytes: bad magic,
+/// unsupported version, truncation, CRC mismatch, implausible lengths,
+/// non-finite values where finite ones are required.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) over `size` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Append-only little-endian encoder. finish() frames the accumulated
+/// payload with the magic/version header and trailing CRC.
+class Writer {
+ public:
+  /// @param magic   4-byte format identifier (e.g. "TDPC").
+  /// @param version format version written into the header.
+  Writer(std::string_view magic, std::uint32_t version);
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(const std::uint8_t* data, std::size_t size);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Length-prefixed (u64 count) vector of doubles.
+  void vec_f64(const std::vector<double>& v);
+  /// Length-prefixed (u64 count) vector of u64.
+  void vec_u64(const std::vector<std::uint64_t>& v);
+
+  /// Open a tagged section; returns a token for end_section. Sections may
+  /// not nest (one level of framing keeps corrupt lengths easy to bound).
+  std::size_t begin_section(std::uint32_t tag);
+  /// Close the section opened by begin_section, patching its byte length.
+  void end_section(std::size_t token);
+
+  /// Header + payload + CRC as one buffer. The Writer is spent afterwards.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  std::uint8_t magic_[4];
+  std::uint32_t version_;
+  bool in_section_ = false;
+  bool finished_ = false;
+};
+
+/// Bounds-checked little-endian decoder over a framed buffer produced by
+/// Writer::finish(). The constructor validates magic, version range, total
+/// length, and CRC before any field access.
+class Reader {
+ public:
+  /// @param min_version..max_version inclusive supported version range.
+  Reader(const std::uint8_t* data, std::size_t size, std::string_view magic,
+         std::uint32_t min_version, std::uint32_t max_version);
+  Reader(const std::vector<std::uint8_t>& data, std::string_view magic,
+         std::uint32_t min_version, std::uint32_t max_version)
+      : Reader(data.data(), data.size(), magic, min_version, max_version) {}
+
+  std::uint32_t version() const { return version_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean();
+  std::string str();
+  /// Vector of doubles; `max_count` bounds the allocation (defaults to the
+  /// count the remaining bytes could actually hold, so a corrupt length can
+  /// never drive an over-allocation).
+  std::vector<double> vec_f64(std::size_t max_count = SIZE_MAX);
+  /// As vec_f64 but every element must be finite (FormatError otherwise).
+  std::vector<double> vec_f64_finite(std::size_t max_count = SIZE_MAX);
+  std::vector<std::uint64_t> vec_u64(std::size_t max_count = SIZE_MAX);
+
+  /// Read the next section header; returns its tag and enters the section.
+  /// The section's byte length is validated against the remaining payload.
+  std::uint32_t begin_section();
+  /// Leave the current section: requires all its bytes were consumed
+  /// (strict framing — trailing garbage inside a section is corruption).
+  void end_section();
+  /// Skip the rest of the current section (forward compatibility).
+  void skip_section();
+
+  /// Bytes left in the current section (or whole payload outside one).
+  std::size_t remaining() const;
+  /// True when the whole payload has been consumed.
+  bool at_end() const { return pos_ == payload_end_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t pos_ = 0;
+  std::size_t payload_end_ = 0;
+  std::size_t section_end_ = 0;
+  bool in_section_ = false;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace tdp::ser

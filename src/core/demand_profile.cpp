@@ -51,6 +51,14 @@ void DemandProfile::set_classes(std::size_t period,
   mixes_[period] = std::move(classes);
 }
 
+void DemandProfile::set_volume(std::size_t period, std::size_t class_index,
+                               double volume) {
+  TDP_REQUIRE(period < mixes_.size(), "period out of range");
+  TDP_REQUIRE(class_index < mixes_[period].size(), "class index out of range");
+  TDP_REQUIRE(volume >= 0.0, "volume must be nonnegative");
+  mixes_[period][class_index].volume = volume;
+}
+
 void DemandProfile::scale_period(std::size_t period, double factor) {
   TDP_REQUIRE(period < mixes_.size(), "period out of range");
   TDP_REQUIRE(factor >= 0.0, "scale factor must be nonnegative");

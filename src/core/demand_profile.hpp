@@ -50,6 +50,11 @@ class DemandProfile {
   /// online algorithm when measured arrivals differ from the forecast.
   void scale_period(std::size_t period, double factor);
 
+  /// Overwrite one class's volume exactly. Checkpoint restore rebuilds a
+  /// baseline profile and installs the saved volumes bit-for-bit through
+  /// this (scale_period cannot: a multiply round-trips through rounding).
+  void set_volume(std::size_t period, std::size_t class_index, double volume);
+
  private:
   std::vector<std::vector<SessionClass>> mixes_;
 };

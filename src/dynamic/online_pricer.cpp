@@ -85,6 +85,77 @@ OnlinePricer::OnlinePricer(DynamicModel model,
 
 OnlinePricer::~OnlinePricer() { join_speculation(); }
 
+OnlinePricer::OnlinePricer(RestoreTag, DynamicModel model,
+                           const OnlinePricerState& state,
+                           PricerGuardConfig guard, bool speculative,
+                           bool incremental)
+    : model_(std::move(model)), rewards_(state.rewards),
+      reward_cap_(state.reward_cap), guard_(guard), health_(state.health),
+      health_stats_(state.stats), health_log_(state.log),
+      observation_count_(state.observation_count),
+      consecutive_bad_(state.consecutive_bad),
+      consecutive_good_(state.consecutive_good),
+      excursion_periods_(state.excursion_periods), speculative_(speculative),
+      incremental_(incremental) {
+  TDP_REQUIRE(rewards_.size() == model_.periods(),
+              "restored rewards do not match the model's period count");
+  TDP_REQUIRE(reward_cap_ > 0.0, "restored reward cap must be positive");
+}
+
+OnlinePricerState OnlinePricer::export_state() const {
+  OnlinePricerState state;
+  state.rewards = rewards_;
+  state.reward_cap = reward_cap_;
+  state.volumes.resize(model_.periods());
+  for (std::size_t p = 0; p < model_.periods(); ++p) {
+    for (const SessionClass& sc : model_.arrivals().classes(p)) {
+      state.volumes[p].push_back(sc.volume);
+    }
+  }
+  state.health = health_;
+  state.stats = health_stats_;
+  state.log = health_log_;
+  state.observation_count = observation_count_;
+  state.consecutive_bad = consecutive_bad_;
+  state.consecutive_good = consecutive_good_;
+  state.excursion_periods = excursion_periods_;
+  return state;
+}
+
+std::unique_ptr<OnlinePricer> OnlinePricer::restore(
+    DynamicModel baseline, const OnlinePricerState& state,
+    PricerGuardConfig guard, bool speculative, bool incremental) {
+  TDP_REQUIRE(state.volumes.size() == baseline.periods(),
+              "restored volumes do not match the model's period count");
+  // The online updates only ever rescale per-period volumes; installing the
+  // saved volumes into the baseline profile therefore reproduces the
+  // updated model exactly (set_volume is bit-exact, unlike a scale factor).
+  DemandProfile profile = baseline.arrivals();
+  for (std::size_t p = 0; p < baseline.periods(); ++p) {
+    TDP_REQUIRE(state.volumes[p].size() == profile.classes(p).size(),
+                "restored volumes do not match the model's class mix");
+    for (std::size_t c = 0; c < state.volumes[p].size(); ++c) {
+      profile.set_volume(p, c, state.volumes[p][c]);
+    }
+  }
+  DynamicModel updated(std::move(profile), baseline.capacity(),
+                       baseline.backlog_cost(), baseline.warmup_days());
+  return std::unique_ptr<OnlinePricer>(
+      new OnlinePricer(RestoreTag{}, std::move(updated), state, guard,
+                       speculative, incremental));
+}
+
+void OnlinePricer::adopt_model(DynamicModel model,
+                               const DynamicOptimizerOptions& offline_options) {
+  join_speculation();
+  speculation_.reset();
+  model_ = std::move(model);
+  const DynamicPricingSolution offline =
+      optimize_dynamic_prices(model_, offline_options);
+  rewards_ = offline.rewards;
+  reward_cap_ = model_.reward_cap() * offline_options.reward_cap_factor;
+}
+
 math::GoldenSectionResult OnlinePricer::solve_period(
     const DynamicModel& model, math::Vector rewards, std::size_t period,
     double reward_cap, std::size_t max_iterations) {

@@ -95,6 +95,8 @@ struct PricerHealthStats {
   std::uint64_t max_recovery_periods = 0;///< longest excursion from HEALTHY
 };
 
+struct OnlinePricerState;
+
 class OnlinePricer {
  public:
   /// Initializes rewards by solving the offline dynamic model.
@@ -177,7 +179,37 @@ class OnlinePricer {
     return health_log_;
   }
 
+  // ---- Long-horizon hooks (checkpoint/restore, daily re-anchoring) -------
+
+  /// Snapshot everything observe_period / observe_missed mutate: the
+  /// published rewards, the per-period demand volumes (the only part of the
+  /// model online updates change), and the health ladder. Any in-flight
+  /// speculation is deliberately not captured — restore never resumes a
+  /// pre-solve, and speculation cannot change published values, only
+  /// latency.
+  OnlinePricerState export_state() const;
+
+  /// Rebuild a pricer from the *baseline* fluid model (same construction as
+  /// the original run's) plus a state snapshot, skipping the offline solve:
+  /// volumes and rewards are installed bit-for-bit, so the restored pricer's
+  /// next observation is bitwise identical to the uninterrupted one's.
+  static std::unique_ptr<OnlinePricer> restore(
+      DynamicModel baseline, const OnlinePricerState& state,
+      PricerGuardConfig guard = {}, bool speculative = false,
+      bool incremental = true);
+
+  /// Replace the fluid model (the multi-day driver's daily re-anchor after
+  /// re-estimating the population): runs the offline solve on `model` and
+  /// publishes its schedule, but keeps the health ladder and its statistics
+  /// — re-anchoring is maintenance, not recovery.
+  void adopt_model(DynamicModel model,
+                   const DynamicOptimizerOptions& offline_options = {});
+
  private:
+  struct RestoreTag {};
+  OnlinePricer(RestoreTag, DynamicModel model, const OnlinePricerState& state,
+               PricerGuardConfig guard, bool speculative, bool incremental);
+
   static constexpr std::size_t kMaxTransitionLog = 256;
 
   /// The synchronous 1-D step: minimize the daily cost over `period`'s
@@ -244,6 +276,21 @@ class OnlinePricer {
   std::unique_ptr<Speculation> speculation_;
   std::size_t speculation_hits_ = 0;
   std::size_t speculation_misses_ = 0;
+};
+
+/// The serializable slice of an OnlinePricer (see export_state / restore).
+struct OnlinePricerState {
+  math::Vector rewards;
+  double reward_cap = 0.0;
+  /// volumes[p] = period p's per-class demand volumes, in class order.
+  std::vector<std::vector<double>> volumes;
+  PricerHealth health = PricerHealth::kHealthy;
+  PricerHealthStats stats;
+  std::vector<OnlinePricer::HealthTransition> log;
+  std::uint64_t observation_count = 0;
+  std::uint64_t consecutive_bad = 0;
+  std::uint64_t consecutive_good = 0;
+  std::uint64_t excursion_periods = 0;
 };
 
 }  // namespace tdp

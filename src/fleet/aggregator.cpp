@@ -4,38 +4,38 @@
 
 namespace tdp::fleet {
 
-StripedAggregator::StripedAggregator(std::size_t shards, std::size_t periods)
-    : shards_(shards), periods_(periods) {
-  TDP_REQUIRE(shards >= 1, "need at least one shard");
+StripedAggregator::StripedAggregator(std::size_t stripes, std::size_t periods)
+    : stripes_(stripes), periods_(periods) {
+  TDP_REQUIRE(stripes >= 1, "need at least one stripe");
   TDP_REQUIRE(periods >= 1, "need at least one period");
-  stripes_.resize(shards * periods);
+  stripes_data_.resize(stripes * periods);
 }
 
-void StripedAggregator::record(std::size_t shard, std::size_t period,
+void StripedAggregator::record(std::size_t slice, std::size_t period,
                                const PeriodStats& stats) {
-  TDP_REQUIRE(shard < shards_ && period < periods_,
+  TDP_REQUIRE(slice < stripes_ && period < periods_,
               "stripe index out of range");
-  stripes_[shard * periods_ + period] = stats;
+  stripes_data_[slice * periods_ + period] = stats;
 }
 
 PeriodStats StripedAggregator::merged(std::size_t period) const {
   TDP_REQUIRE(period < periods_, "period out of range");
   PeriodStats total;
-  for (std::size_t shard = 0; shard < shards_; ++shard) {
-    total += stripes_[shard * periods_ + period];
+  for (std::size_t slice = 0; slice < stripes_; ++slice) {
+    total += stripes_data_[slice * periods_ + period];
   }
   return total;
 }
 
-const PeriodStats& StripedAggregator::stripe(std::size_t shard,
+const PeriodStats& StripedAggregator::stripe(std::size_t slice,
                                              std::size_t period) const {
-  TDP_REQUIRE(shard < shards_ && period < periods_,
+  TDP_REQUIRE(slice < stripes_ && period < periods_,
               "stripe index out of range");
-  return stripes_[shard * periods_ + period];
+  return stripes_data_[slice * periods_ + period];
 }
 
 void StripedAggregator::clear() {
-  for (PeriodStats& stats : stripes_) stats = PeriodStats{};
+  for (PeriodStats& stats : stripes_data_) stats = PeriodStats{};
 }
 
 }  // namespace tdp::fleet

@@ -48,11 +48,20 @@ FleetCounters& fleet_counters() {
   return counters;
 }
 
-/// The fluid dynamic model whose expected arrivals match the population's:
-/// the published mix on the continuous lag grid, at the paper's 48-period
-/// load factor (capacity scales with mean demand so 12-period runs see the
-/// same congestion regime).
-DynamicModel model_for(const Population& population) {
+/// Canonical slice count: explicit config wins, else one slice per shard
+/// (the pre-slice layout); always clamped to [1, users].
+std::size_t effective_slices(const FleetDriverConfig& config,
+                             std::uint64_t users) {
+  const std::size_t requested =
+      config.slices != 0 ? config.slices
+                         : std::max<std::size_t>(config.shards, 1);
+  return std::min<std::size_t>(std::max<std::size_t>(requested, 1),
+                               static_cast<std::size_t>(users));
+}
+
+}  // namespace
+
+DynamicModel baseline_fluid_model(const Population& population) {
   const std::size_t n = population.periods();
   DemandProfile arrivals = paper::make_profile(
       n == 48 ? paper::table7_mix_48() : paper::table8_mix_12(),
@@ -72,8 +81,6 @@ DynamicModel model_for(const Population& population) {
       math::PiecewiseLinearCost::hinge(paper::kDynamicCostSlope, 0.0));
 }
 
-}  // namespace
-
 FleetDriver::FleetDriver(FleetDriverConfig config)
     : config_(std::move(config)),
       population_(config_.population),
@@ -82,11 +89,8 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
       fanout_(channel_, paper::kPatienceIndices.size()),
       guard_(population_.expected_demand_units(),
              config_.measurement_guard),
-      aggregator_(
-          std::min<std::size_t>(
-              std::max<std::size_t>(config_.shards, 1),
-              static_cast<std::size_t>(population_.users())),
-          population_.periods()),
+      aggregator_(effective_slices(config_, population_.users()),
+                  population_.periods()),
       threads_(config_.threads == 0 ? default_thread_count()
                                     : config_.threads) {
   channel_.set_resilience(config_.resilience);
@@ -98,23 +102,26 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
   const PricerGuardConfig guard = config_.pricer_guard.value_or(
       injector_.enabled() ? PricerGuardConfig::protective()
                           : PricerGuardConfig{});
-  pricer_ = std::make_unique<OnlinePricer>(model_for(population_),
+  pricer_ = std::make_unique<OnlinePricer>(baseline_fluid_model(population_),
                                            config_.offline_options,
                                            /*speculative=*/false, guard);
 
-  // Contiguous near-equal user ranges; layout depends on users and shard
-  // count only.
-  const std::size_t shard_count = aggregator_.shards();
+  // Shards group whole slices into contiguous near-equal runs; the slice
+  // layout (and with it every reduction order) depends on users and slice
+  // count only, never on the shard grouping.
+  const std::size_t slices = aggregator_.stripes();
+  const std::size_t shard_count =
+      std::min<std::size_t>(std::max<std::size_t>(config_.shards, 1), slices);
   const std::uint64_t users = population_.users();
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
-    const std::uint64_t begin = users * s / shard_count;
-    const std::uint64_t end = users * (s + 1) / shard_count;
-    shards_.emplace_back(population_, begin, end);
+    const std::size_t begin = slices * s / shard_count;
+    const std::size_t end = slices * (s + 1) / shard_count;
+    shards_.emplace_back(population_, begin, end, slices);
   }
-  TDP_LOG_INFO << "fleet: " << users << " users over " << shard_count
-               << " shards, " << threads_ << " threads, "
-               << population_.periods() << " periods";
+  TDP_LOG_INFO << "fleet: " << users << " users over " << slices
+               << " slices in " << shard_count << " shards, " << threads_
+               << " threads, " << population_.periods() << " periods";
 }
 
 FleetDriver::Observation FleetDriver::observe(
@@ -128,12 +135,13 @@ FleetDriver::Observation FleetDriver::observe(
     return obs;
   }
 
-  // Shards are measurement fault domains: a lost shard's stripe never
-  // reaches telemetry. Surviving stripes fold in the same ascending shard
+  // Slices are measurement fault domains: a lost slice's stripe never
+  // reaches telemetry. Surviving stripes fold in the same ascending slice
   // order as StripedAggregator::merged, so a no-loss period reproduces the
-  // merged value bitwise.
+  // merged value bitwise — and fault draws depend on the slice id, never on
+  // the shard grouping, so a chaos run survives a reshard bit-for-bit.
   PeriodStats survived;
-  for (std::size_t s = 0; s < aggregator_.shards(); ++s) {
+  for (std::size_t s = 0; s < aggregator_.stripes(); ++s) {
     if (injector_.measurement_fault(s, abs_period) ==
         FaultInjector::MeasurementFault::kLost) {
       ++obs.lost_stripes;
@@ -260,8 +268,7 @@ FleetMetrics FleetDriver::run_day() {
           shards_.size(),
           [&](std::size_t s) {
             TDP_OBS_SPAN("fleet.shard");
-            aggregator_.record(
-                s, period, shards_[s].simulate_period(day, period, table));
+            shards_[s].simulate_period(day, period, table, aggregator_);
           },
           threads_);
       lap(fc.simulate_ns);

@@ -25,7 +25,7 @@
 // *observation* paths only — price pulls and usage telemetry — never into
 // the simulated users themselves, so a chaos run and a clean run describe
 // the same physical fleet and differ only in what the control loop sees.
-// Shards act as measurement fault domains (a lost shard's stripe never
+// Slices act as measurement fault domains (a lost slice's stripe never
 // reaches the pricer); price-pull faults hit the fan-out groups. When any
 // fault can fire, the pricer's guard is armed (trust region + keep-reward
 // on failure) unless an explicit guard config is given. A zero-fault plan
@@ -52,10 +52,17 @@ namespace tdp::fleet {
 
 struct FleetDriverConfig {
   PopulationConfig population;
-  /// Shard count — part of the experiment definition (it fixes the
-  /// floating-point reduction order), deliberately NOT defaulted from the
-  /// thread count. Clamped to the user count.
+  /// Shard count — the execution grouping for the per-period parallel
+  /// sweep. Clamped to the slice count. Since aggregation is striped per
+  /// canonical *slice* (see aggregator.hpp), any shard count yields
+  /// bit-identical aggregates for a fixed slice layout.
   std::size_t shards = 64;
+  /// Canonical slice count — part of the experiment definition (it fixes
+  /// the floating-point reduction order and the measurement fault
+  /// domains), deliberately NOT defaulted from the thread count. 0 = one
+  /// slice per shard, which reproduces the pre-slice drivers bitwise.
+  /// Clamped to the user count.
+  std::size_t slices = 0;
   /// Worker threads for the per-period shard sweep; 0 = TDP_THREADS /
   /// hardware default. Any value yields bit-identical aggregates.
   std::size_t threads = 0;
@@ -77,6 +84,13 @@ struct FleetDriverConfig {
   std::optional<PricerGuardConfig> pricer_guard;
 };
 
+/// The fluid dynamic model whose expected arrivals match the population's:
+/// the published mix on the continuous lag grid, at the paper's 48-period
+/// load factor (capacity scales with mean demand so 12-period runs see the
+/// same congestion regime). Shared by FleetDriver's offline solve and the
+/// long-horizon driver's daily re-anchoring.
+DynamicModel baseline_fluid_model(const Population& population);
+
 class FleetDriver {
  public:
   explicit FleetDriver(FleetDriverConfig config);
@@ -85,6 +99,7 @@ class FleetDriver {
   const OnlinePricer& pricer() const { return *pricer_; }
   const PriceChannel& channel() const { return channel_; }
   std::size_t shard_count() const { return shards_.size(); }
+  std::size_t slice_count() const { return aggregator_.stripes(); }
   std::size_t thread_count() const { return threads_; }
 
   /// Simulate warmup_days + 1 days; returns metrics for the final day.

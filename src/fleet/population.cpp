@@ -105,6 +105,32 @@ Rng Population::user_period_rng(std::uint64_t user,
   return root_.fork_stream(user).fork_stream(period);
 }
 
+double Population::patience_index(std::uint32_t cls) const {
+  TDP_REQUIRE(cls < waiting_.size(), "class out of range");
+  return paper::kPatienceIndices[cls];
+}
+
+std::vector<UniformLagWeightTable> Population::scaled_lag_tables(
+    const std::vector<double>& beta_scale) const {
+  const std::size_t classes = waiting_.size();
+  const std::size_t n = config_.periods;
+  TDP_REQUIRE(beta_scale.size() == classes,
+              "need one beta scale per patience class");
+  std::vector<UniformLagWeightTable> tables;
+  tables.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    TDP_REQUIRE(beta_scale[c] > 0.0, "beta scales must be positive");
+    // Same construction path as the calibrated defaults, so a scale of 1.0
+    // reproduces lag_table(c) bitwise.
+    const auto drifted = std::make_shared<PowerLawWaitingFunction>(
+        paper::kPatienceIndices[c] * beta_scale[c], n,
+        paper::kStaticNormalizationReward, 1.0,
+        LagNormalization::kContinuous);
+    tables.emplace_back(drifted, n);
+  }
+  return tables;
+}
+
 double Population::session_rate(std::uint32_t cls, std::size_t period) const {
   TDP_REQUIRE(cls < waiting_.size() && period < config_.periods,
               "class or period out of range");

@@ -80,6 +80,17 @@ class Population {
     return lag_tables_[cls];
   }
 
+  /// Patience index (beta) of class `cls` as calibrated at construction.
+  double patience_index(std::uint32_t cls) const;
+
+  /// Lag-weight tables for per-class patience indices scaled by
+  /// `beta_scale` (one factor per class, each > 0). A scale of exactly 1.0
+  /// for every class is bitwise identical to lag_table(). The long-horizon
+  /// driver feeds these into DeferralTable's lag_override to drift the
+  /// population day by day without rebuilding the population.
+  std::vector<UniformLagWeightTable> scaled_lag_tables(
+      const std::vector<double>& beta_scale) const;
+
   /// Fraction of users in each patience class (Table VII day totals).
   const std::vector<double>& class_shares() const { return class_share_; }
 

@@ -35,6 +35,13 @@ std::size_t PriceFanout::total_server_fetches() const {
   return total;
 }
 
+void PriceFanout::restore_schedules(
+    const std::vector<math::Vector>& schedules) {
+  TDP_REQUIRE(schedules.size() == schedules_.size(),
+              "restored fan-out has a different group count");
+  schedules_ = schedules;
+}
+
 SubscriberTelemetry PriceFanout::telemetry(std::size_t group) const {
   TDP_REQUIRE(group < subscribers_.size(), "unknown group");
   return channel_->telemetry(subscribers_[group]);

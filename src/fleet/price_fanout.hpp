@@ -44,6 +44,13 @@ class PriceFanout {
   /// across groups, not a sum — it is a level, not a count).
   SubscriberTelemetry total_telemetry() const;
 
+  /// Snapshot each group's last-pulled schedule (checkpoint support; the
+  /// subscriber-side state lives in the channel and is exported there).
+  std::vector<math::Vector> export_schedules() const { return schedules_; }
+
+  /// Install snapshotted schedules (group count must match).
+  void restore_schedules(const std::vector<math::Vector>& schedules);
+
  private:
   PriceChannel* channel_;
   std::vector<std::size_t> subscribers_;     ///< channel subscriber ids

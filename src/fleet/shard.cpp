@@ -4,19 +4,23 @@
 
 #include "common/error.hpp"
 #include "core/deferral_kernel.hpp"
+#include "fleet/aggregator.hpp"
 
 namespace tdp::fleet {
 
 DeferralTable::DeferralTable(
     const Population& population,
     const std::vector<const math::Vector*>& schedule_by_class,
-    std::size_t period)
+    std::size_t period,
+    const std::vector<UniformLagWeightTable>* lag_override)
     : periods_(population.periods()) {
   const std::size_t n = periods_;
   const std::size_t classes = population.patience_classes();
   TDP_REQUIRE(schedule_by_class.size() == classes,
               "need one reward schedule per patience class");
   TDP_REQUIRE(period < n, "period out of range");
+  TDP_REQUIRE(lag_override == nullptr || lag_override->size() == classes,
+              "need one lag-weight table per patience class");
 
   cumulative_.assign(classes * n, 0.0);
   reward_.assign(classes * n, 0.0);
@@ -25,8 +29,11 @@ DeferralTable::DeferralTable(
     TDP_REQUIRE(schedule.size() == n, "schedule size mismatch");
     // Precomputed per-class lag weights — bitwise identical to calling
     // lag_weight() on the class's waiting function (test_kernel_plan.cpp).
+    // A drift override swaps in tables built from perturbed patience
+    // indices without touching the population's calibrated defaults.
     const UniformLagWeightTable& weights =
-        population.lag_table(static_cast<std::uint32_t>(c));
+        lag_override ? (*lag_override)[c]
+                     : population.lag_table(static_cast<std::uint32_t>(c));
     double total = 0.0;
     for (std::size_t lag = 1; lag < n; ++lag) {
       const std::size_t target = (period + lag) % n;
@@ -56,17 +63,29 @@ PeriodStats& PeriodStats::operator+=(const PeriodStats& other) {
   return *this;
 }
 
-Shard::Shard(const Population& population, std::uint64_t begin_user,
-             std::uint64_t end_user)
-    : population_(&population), begin_(begin_user), end_(end_user) {
+Shard::Shard(const Population& population, std::size_t begin_slice,
+             std::size_t end_slice, std::size_t total_slices)
+    : population_(&population),
+      begin_slice_(begin_slice),
+      end_slice_(end_slice),
+      begin_(slice_user_begin(population.users(), total_slices, begin_slice)),
+      end_(slice_user_begin(population.users(), total_slices, end_slice)) {
+  TDP_REQUIRE(begin_slice_ < end_slice_ && end_slice_ <= total_slices,
+              "shard slice range invalid");
   TDP_REQUIRE(begin_ < end_ && end_ <= population.users(),
               "shard user range invalid");
+  slice_user_end_.reserve(end_slice_ - begin_slice_);
+  for (std::size_t s = begin_slice_; s < end_slice_; ++s) {
+    slice_user_end_.push_back(
+        slice_user_begin(population.users(), total_slices, s + 1));
+  }
   specs_.reserve(end_ - begin_);
   for (std::uint64_t u = begin_; u < end_; ++u) {
     specs_.push_back(population.spec(u));
   }
-  deferred_ring_.assign(population.periods(), 0.0);
-  reward_ring_.assign(population.periods(), 0.0);
+  const std::size_t slots = (end_slice_ - begin_slice_) * population.periods();
+  deferred_ring_.assign(slots, 0.0);
+  reward_ring_.assign(slots, 0.0);
 }
 
 void Shard::reset() {
@@ -75,58 +94,98 @@ void Shard::reset() {
   ring_head_ = 0;
 }
 
-PeriodStats Shard::simulate_period(std::size_t day, std::size_t period,
-                                   const DeferralTable& table) {
+void Shard::set_ring_head(std::size_t head) {
+  TDP_REQUIRE(head < population_->periods(), "ring head out of range");
+  ring_head_ = head;
+}
+
+void Shard::export_slice_rings(std::size_t slice, std::vector<double>& work,
+                               std::vector<double>& reward) const {
+  TDP_REQUIRE(slice >= begin_slice_ && slice < end_slice_,
+              "slice not owned by this shard");
+  const std::size_t n = population_->periods();
+  const std::size_t base = (slice - begin_slice_) * n;
+  work.assign(deferred_ring_.begin() + static_cast<std::ptrdiff_t>(base),
+              deferred_ring_.begin() + static_cast<std::ptrdiff_t>(base + n));
+  reward.assign(reward_ring_.begin() + static_cast<std::ptrdiff_t>(base),
+                reward_ring_.begin() + static_cast<std::ptrdiff_t>(base + n));
+}
+
+void Shard::restore_slice_rings(std::size_t slice,
+                                const std::vector<double>& work,
+                                const std::vector<double>& reward) {
+  TDP_REQUIRE(slice >= begin_slice_ && slice < end_slice_,
+              "slice not owned by this shard");
+  const std::size_t n = population_->periods();
+  TDP_REQUIRE(work.size() == n && reward.size() == n,
+              "ring size mismatch");
+  const std::size_t base = (slice - begin_slice_) * n;
+  std::copy(work.begin(), work.end(),
+            deferred_ring_.begin() + static_cast<std::ptrdiff_t>(base));
+  std::copy(reward.begin(), reward.end(),
+            reward_ring_.begin() + static_cast<std::ptrdiff_t>(base));
+}
+
+void Shard::simulate_period(std::size_t day, std::size_t period,
+                            const DeferralTable& table,
+                            StripedAggregator& aggregator) {
   const Population& pop = *population_;
   const std::size_t n = pop.periods();
   TDP_REQUIRE(period < n, "period out of range");
   TDP_REQUIRE(table.periods() == n, "deferral table size mismatch");
 
-  PeriodStats stats;
-
-  // Work deferred into this period arrives at the period start, with the
-  // reward promised when it was deferred.
-  stats.realized_work += deferred_ring_[ring_head_];
-  stats.reward_paid += reward_ring_[ring_head_];
-  deferred_ring_[ring_head_] = 0.0;
-  reward_ring_[ring_head_] = 0.0;
-
   const double b = pop.mean_session_size();
   const std::size_t abs_period = day * n + period;
 
-  for (std::uint64_t u = begin_; u < end_; ++u) {
-    const UserSpec& spec = specs_[u - begin_];
-    const double rate =
-        spec.activity * pop.session_rate(spec.patience_class, period);
-    if (rate <= 0.0) continue;
-    Rng rng = pop.user_period_rng(u, abs_period);
-    const std::uint64_t count = rng.poisson(rate);
-    if (count == 0) continue;
-    stats.sessions += count;
+  std::uint64_t user = begin_;
+  for (std::size_t local = 0; local < slice_user_end_.size(); ++local) {
+    PeriodStats stats;
+    const std::size_t ring_base = local * n;
 
-    const std::uint32_t cls = spec.patience_class;
-    const double stay_threshold = table.cumulative(cls, n - 1);
-    for (std::uint64_t s = 0; s < count; ++s) {
-      const double work = rng.exponential(b);
-      stats.offered_work += work;
-      const double draw = rng.uniform();
-      if (draw >= stay_threshold) {  // common case: the session stays put
-        stats.realized_work += work;
-        continue;
+    // Work deferred into this period arrives at the period start, with the
+    // reward promised when it was deferred.
+    stats.realized_work += deferred_ring_[ring_base + ring_head_];
+    stats.reward_paid += reward_ring_[ring_base + ring_head_];
+    deferred_ring_[ring_base + ring_head_] = 0.0;
+    reward_ring_[ring_base + ring_head_] = 0.0;
+
+    const std::uint64_t slice_end = slice_user_end_[local];
+    for (std::uint64_t u = user; u < slice_end; ++u) {
+      const UserSpec& spec = specs_[u - begin_];
+      const double rate =
+          spec.activity * pop.session_rate(spec.patience_class, period);
+      if (rate <= 0.0) continue;
+      Rng rng = pop.user_period_rng(u, abs_period);
+      const std::uint64_t count = rng.poisson(rate);
+      if (count == 0) continue;
+      stats.sessions += count;
+
+      const std::uint32_t cls = spec.patience_class;
+      const double stay_threshold = table.cumulative(cls, n - 1);
+      for (std::uint64_t s = 0; s < count; ++s) {
+        const double work = rng.exponential(b);
+        stats.offered_work += work;
+        const double draw = rng.uniform();
+        if (draw >= stay_threshold) {  // common case: the session stays put
+          stats.realized_work += work;
+          continue;
+        }
+        // Smallest lag whose cumulative probability exceeds the draw.
+        std::size_t lag = 1;
+        while (draw >= table.cumulative(cls, lag)) ++lag;
+        ++stats.deferred_sessions;
+        stats.deferred_work += work;
+        const std::size_t slot = ring_base + (ring_head_ + lag) % n;
+        deferred_ring_[slot] += work;
+        reward_ring_[slot] += table.reward(cls, lag) * work;
       }
-      // Smallest lag whose cumulative probability exceeds the draw.
-      std::size_t lag = 1;
-      while (draw >= table.cumulative(cls, lag)) ++lag;
-      ++stats.deferred_sessions;
-      stats.deferred_work += work;
-      const std::size_t slot = (ring_head_ + lag) % n;
-      deferred_ring_[slot] += work;
-      reward_ring_[slot] += table.reward(cls, lag) * work;
     }
+    user = slice_end;
+
+    aggregator.record(begin_slice_ + local, period, stats);
   }
 
   ring_head_ = (ring_head_ + 1) % n;
-  return stats;
 }
 
 }  // namespace tdp::fleet

@@ -1,15 +1,33 @@
-// A shard: one contiguous user range of the fleet, simulated locally.
+// A shard: one contiguous run of canonical slices, simulated locally.
 //
-// Each shard owns users [begin, end) and walks them once per period: Poisson
-// session arrivals at the user's diurnal rate, exponential session sizes,
-// and per-session deferral decisions from a precomputed per-class deferral
-// table (aggregate waiting-function math — no per-packet netsim). Work a
-// session defers is parked in a per-shard ring and re-enters the shard's
-// arrival stream when its target period comes up, mirroring the backlog
-// carry-over of the dynamic model at user granularity.
+// PR 2 fixed the floating-point reduction order by making the *shard* the
+// aggregation unit, which made aggregates thread-count-independent but left
+// the shard count itself part of the experiment definition. Long-horizon
+// checkpoint/restore needs more: a checkpoint written by a 4-shard run must
+// restore onto 6 shards (or 1) with bitwise-identical aggregates. The unit
+// of determinism is therefore demoted below the shard, to the **slice**:
+//
+//   * the population is partitioned into `slices` contiguous user ranges
+//     (the canonical layout, fixed by configuration and recorded in every
+//     checkpoint);
+//   * per-period stats are accumulated *per slice* (users walked in
+//     ascending id order within a slice) and merged in ascending slice
+//     order — the reduction order is a function of the slice layout alone;
+//   * deferral rings (the only mutable per-user-range state) live per
+//     slice, so a checkpoint can hand any slice's ring to whichever shard
+//     owns it after a reshard;
+//   * measurement fault domains are slices, so an active FaultPlan fires
+//     identically under any shard grouping.
+//
+// A shard is now purely an *execution* grouping: it owns slices
+// [begin_slice, end_slice) and walks them once per period. Any shard count
+// from 1 to `slices` — and any thread count — yields bit-identical
+// aggregates; a FleetDriver configured with slices == shards reproduces the
+// pre-slice behaviour bitwise (one slice per shard is exactly the old
+// layout).
 //
 // Shards never share mutable state: every draw comes from the population's
-// per-(user, period) streams and every result lands in the shard's own
+// per-(user, period) streams and every result lands in the owning slice's
 // accumulator stripe, so a period can be simulated by any number of threads
 // with bit-identical totals (see aggregator.hpp for the merge discipline).
 #pragma once
@@ -18,10 +36,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/kernel_plan.hpp"
 #include "fleet/population.hpp"
 #include "math/vector_ops.hpp"
 
 namespace tdp::fleet {
+
+class StripedAggregator;
+
+/// First user of `slice` under the canonical contiguous layout: slice s
+/// covers users [slice_user_begin(s), slice_user_begin(s+1)). Pure
+/// function of (users, slices) — never of shard or thread counts.
+inline std::uint64_t slice_user_begin(std::uint64_t users,
+                                      std::size_t slices,
+                                      std::size_t slice) {
+  return users * static_cast<std::uint64_t>(slice) /
+         static_cast<std::uint64_t>(slices);
+}
 
 /// Per-class deferral decision table for one period, rebuilt by the driver
 /// whenever the published reward schedule changes. For class c and lag
@@ -29,9 +60,19 @@ namespace tdp::fleet {
 /// most t periods; the residual mass stays put.
 class DeferralTable {
  public:
+  /// Standard table on the population's built-in lag weights.
   DeferralTable(const Population& population,
                 const std::vector<const math::Vector*>& schedule_by_class,
-                std::size_t period);
+                std::size_t period)
+      : DeferralTable(population, schedule_by_class, period, nullptr) {}
+
+  /// Drift-aware variant: `lag_override` (one table per patience class)
+  /// replaces the population's lag weights — the long-horizon driver feeds
+  /// tables built from drifted patience indices here.
+  DeferralTable(const Population& population,
+                const std::vector<const math::Vector*>& schedule_by_class,
+                std::size_t period,
+                const std::vector<UniformLagWeightTable>* lag_override);
 
   std::size_t periods() const { return periods_; }
 
@@ -57,7 +98,7 @@ class DeferralTable {
   std::size_t probability_clamps_ = 0;
 };
 
-/// One period's totals from one shard (or, after merging, the fleet).
+/// One period's totals from one slice (or, after merging, the fleet).
 struct PeriodStats {
   double offered_work = 0.0;    ///< fresh pre-deferral work (TIP baseline)
   double realized_work = 0.0;   ///< post-deferral arrivals incl. deferred-in
@@ -71,32 +112,58 @@ struct PeriodStats {
 
 class Shard {
  public:
-  /// Caches the specs of users [begin, end) so the per-period walk is pure
-  /// arithmetic; the cache is a function of user ids only, never of which
-  /// shard holds them.
-  Shard(const Population& population, std::uint64_t begin_user,
-        std::uint64_t end_user);
+  /// Owns canonical slices [begin_slice, end_slice) of a `total_slices`
+  /// layout. Caches the specs of the covered users so the per-period walk
+  /// is pure arithmetic; the cache is a function of user ids only, never of
+  /// which shard holds them.
+  Shard(const Population& population, std::size_t begin_slice,
+        std::size_t end_slice, std::size_t total_slices);
 
+  std::size_t begin_slice() const { return begin_slice_; }
+  std::size_t end_slice() const { return end_slice_; }
   std::uint64_t begin_user() const { return begin_; }
   std::uint64_t end_user() const { return end_; }
   std::uint64_t users() const { return end_ - begin_; }
 
-  /// Simulate one period of one day. Periods must be called in day order
-  /// (the deferral ring advances once per call). `day` separates the RNG
-  /// streams of multi-day runs.
-  PeriodStats simulate_period(std::size_t day, std::size_t period,
-                              const DeferralTable& table);
+  /// Simulate one period of one day, recording one stripe per owned slice
+  /// into `aggregator` (race-free: distinct shards own distinct slices).
+  /// Periods must be called in day order (the deferral rings advance once
+  /// per call). `day` separates the RNG streams of multi-day runs.
+  void simulate_period(std::size_t day, std::size_t period,
+                       const DeferralTable& table,
+                       StripedAggregator& aggregator);
 
   /// Drop all parked deferred work (fresh-day reset for experiments).
   void reset();
 
+  // ---- Checkpoint access (slice-granular, reshard-safe) ------------------
+
+  /// Current ring rotation (identical for every slice: rings advance once
+  /// per simulated period).
+  std::size_t ring_head() const { return ring_head_; }
+  void set_ring_head(std::size_t head);
+
+  /// Copy one owned slice's rings out (period-indexed, length periods()).
+  void export_slice_rings(std::size_t slice, std::vector<double>& work,
+                          std::vector<double>& reward) const;
+
+  /// Install one owned slice's rings (sizes must match the period count).
+  void restore_slice_rings(std::size_t slice,
+                           const std::vector<double>& work,
+                           const std::vector<double>& reward);
+
  private:
   const Population* population_;
+  std::size_t begin_slice_;
+  std::size_t end_slice_;
   std::uint64_t begin_;
   std::uint64_t end_;
-  std::vector<UserSpec> specs_;         ///< specs_[u - begin_]
-  std::vector<double> deferred_ring_;   ///< work arriving l periods ahead
-  std::vector<double> reward_ring_;     ///< reward owed with that work
+  std::vector<std::uint64_t> slice_user_end_;  ///< per owned slice
+  std::vector<UserSpec> specs_;                ///< specs_[u - begin_]
+  /// Per-slice deferral rings, [local_slice * periods + slot]: work
+  /// arriving `lag` periods ahead and the reward owed with it.
+  std::vector<double> deferred_ring_;
+  std::vector<double> reward_ring_;
   std::size_t ring_head_ = 0;
 };
 

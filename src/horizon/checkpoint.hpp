@@ -1,0 +1,115 @@
+// The long-horizon checkpoint format (DESIGN.md §12).
+//
+// A checkpoint is a full snapshot of the control-loop state at a period
+// boundary: the simulated clock, every canonical slice's deferral rings,
+// the price channel and fan-out caches, the measurement guard, the online
+// pricer (rewards, demand volumes, health ladder) and its model source,
+// the estimator's sliding window, completed and in-progress day metrics,
+// and the observability counters. A run killed after writing one and
+// restored from it is bitwise identical to the uninterrupted run — under
+// any shard or thread count that groups whole slices.
+//
+// Encoding: the versioned little-endian framing of common/serialize.hpp —
+// magic "TDPC", version 1, tagged sections, CRC-32 trailer. decode() is
+// safe on hostile bytes: every failure is a ser::FormatError, never UB
+// (fuzzed in tests/test_horizon.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "horizon/horizon_metrics.hpp"
+#include "math/vector_ops.hpp"
+#include "tube/measurement_guard.hpp"
+#include "tube/price_channel.hpp"
+
+namespace tdp::horizon {
+
+inline constexpr char kCheckpointMagic[] = "TDPC";
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// How the pricer's *baseline* fluid model is rebuilt on restore.
+enum class ModelSource : std::uint32_t {
+  kBaseline = 0,   ///< population-derived (fleet::baseline_fluid_model)
+  kEstimated = 1,  ///< rebuilt from a tied §IV estimate (beta + volumes)
+};
+
+/// One day of fleet aggregates retained for online §IV estimation.
+struct DayRecord {
+  math::Vector rewards;            ///< published reward per period
+  math::Vector usage_change;       ///< T_i = offered - realized, demand units
+  std::vector<double> tip_demand;  ///< offered (TIP) demand units per period
+};
+
+/// The complete serializable state of a MultiDayDriver.
+struct CheckpointData {
+  // -- configuration echo (determinism-relevant; validated on restore) ----
+  std::uint64_t users = 0;
+  std::uint32_t periods = 0;
+  std::uint64_t population_seed = 0;
+  double sessions_per_day = 0.0;
+  std::uint64_t slices = 0;  ///< canonical layout; restore reuses this
+  std::uint32_t warmup_days = 0;
+  std::uint32_t horizon_days = 0;
+  bool online_pricing = true;
+  bool estimation = false;
+  std::uint32_t estimation_window = 0;
+  std::uint32_t estimation_min_days = 0;
+  std::uint32_t estimation_starts = 0;
+  bool reanchor = false;
+  FaultPlan fault;  ///< full plan, drift fields included
+  std::uint64_t staleness_ttl = 0;
+  std::uint64_t max_retries = 0;
+  double max_spike_factor = 0.0;
+  std::uint64_t max_carry_forward = 0;
+
+  // -- simulated clock ----------------------------------------------------
+  std::uint64_t day = 0;     ///< next day to simulate
+  std::uint32_t period = 0;  ///< next period to simulate within `day`
+  std::uint32_t ring_head = 0;
+
+  // -- per-slice deferral rings (ascending slice order) -------------------
+  std::vector<std::vector<double>> ring_work;
+  std::vector<std::vector<double>> ring_reward;
+
+  // -- TUBE control-loop components ---------------------------------------
+  PriceChannelState channel;
+  std::vector<math::Vector> fanout_schedules;
+  MeasurementGuardState guard;
+  OnlinePricerState pricer;
+  ModelSource model_source = ModelSource::kBaseline;
+  double model_beta = 0.0;                ///< kEstimated only
+  std::vector<double> model_volumes;      ///< kEstimated only, per period
+
+  // -- online estimation sliding window -----------------------------------
+  std::vector<DayRecord> window;
+
+  // -- metrics ------------------------------------------------------------
+  std::vector<DayMetrics> completed_days;
+  DayMetrics partial;  ///< current day's accumulators
+  math::Vector prev_day_start_rewards;
+  bool has_prev_day_start = false;
+
+  // -- observability counters (name, merged value) ------------------------
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Serialize to the framed byte format.
+std::vector<std::uint8_t> encode(const CheckpointData& data);
+
+/// Parse framed bytes. Throws ser::FormatError on any structural problem —
+/// corruption, truncation, or version/magic mismatch — never crashes.
+CheckpointData decode(const std::uint8_t* data, std::size_t size);
+CheckpointData decode(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers (binary, whole-buffer). save throws tdp::Error
+/// on I/O failure; load throws tdp::Error on I/O failure and
+/// ser::FormatError on bad content.
+void save_checkpoint_file(const std::string& path, const CheckpointData& data);
+CheckpointData load_checkpoint_file(const std::string& path);
+
+}  // namespace tdp::horizon

@@ -1,0 +1,62 @@
+// Per-day and whole-run metrics for long-horizon operations.
+//
+// Everything in DayMetrics except nothing — all fields — is a deterministic
+// function of the run's configuration: the kill-and-restore property tests
+// compare DayMetrics with EXPECT_EQ on the raw doubles. Wall-clock timing
+// lives only in HorizonMetrics::wall_seconds and is explicitly excluded
+// from bitwise comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdp::horizon {
+
+/// One simulated day's deterministic outcomes.
+struct DayMetrics {
+  std::uint64_t day = 0;  ///< absolute day index (warmup included)
+
+  // Traffic shape (demand units per period).
+  std::vector<double> offered_units;   ///< pre-deferral (TIP baseline)
+  std::vector<double> realized_units;  ///< post-deferral (under TDP)
+  /// Published reward each period saw when it was simulated.
+  std::vector<double> rewards;
+
+  std::uint64_t sessions = 0;
+  std::uint64_t deferred_sessions = 0;
+  double reward_paid_units = 0.0;
+  double peak_to_average_tip = 0.0;
+  double peak_to_average_tdp = 0.0;
+
+  // Online §IV estimation (when the sliding window was deep enough).
+  bool estimated = false;
+  double beta_estimate = 0.0;     ///< tied patience index fitted to the window
+  double estimate_residual = 0.0; ///< squared residual norm of the fit
+  bool reanchored = false;        ///< pricer re-solved on the estimated model
+
+  /// L-inf distance between this day's starting reward schedule and the
+  /// previous day's — the limit-cycle diagnostic (0 for the first day).
+  double reward_step_linf = 0.0;
+};
+
+/// Whole-run summary. `days` holds the measured (post-warmup) days.
+struct HorizonMetrics {
+  std::uint64_t users = 0;
+  std::size_t periods = 0;
+  std::size_t slices = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::size_t warmup_days = 0;
+  std::size_t horizon_days = 0;
+
+  std::vector<DayMetrics> days;
+  std::string final_health = "HEALTHY";
+  double wall_seconds = 0.0;  ///< NOT deterministic; excluded from comparisons
+
+  /// Compact single-object JSON (per-day profiles as arrays of arrays).
+  std::string to_json() const;
+};
+
+}  // namespace tdp::horizon

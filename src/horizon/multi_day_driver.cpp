@@ -1,0 +1,548 @@
+#include "horizon/multi_day_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "core/paper_data.hpp"
+#include "core/waiting_function.hpp"
+#include "estimation/wf_estimator.hpp"
+#include "fleet/fleet_metrics.hpp"
+#include "obs/registry.hpp"
+
+namespace tdp::horizon {
+namespace {
+
+struct HorizonCounters {
+  obs::Counter& periods =
+      obs::Registry::global().counter("horizon.periods_total");
+  obs::Counter& days = obs::Registry::global().counter("horizon.days_total");
+  obs::Counter& estimates =
+      obs::Registry::global().counter("horizon.estimates_total");
+  obs::Counter& reanchors =
+      obs::Registry::global().counter("horizon.reanchors_total");
+  obs::Counter& checkpoints =
+      obs::Registry::global().counter("horizon.checkpoints_total");
+  obs::Counter& restores =
+      obs::Registry::global().counter("horizon.restores_total");
+  obs::Counter& gaps =
+      obs::Registry::global().counter("horizon.measurement_gaps_total");
+  obs::Counter& stripes_lost =
+      obs::Registry::global().counter("horizon.stripes_lost_total");
+};
+
+HorizonCounters& horizon_counters() {
+  static HorizonCounters counters;
+  return counters;
+}
+
+/// Canonical slice count (same rule as FleetDriver): an explicit override
+/// (the checkpointed layout) wins, else config.slices, else one slice per
+/// shard; always clamped to [1, users].
+std::size_t effective_slices(const HorizonConfig& config,
+                             std::size_t slice_override,
+                             std::uint64_t users) {
+  std::size_t requested = slice_override;
+  if (requested == 0) {
+    requested = config.slices != 0 ? config.slices
+                                   : std::max<std::size_t>(config.shards, 1);
+  }
+  return std::min<std::size_t>(std::max<std::size_t>(requested, 1),
+                               static_cast<std::size_t>(users));
+}
+
+PricerGuardConfig guard_config_for(const HorizonConfig& config,
+                                   const FaultInjector& injector) {
+  return config.pricer_guard.value_or(injector.enabled()
+                                          ? PricerGuardConfig::protective()
+                                          : PricerGuardConfig{});
+}
+
+double linf_distance(const math::Vector& a, const math::Vector& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+/// Restore-time validation: the checkpoint must describe the same
+/// experiment this config describes. Execution knobs (shards, threads) are
+/// deliberately not compared.
+HorizonConfig validate_restore(HorizonConfig config,
+                               const CheckpointData& data) {
+  TDP_REQUIRE(config.population.users == data.users &&
+                  config.population.periods == data.periods &&
+                  config.population.seed == data.population_seed &&
+                  config.population.sessions_per_day == data.sessions_per_day,
+              "checkpoint population does not match configuration");
+  TDP_REQUIRE(config.slices == 0 || config.slices == data.slices,
+              "checkpoint slice layout does not match configuration");
+  TDP_REQUIRE(config.warmup_days == data.warmup_days &&
+                  config.horizon_days == data.horizon_days,
+              "checkpoint horizon does not match configuration");
+  TDP_REQUIRE(config.online_pricing == data.online_pricing &&
+                  config.estimation == data.estimation &&
+                  config.estimation_window == data.estimation_window &&
+                  config.estimation_min_days == data.estimation_min_days &&
+                  config.estimation_starts == data.estimation_starts &&
+                  config.reanchor == data.reanchor,
+              "checkpoint estimation settings do not match configuration");
+  const FaultPlan& a = config.fault;
+  const FaultPlan& b = data.fault;
+  TDP_REQUIRE(a.price_pull_drop == b.price_pull_drop &&
+                  a.clock_skew == b.clock_skew &&
+                  a.measurement_loss == b.measurement_loss &&
+                  a.measurement_nan == b.measurement_nan &&
+                  a.measurement_negative == b.measurement_negative &&
+                  a.measurement_spike == b.measurement_spike &&
+                  a.spike_factor == b.spike_factor &&
+                  a.measurement_blackouts == b.measurement_blackouts &&
+                  a.solver_exhaustion == b.solver_exhaustion &&
+                  a.solver_starved_budget == b.solver_starved_budget &&
+                  a.drift_beta_rate == b.drift_beta_rate &&
+                  a.drift_beta_step == b.drift_beta_step &&
+                  a.drift_step_day == b.drift_step_day && a.seed == b.seed,
+              "checkpoint fault plan does not match configuration");
+  TDP_REQUIRE(config.resilience.staleness_ttl == data.staleness_ttl &&
+                  config.resilience.max_retries == data.max_retries,
+              "checkpoint resilience policy does not match configuration");
+  TDP_REQUIRE(
+      config.measurement_guard.max_spike_factor == data.max_spike_factor &&
+          config.measurement_guard.max_carry_forward ==
+              data.max_carry_forward,
+      "checkpoint guard policy does not match configuration");
+  TDP_REQUIRE(data.day <= config.warmup_days + config.horizon_days,
+              "checkpoint clock is past the configured horizon");
+  return config;
+}
+
+}  // namespace
+
+MultiDayDriver::MultiDayDriver(HorizonConfig config,
+                               std::size_t slice_override)
+    : config_(std::move(config)),
+      population_(config_.population),
+      injector_(config_.fault),
+      channel_(config_.population.periods),
+      fanout_(channel_, paper::kPatienceIndices.size()),
+      guard_(population_.expected_demand_units(), config_.measurement_guard),
+      aggregator_(
+          effective_slices(config_, slice_override, population_.users()),
+          population_.periods()),
+      threads_(config_.threads == 0 ? default_thread_count()
+                                    : config_.threads) {
+  TDP_REQUIRE(config_.horizon_days >= 1, "horizon needs at least one day");
+  TDP_REQUIRE(config_.estimation_window >= 1 &&
+                  config_.estimation_min_days >= 1 &&
+                  config_.estimation_starts >= 1,
+              "estimation settings must be positive");
+  channel_.set_resilience(config_.resilience);
+  if (injector_.enabled()) channel_.set_fault_injector(&injector_);
+
+  const std::size_t slices = aggregator_.stripes();
+  const std::size_t shard_count =
+      std::min<std::size_t>(std::max<std::size_t>(config_.shards, 1), slices);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t begin = slices * s / shard_count;
+    const std::size_t end = slices * (s + 1) / shard_count;
+    shards_.emplace_back(population_, begin, end, slices);
+  }
+}
+
+MultiDayDriver::MultiDayDriver(HorizonConfig config)
+    : MultiDayDriver(std::move(config), /*slice_override=*/0) {
+  pricer_ = std::make_unique<OnlinePricer>(
+      fleet::baseline_fluid_model(population_), config_.offline_options,
+      /*speculative=*/false, guard_config_for(config_, injector_));
+  TDP_LOG_INFO << "horizon: " << population_.users() << " users, "
+               << config_.warmup_days << "+" << config_.horizon_days
+               << " days over " << aggregator_.stripes() << " slices in "
+               << shards_.size() << " shards";
+}
+
+MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
+                               const CheckpointData& data,
+                               bool restore_counters)
+    : MultiDayDriver(validate_restore(std::move(config), data), data.slices) {
+  // Per-slice rings regroup onto whatever shards this run configured.
+  for (fleet::Shard& shard : shards_) {
+    for (std::size_t s = shard.begin_slice(); s < shard.end_slice(); ++s) {
+      shard.restore_slice_rings(s, data.ring_work[s], data.ring_reward[s]);
+    }
+    shard.set_ring_head(data.ring_head);
+  }
+
+  channel_.restore_state(data.channel);
+  fanout_.restore_schedules(data.fanout_schedules);
+  guard_.restore_state(data.guard);
+
+  model_source_ = data.model_source;
+  model_beta_ = data.model_beta;
+  model_volumes_ = data.model_volumes;
+  pricer_ = OnlinePricer::restore(rebuild_model(), data.pricer,
+                                  guard_config_for(config_, injector_));
+
+  day_ = data.day;
+  period_ = data.period;
+  window_ = data.window;
+  completed_days_ = data.completed_days;
+  partial_ = data.partial;
+  prev_day_start_rewards_ = data.prev_day_start_rewards;
+  has_prev_day_start_ = data.has_prev_day_start;
+  // Mid-day checkpoints resume into an already-started day: the day-start
+  // bookkeeping ran before the checkpoint, only the (never-serialized)
+  // drifted lag tables need rebuilding.
+  day_started_ = period_ > 0;
+  if (day_started_) build_drift_tables();
+
+  if (restore_counters) {
+    obs::Registry& registry = obs::Registry::global();
+    for (const auto& [name, value] : data.counters) {
+      registry.set_counter_value(name, value);
+    }
+  }
+  horizon_counters().restores.add(1);
+}
+
+std::unique_ptr<MultiDayDriver> MultiDayDriver::restore(
+    HorizonConfig config, const CheckpointData& data, bool restore_counters) {
+  return std::unique_ptr<MultiDayDriver>(new MultiDayDriver(
+      RestoreTag{}, std::move(config), data, restore_counters));
+}
+
+std::unique_ptr<MultiDayDriver> MultiDayDriver::restore(
+    HorizonConfig config, const std::vector<std::uint8_t>& bytes,
+    bool restore_counters) {
+  return restore(std::move(config), decode(bytes), restore_counters);
+}
+
+DynamicModel MultiDayDriver::estimated_model(
+    double beta, const std::vector<double>& volumes) const {
+  const std::size_t n = population_.periods();
+  TDP_REQUIRE(volumes.size() == n, "estimated volumes size mismatch");
+  DemandProfile profile(n);
+  const WaitingFunctionPtr waiting =
+      std::make_shared<PowerLawWaitingFunction>(
+          beta, n, paper::kStaticNormalizationReward, 1.0,
+          LagNormalization::kContinuous);
+  for (std::size_t p = 0; p < n; ++p) {
+    profile.add_class(p, SessionClass{waiting, volumes[p]});
+  }
+  const DynamicModel baseline = fleet::baseline_fluid_model(population_);
+  return DynamicModel(std::move(profile), baseline.capacity(),
+                      baseline.backlog_cost(), baseline.warmup_days());
+}
+
+DynamicModel MultiDayDriver::rebuild_model() const {
+  if (model_source_ == ModelSource::kEstimated) {
+    return estimated_model(model_beta_, model_volumes_);
+  }
+  return fleet::baseline_fluid_model(population_);
+}
+
+void MultiDayDriver::build_drift_tables() {
+  drift_tables_.clear();
+  if (!injector_.plan().drifts()) return;
+  const std::size_t classes = population_.patience_classes();
+  std::vector<double> scale(classes, 1.0);
+  bool all_one = true;
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    scale[c] = injector_.beta_drift_scale(c, static_cast<std::size_t>(day_));
+    if (scale[c] != 1.0) all_one = false;
+  }
+  if (all_one) return;  // day 0 of a pure-rate drift: bitwise undrifted
+  drift_tables_ = population_.scaled_lag_tables(scale);
+}
+
+void MultiDayDriver::start_day() {
+  day_started_ = true;
+  build_drift_tables();
+  const std::size_t n = population_.periods();
+  partial_ = DayMetrics{};
+  partial_.day = day_;
+  partial_.offered_units.assign(n, 0.0);
+  partial_.realized_units.assign(n, 0.0);
+  partial_.rewards.assign(n, 0.0);
+  const math::Vector& rewards = pricer_->rewards();
+  if (has_prev_day_start_) {
+    partial_.reward_step_linf =
+        linf_distance(rewards, prev_day_start_rewards_);
+  }
+  prev_day_start_rewards_ = rewards;
+  has_prev_day_start_ = true;
+}
+
+MultiDayDriver::Observation MultiDayDriver::observe(
+    std::size_t period, std::uint64_t abs_period, double calibration,
+    const fleet::PeriodStats& merged) const {
+  Observation obs;
+  if (!injector_.enabled()) {
+    obs.sample = merged.offered_work * calibration;
+    return obs;
+  }
+  // Identical discipline to FleetDriver::observe — slices are the
+  // measurement fault domains, the aggregate stream is one more on top —
+  // so a single-day chaos run and day 0 of a horizon run see the same
+  // faults at the same sites.
+  fleet::PeriodStats survived;
+  for (std::size_t s = 0; s < aggregator_.stripes(); ++s) {
+    if (injector_.measurement_fault(s, abs_period) ==
+        FaultInjector::MeasurementFault::kLost) {
+      ++obs.lost_stripes;
+      continue;
+    }
+    survived += aggregator_.stripe(s, period);
+  }
+  const double value = survived.offered_work * calibration;
+  const FaultInjector::MeasurementFault fault = injector_.measurement_fault(
+      FaultInjector::kAggregateEntity, abs_period);
+  if (fault == FaultInjector::MeasurementFault::kLost) return obs;
+  obs.sample = injector_.corrupt(fault, value);
+  return obs;
+}
+
+void MultiDayDriver::step_period() {
+  TDP_REQUIRE(!done(), "the horizon is complete");
+  if (!day_started_) start_day();
+
+  const std::size_t n = population_.periods();
+  const std::size_t classes = population_.patience_classes();
+  const double calibration = population_.unit_calibration();
+  const std::uint64_t abs_period = day_ * n + period_;
+  HorizonCounters& hc = horizon_counters();
+  hc.periods.add(1);
+
+  channel_.publish(pricer_->rewards());
+  fanout_.sync(static_cast<std::size_t>(abs_period));
+  std::vector<const math::Vector*> schedules(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    schedules[c] = &fanout_.schedule(c);
+  }
+  const fleet::DeferralTable table(
+      population_, schedules, period_,
+      drift_tables_.empty() ? nullptr : &drift_tables_);
+
+  parallel_for(
+      shards_.size(),
+      [&](std::size_t s) {
+        shards_[s].simulate_period(static_cast<std::size_t>(day_), period_,
+                                   table, aggregator_);
+      },
+      threads_);
+
+  const fleet::PeriodStats merged = aggregator_.merged(period_);
+  partial_.sessions += merged.sessions;
+  partial_.deferred_sessions += merged.deferred_sessions;
+  partial_.offered_units[period_] = merged.offered_work * calibration;
+  partial_.realized_units[period_] = merged.realized_work * calibration;
+  partial_.reward_paid_units += merged.reward_paid * calibration;
+  // The reward this period's index published when the period ran — the
+  // schedule users responded to, and the estimator's p_k for this day.
+  partial_.rewards[period_] = pricer_->rewards()[period_];
+
+  if (config_.online_pricing) {
+    const Observation obs = observe(period_, abs_period, calibration, merged);
+    if (obs.lost_stripes > 0) {
+      hc.stripes_lost.add_always(obs.lost_stripes);
+    }
+    if (!obs.sample.has_value()) {
+      hc.gaps.add_always(1);
+      pricer_->observe_missed(period_);
+    } else {
+      const MeasurementGuard::Admitted admitted =
+          guard_.admit(period_, obs.sample);
+      const std::size_t budget =
+          injector_.exhaust_solver(abs_period)
+              ? injector_.plan().solver_starved_budget
+              : pricer_->guard().solver_max_iterations;
+      pricer_->observe_period_ex(period_, admitted.value,
+                                 admitted.degraded || obs.lost_stripes > 0,
+                                 budget);
+    }
+  }
+
+  ++period_;
+  if (period_ == n) finish_day();
+}
+
+void MultiDayDriver::finish_day() {
+  const std::size_t n = population_.periods();
+  partial_.peak_to_average_tip =
+      fleet::peak_to_average(partial_.offered_units);
+  partial_.peak_to_average_tdp =
+      fleet::peak_to_average(partial_.realized_units);
+
+  // Measured days feed the estimator's sliding window; warmup days are the
+  // rings filling up and would bias the fit.
+  const bool measured = day_ >= config_.warmup_days;
+  if (measured && config_.estimation) {
+    DayRecord record;
+    record.rewards = partial_.rewards;
+    record.tip_demand = partial_.offered_units;
+    record.usage_change.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      record.usage_change[p] =
+          partial_.offered_units[p] - partial_.realized_units[p];
+    }
+    window_.push_back(std::move(record));
+    while (window_.size() > config_.estimation_window) {
+      window_.erase(window_.begin());
+    }
+
+    if (window_.size() >= config_.estimation_min_days) {
+      // Tied m = 1 fit: one patience index shared by every period — the
+      // profiling-engine parameterization that stays identifiable from a
+      // handful of day records.
+      std::vector<double> tip(n, 0.0);
+      for (const DayRecord& r : window_) {
+        for (std::size_t p = 0; p < n; ++p) tip[p] += r.tip_demand[p];
+      }
+      for (std::size_t p = 0; p < n; ++p) {
+        tip[p] /= static_cast<double>(window_.size());
+      }
+      std::vector<EstimationDataset> data;
+      data.reserve(window_.size());
+      for (const DayRecord& r : window_) {
+        data.push_back(EstimationDataset{r.rewards, r.usage_change});
+      }
+      WaitingFunctionEstimator estimator(n, /*types=*/1,
+                                         paper::kStaticNormalizationReward);
+      WaitingFunctionEstimator::MultiStartOptions options;
+      options.starts = config_.estimation_starts;
+      options.seed = 1;
+      options.threads = threads_;
+      options.tied = true;
+      const WaitingFunctionEstimate estimate =
+          estimator.estimate_multistart(tip, data, options);
+      partial_.estimated = true;
+      partial_.beta_estimate = estimate.mix.beta(0, 0);
+      partial_.estimate_residual = estimate.residual_norm2;
+      horizon_counters().estimates.add(1);
+
+      if (config_.reanchor && config_.online_pricing &&
+          std::isfinite(partial_.beta_estimate) &&
+          partial_.beta_estimate > 0.0) {
+        model_beta_ = partial_.beta_estimate;
+        model_volumes_ = tip;
+        model_source_ = ModelSource::kEstimated;
+        pricer_->adopt_model(estimated_model(model_beta_, model_volumes_),
+                             config_.offline_options);
+        partial_.reanchored = true;
+        horizon_counters().reanchors.add(1);
+      }
+    }
+  }
+
+  completed_days_.push_back(partial_);
+  horizon_counters().days.add(1);
+  ++day_;
+  period_ = 0;
+  day_started_ = false;
+}
+
+void MultiDayDriver::run_day() {
+  TDP_REQUIRE(!done(), "the horizon is complete");
+  const std::uint64_t current = day_;
+  while (!done() && day_ == current) step_period();
+}
+
+HorizonMetrics MultiDayDriver::run() {
+  const auto start = std::chrono::steady_clock::now();
+  while (!done()) step_period();
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return metrics();
+}
+
+HorizonMetrics MultiDayDriver::metrics() const {
+  HorizonMetrics m;
+  m.users = population_.users();
+  m.periods = population_.periods();
+  m.slices = aggregator_.stripes();
+  m.shards = shards_.size();
+  m.threads = threads_;
+  m.warmup_days = config_.warmup_days;
+  m.horizon_days = config_.horizon_days;
+  const std::size_t skip =
+      std::min(config_.warmup_days, completed_days_.size());
+  m.days.assign(completed_days_.begin() + static_cast<std::ptrdiff_t>(skip),
+                completed_days_.end());
+  m.final_health = to_string(pricer_->health());
+  m.wall_seconds = wall_seconds_;
+  return m;
+}
+
+CheckpointData MultiDayDriver::checkpoint() const {
+  CheckpointData d;
+  d.users = population_.users();
+  d.periods = static_cast<std::uint32_t>(population_.periods());
+  d.population_seed = config_.population.seed;
+  d.sessions_per_day = config_.population.sessions_per_day;
+  d.slices = aggregator_.stripes();
+  d.warmup_days = static_cast<std::uint32_t>(config_.warmup_days);
+  d.horizon_days = static_cast<std::uint32_t>(config_.horizon_days);
+  d.online_pricing = config_.online_pricing;
+  d.estimation = config_.estimation;
+  d.estimation_window = static_cast<std::uint32_t>(config_.estimation_window);
+  d.estimation_min_days =
+      static_cast<std::uint32_t>(config_.estimation_min_days);
+  d.estimation_starts = static_cast<std::uint32_t>(config_.estimation_starts);
+  d.reanchor = config_.reanchor;
+  d.fault = config_.fault;
+  d.staleness_ttl = config_.resilience.staleness_ttl;
+  d.max_retries = config_.resilience.max_retries;
+  d.max_spike_factor = config_.measurement_guard.max_spike_factor;
+  d.max_carry_forward = config_.measurement_guard.max_carry_forward;
+
+  d.day = day_;
+  d.period = static_cast<std::uint32_t>(period_);
+  d.ring_head = static_cast<std::uint32_t>(shards_.front().ring_head());
+
+  d.ring_work.reserve(aggregator_.stripes());
+  d.ring_reward.reserve(aggregator_.stripes());
+  for (const fleet::Shard& shard : shards_) {
+    for (std::size_t s = shard.begin_slice(); s < shard.end_slice(); ++s) {
+      std::vector<double> work;
+      std::vector<double> reward;
+      shard.export_slice_rings(s, work, reward);
+      d.ring_work.push_back(std::move(work));
+      d.ring_reward.push_back(std::move(reward));
+    }
+  }
+
+  d.channel = channel_.export_state();
+  d.fanout_schedules = fanout_.export_schedules();
+  d.guard = guard_.export_state();
+  d.pricer = pricer_->export_state();
+  d.model_source = model_source_;
+  d.model_beta = model_beta_;
+  d.model_volumes = model_volumes_;
+
+  d.window = window_;
+  d.completed_days = completed_days_;
+  d.partial = partial_;
+  d.prev_day_start_rewards = prev_day_start_rewards_;
+  d.has_prev_day_start = has_prev_day_start_;
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  d.counters.reserve(snap.counters.size());
+  for (const obs::Snapshot::CounterRow& row : snap.counters) {
+    d.counters.emplace_back(row.name, row.value);
+  }
+  horizon_counters().checkpoints.add(1);
+  return d;
+}
+
+std::vector<std::uint8_t> MultiDayDriver::checkpoint_bytes() const {
+  return encode(checkpoint());
+}
+
+}  // namespace tdp::horizon

@@ -1,0 +1,209 @@
+// Long-horizon operations: the multi-day control loop with online §IV
+// re-estimation and versioned checkpoint/restore.
+//
+// A MultiDayDriver runs the TUBE control loop (fleet_driver.hpp's
+// publish → fan-out → simulate → aggregate → observe pipeline, period for
+// period, bitwise identical on a clean day) for many consecutive simulated
+// days. On top of the single-day loop it adds the operational layer a
+// deployment needs:
+//
+//   * Online estimation. Each finished day contributes one DayRecord of
+//     fleet aggregates — published rewards, offered (TIP) demand and the
+//     per-period usage change T_i = offered - realized — to a sliding
+//     window. Once the window is deep enough, the §IV estimator re-fits a
+//     tied patience index to the window (estimate_multistart, tied m = 1)
+//     and, when re-anchoring is enabled, the pricer's fluid model is
+//     rebuilt from the estimate and re-solved. The population may *drift*
+//     (FaultPlan::drift_*): simulated users' patience indices move day by
+//     day, and the estimator is how the control loop finds out.
+//
+//   * Checkpoint/restore. checkpoint() serializes the complete control-loop
+//     state at any period boundary (horizon/checkpoint.hpp). restore()
+//     rebuilds a driver from those bytes such that the continued run is
+//     **bitwise identical** to the uninterrupted one — under any shard
+//     count from 1 to the checkpointed slice count and any thread count:
+//     the canonical slice layout is recorded in the checkpoint and shards
+//     regroup whole slices on restore.
+//
+// Determinism: every DayMetrics field is a pure function of the
+// configuration (population seed, fault plan, estimation settings). The
+// kill-and-restore property tests compare EXPECT_EQ on raw doubles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/fleet_driver.hpp"
+#include "fleet/population.hpp"
+#include "fleet/price_fanout.hpp"
+#include "fleet/shard.hpp"
+#include "horizon/checkpoint.hpp"
+#include "horizon/horizon_metrics.hpp"
+#include "tube/measurement_guard.hpp"
+#include "tube/price_channel.hpp"
+
+namespace tdp::horizon {
+
+struct HorizonConfig {
+  fleet::PopulationConfig population;
+  /// Execution grouping (clamped to the slice count); never affects values.
+  std::size_t shards = 8;
+  /// Canonical slice layout; 0 = one slice per shard. Recorded in every
+  /// checkpoint — restore() reuses the checkpointed layout, so a restoring
+  /// config must leave this 0 or repeat the stored value.
+  std::size_t slices = 0;
+  std::size_t threads = 0;  ///< 0 = TDP_THREADS / hardware default
+
+  /// Days simulated before the measured horizon to warm the deferral rings
+  /// (their DayMetrics are kept but excluded from metrics().days).
+  std::size_t warmup_days = 1;
+  /// Measured days after warmup.
+  std::size_t horizon_days = 7;
+
+  bool online_pricing = true;
+  DynamicOptimizerOptions offline_options;
+
+  /// Fault plan. Observation faults behave exactly as in FleetDriver; the
+  /// drift_* fields additionally move the simulated population's patience
+  /// indices day by day (never arming guards — drift is reality changing,
+  /// not telemetry lying).
+  FaultPlan fault;
+  ChannelResilienceConfig resilience;
+  MeasurementGuardConfig measurement_guard;
+  std::optional<PricerGuardConfig> pricer_guard;
+
+  /// Run the §IV estimator over the sliding window after each measured day.
+  bool estimation = true;
+  /// Window depth in days (records beyond this age are dropped).
+  std::size_t estimation_window = 5;
+  /// Minimum records in the window before the first estimate.
+  std::size_t estimation_min_days = 2;
+  /// Multi-start count for estimate_multistart (start 0 is deterministic).
+  std::size_t estimation_starts = 4;
+  /// Rebuild + re-solve the pricer's fluid model from each estimate.
+  bool reanchor = true;
+};
+
+class MultiDayDriver {
+ public:
+  explicit MultiDayDriver(HorizonConfig config);
+
+  /// Rebuild a driver from checkpoint bytes. The configuration must agree
+  /// with the checkpoint's determinism-relevant echo (population, fault
+  /// plan, estimation settings...); shards/threads are free to differ —
+  /// that is the point. `restore_counters` additionally forces the global
+  /// obs registry's counters to the checkpointed values (process-restart
+  /// fidelity; leave off when other components share the process).
+  static std::unique_ptr<MultiDayDriver> restore(HorizonConfig config,
+                                                 const CheckpointData& data,
+                                                 bool restore_counters = false);
+  static std::unique_ptr<MultiDayDriver> restore(
+      HorizonConfig config, const std::vector<std::uint8_t>& bytes,
+      bool restore_counters = false);
+
+  const fleet::Population& population() const { return population_; }
+  const OnlinePricer& pricer() const { return *pricer_; }
+  std::size_t slice_count() const { return aggregator_.stripes(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t thread_count() const { return threads_; }
+
+  /// Simulated clock: the *next* period to simulate.
+  std::uint64_t day() const { return day_; }
+  std::size_t period() const { return period_; }
+  bool done() const {
+    return day_ >= config_.warmup_days + config_.horizon_days;
+  }
+
+  /// Simulate exactly one period (precondition: !done()). Rolls the day
+  /// over — including estimation and re-anchoring — when it was the day's
+  /// last period.
+  void step_period();
+
+  /// Simulate to the end of the current day (at least one period).
+  void run_day();
+
+  /// Simulate to the end of the horizon and return the run summary.
+  HorizonMetrics run();
+
+  /// All finished days, warmup included (completed_days()[d].day == d).
+  const std::vector<DayMetrics>& completed_days() const {
+    return completed_days_;
+  }
+
+  /// Run summary so far (days = measured days only, warmup dropped).
+  HorizonMetrics metrics() const;
+
+  /// Serialize the complete control-loop state (period boundary).
+  CheckpointData checkpoint() const;
+  std::vector<std::uint8_t> checkpoint_bytes() const;
+
+ private:
+  struct RestoreTag {};
+  MultiDayDriver(RestoreTag, HorizonConfig config, const CheckpointData& data,
+                 bool restore_counters);
+
+  /// Shared by both constructors: validates config, builds population-
+  /// derived components. `slice_override` pins the canonical layout (the
+  /// checkpointed value on restore; 0 = derive from config).
+  MultiDayDriver(HorizonConfig config, std::size_t slice_override);
+
+  void start_day();
+  void finish_day();
+  void build_drift_tables();
+  /// The estimated fluid model: one tied class per period at the window's
+  /// mean TIP volumes, with the baseline's capacity and cost.
+  DynamicModel estimated_model(double beta,
+                               const std::vector<double>& volumes) const;
+  /// Baseline-or-estimated model per model_source_ (restore path).
+  DynamicModel rebuild_model() const;
+
+  struct Observation {
+    std::optional<double> sample;
+    std::size_t lost_stripes = 0;
+  };
+  Observation observe(std::size_t period, std::uint64_t abs_period,
+                      double calibration,
+                      const fleet::PeriodStats& merged) const;
+
+  HorizonConfig config_;
+  fleet::Population population_;
+  FaultInjector injector_;
+  std::unique_ptr<OnlinePricer> pricer_;
+  PriceChannel channel_;
+  fleet::PriceFanout fanout_;
+  MeasurementGuard guard_;
+  std::vector<fleet::Shard> shards_;
+  fleet::StripedAggregator aggregator_;
+  std::size_t threads_;
+
+  // Simulated clock (next period to simulate).
+  std::uint64_t day_ = 0;
+  std::size_t period_ = 0;
+  bool day_started_ = false;
+
+  /// Current day's drifted lag tables (empty = no drift, use the
+  /// population's own). Rebuilt each day, never serialized.
+  std::vector<UniformLagWeightTable> drift_tables_;
+
+  // Online estimation state.
+  std::vector<DayRecord> window_;
+  ModelSource model_source_ = ModelSource::kBaseline;
+  double model_beta_ = 0.0;
+  std::vector<double> model_volumes_;
+
+  // Metrics.
+  std::vector<DayMetrics> completed_days_;
+  DayMetrics partial_;
+  math::Vector prev_day_start_rewards_;
+  bool has_prev_day_start_ = false;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace tdp::horizon

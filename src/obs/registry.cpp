@@ -210,4 +210,12 @@ void Registry::reset_values() {
   for (const auto& histogram : histograms_) histogram->reset();
 }
 
+void Registry::set_counter_value(std::string_view name, std::uint64_t value) {
+  Counter& target = counter(name);
+  // Zero every cell, then park the whole value in cell 0: the merged sum —
+  // the only thing value()/CounterDelta read — lands exactly on `value`.
+  target.reset();
+  target.cells_[0].value.store(value, std::memory_order_relaxed);
+}
+
 }  // namespace tdp::obs

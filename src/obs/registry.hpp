@@ -238,6 +238,11 @@ class Registry {
   /// cached reference) valid. Test isolation only.
   void reset_values();
 
+  /// Force one counter to an exact value (checkpoint restore: the restored
+  /// process replays the saved run's counter levels so per-run deltas keep
+  /// meaning). Get-or-create semantics, like counter().
+  void set_counter_value(std::string_view name, std::uint64_t value);
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Counter>> counters_;

@@ -135,4 +135,30 @@ MeasurementGuard::Admitted MeasurementGuard::admit(
   return out;
 }
 
+MeasurementGuardState MeasurementGuard::export_state() const {
+  MeasurementGuardState state;
+  state.last_good = last_good_;
+  state.has_last_good = has_last_good_;
+  state.gap_streak.assign(gap_streak_.begin(), gap_streak_.end());
+  state.gaps_filled = gaps_filled_;
+  state.nan_rejected = nan_rejected_;
+  state.negative_rejected = negative_rejected_;
+  state.spikes_clamped = spikes_clamped_;
+  return state;
+}
+
+void MeasurementGuard::restore_state(const MeasurementGuardState& state) {
+  const std::size_t n = reference_.size();
+  TDP_REQUIRE(state.last_good.size() == n && state.has_last_good.size() == n &&
+                  state.gap_streak.size() == n,
+              "restored guard state has the wrong period count");
+  last_good_ = state.last_good;
+  has_last_good_ = state.has_last_good;
+  gap_streak_.assign(state.gap_streak.begin(), state.gap_streak.end());
+  gaps_filled_ = static_cast<std::size_t>(state.gaps_filled);
+  nan_rejected_ = static_cast<std::size_t>(state.nan_rejected);
+  negative_rejected_ = static_cast<std::size_t>(state.negative_rejected);
+  spikes_clamped_ = static_cast<std::size_t>(state.spikes_clamped);
+}
+
 }  // namespace tdp

@@ -27,10 +27,22 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 namespace tdp {
+
+/// The serializable slice of a MeasurementGuard (see export_state).
+struct MeasurementGuardState {
+  std::vector<double> last_good;
+  std::vector<bool> has_last_good;
+  std::vector<std::uint64_t> gap_streak;
+  std::uint64_t gaps_filled = 0;
+  std::uint64_t nan_rejected = 0;
+  std::uint64_t negative_rejected = 0;
+  std::uint64_t spikes_clamped = 0;
+};
 
 struct MeasurementGuardConfig {
   /// Spike bound as a multiple of the period's reference level.
@@ -64,6 +76,13 @@ class MeasurementGuard {
   std::size_t nan_rejected() const { return nan_rejected_; }
   std::size_t negative_rejected() const { return negative_rejected_; }
   std::size_t spikes_clamped() const { return spikes_clamped_; }
+
+  /// Snapshot per-period fill state and counters (checkpoint support; the
+  /// reference profile and config are rebuilt, not serialized).
+  MeasurementGuardState export_state() const;
+
+  /// Install a snapshot (period count must match).
+  void restore_state(const MeasurementGuardState& state);
 
  private:
   double fill_gap(std::size_t period);

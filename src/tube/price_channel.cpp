@@ -203,4 +203,46 @@ std::size_t PriceChannel::publish_count() const {
   return publish_count_;
 }
 
+PriceChannelState PriceChannel::export_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PriceChannelState state;
+  state.published = published_;
+  state.publish_count = publish_count_;
+  state.subscribers.reserve(subscribers_.size());
+  for (const Subscriber& sub : subscribers_) {
+    PriceChannelState::Subscriber out;
+    out.cache = sub.cache;
+    out.last_pull_period =
+        sub.last_pull_period == static_cast<std::size_t>(-1)
+            ? ~0ull
+            : static_cast<std::uint64_t>(sub.last_pull_period);
+    out.pulled_ever = sub.pulled_ever;
+    out.stats = sub.stats;
+    state.subscribers.push_back(std::move(out));
+  }
+  return state;
+}
+
+void PriceChannel::restore_state(const PriceChannelState& state) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TDP_REQUIRE(state.subscribers.size() == subscribers_.size(),
+              "restored channel state has a different subscriber topology");
+  TDP_REQUIRE(state.published.empty() || state.published.size() == periods_,
+              "restored schedule has the wrong period count");
+  published_ = state.published;
+  publish_count_ = static_cast<std::size_t>(state.publish_count);
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    const PriceChannelState::Subscriber& in = state.subscribers[i];
+    TDP_REQUIRE(in.cache.empty() || in.cache.size() == periods_,
+                "restored subscriber cache has the wrong period count");
+    subscribers_[i].cache = in.cache;
+    subscribers_[i].last_pull_period =
+        in.last_pull_period == ~0ull
+            ? static_cast<std::size_t>(-1)
+            : static_cast<std::size_t>(in.last_pull_period);
+    subscribers_[i].pulled_ever = in.pulled_ever;
+    subscribers_[i].stats = in.stats;
+  }
+}
+
 }  // namespace tdp

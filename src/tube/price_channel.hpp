@@ -74,6 +74,19 @@ struct SubscriberTelemetry {
   std::size_t missed_streak = 0;     ///< current consecutive missed periods
 };
 
+/// The serializable slice of a PriceChannel (see export_state).
+struct PriceChannelState {
+  struct Subscriber {
+    math::Vector cache;
+    std::uint64_t last_pull_period = ~0ull;  ///< ~0 = never pulled a period
+    bool pulled_ever = false;
+    SubscriberTelemetry stats;
+  };
+  math::Vector published;
+  std::uint64_t publish_count = 0;
+  std::vector<Subscriber> subscribers;
+};
+
 class PriceChannel {
  public:
   explicit PriceChannel(std::size_t periods);
@@ -118,6 +131,16 @@ class PriceChannel {
   SubscriberTelemetry telemetry(std::size_t subscriber) const;
 
   std::size_t publish_count() const;
+
+  /// Snapshot the published schedule and every subscriber's cache, clock,
+  /// and counters (checkpoint support; injector and policy are config, not
+  /// state). Safe to call concurrently with pulls.
+  PriceChannelState export_state() const;
+
+  /// Install a snapshot. The channel must already hold exactly
+  /// `state.subscribers.size()` subscriptions (restore re-subscribes the
+  /// same topology before calling this).
+  void restore_state(const PriceChannelState& state);
 
  private:
   struct Subscriber {

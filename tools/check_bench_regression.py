@@ -21,6 +21,14 @@ Usage:
 --update rewrites the baseline from the current run (after the speedup
 floors pass) instead of comparing.
 
+`--suite horizon` gates BENCH_horizon.json from bench_horizon instead: no
+speedup floors (the long-horizon loop has no reference/fused pair), just
+the normalized wall-time regression on every *_seconds field — the
+multi-day loop, checkpoint encode/decode, and restore:
+
+  tools/check_bench_regression.py --suite horizon BENCH_horizon.json \
+      [--baseline bench/baselines/BENCH_horizon.baseline.json] [--update]
+
 A second mode gates telemetry overhead instead: give it the stdout logs of
 two bench_fleet_scale runs — one with observability on (TDP_OBS=1
 TDP_TRACE=1), one with it off (TDP_OBS=0) — and it compares the
@@ -165,16 +173,21 @@ def check_fleet_overhead(on_log: Path, off_log: Path,
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, nargs="?",
-                        help="BENCH_kernel.json from this run")
+                        help="BENCH_kernel.json / BENCH_horizon.json from "
+                             "this run")
+    parser.add_argument("--suite", choices=("kernel", "horizon"),
+                        default="kernel",
+                        help="which bench suite the input comes from; "
+                             "'horizon' skips the kernel speedup floors")
     parser.add_argument("--fleet-overhead", nargs=2, type=Path,
                         metavar=("ON_LOG", "OFF_LOG"),
                         help="compare bench_fleet_scale stdout logs with "
                              "telemetry on vs off instead of the kernel gate")
     parser.add_argument("--overhead-tolerance", type=float, default=0.05,
                         help="allowed telemetry-on slowdown (0.05 = 5%%)")
-    parser.add_argument("--baseline", type=Path,
-                        default=Path("bench/baselines/"
-                                     "BENCH_kernel.baseline.json"))
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="defaults to bench/baselines/"
+                             "BENCH_<suite>.baseline.json")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed normalized wall-time regression "
                              "(0.15 = 15%%)")
@@ -189,15 +202,19 @@ def main() -> int:
         return check_fleet_overhead(on_log, off_log, args.overhead_tolerance)
     if args.current is None:
         parser.error("pass BENCH_kernel.json, or use --fleet-overhead")
+    if args.baseline is None:
+        args.baseline = Path(
+            f"bench/baselines/BENCH_{args.suite}.baseline.json")
 
     current = load(args.current)
-    print(f"checking {args.current}")
-    failures = check_speedup_floors(
-        current,
-        {
+    print(f"checking {args.current} (suite: {args.suite})")
+    floors = {}
+    if args.suite == "kernel":
+        floors = {
             "static_solve": ("speedup", args.min_static_speedup),
             "online_resolve": ("speedup", args.min_online_speedup),
-        })
+        }
+    failures = check_speedup_floors(current, floors)
 
     if args.update:
         if failures:
