@@ -13,6 +13,12 @@
 #include "common/table.hpp"
 #include "core/batch_solver.hpp"
 
+// Short commit SHA baked in by bench/CMakeLists.txt so every BENCH_JSON
+// line is traceable to the tree that produced it.
+#ifndef TDP_GIT_SHA
+#define TDP_GIT_SHA "unknown"
+#endif
+
 namespace tdp::bench {
 
 inline void banner(const std::string& id, const std::string& title) {
@@ -90,6 +96,10 @@ class BenchReport {
     fields_.emplace_back(key, json);
   }
 
+  /// The pricing mechanism this bench ran under ("none" when the bench has
+  /// no mechanism axis). Always emitted so arena results sort by regime.
+  void set_mechanism(std::string name) { mechanism_ = std::move(name); }
+
   void emit() {
     emitted_ = true;
     const double wall = std::chrono::duration<double>(
@@ -99,6 +109,8 @@ class BenchReport {
     for (const auto& [key, value] : fields_) {
       line += ",\"" + key + "\":" + value;
     }
+    line += ",\"mechanism\":\"" + mechanism_ + "\"";
+    line += ",\"git_sha\":\"" TDP_GIT_SHA "\"";
     char buffer[64];
     std::snprintf(buffer, sizeof buffer,
                   ",\"wall_seconds\":%.6f,\"peak_rss_mb\":%.3f}", wall,
@@ -109,6 +121,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::string mechanism_ = "none";
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, std::string>> fields_;
   bool emitted_ = false;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <numeric>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "common/error.hpp"
@@ -41,6 +42,10 @@ struct FleetCounters {
       obs::Registry::global().counter("fleet.measurement_gaps_total");
   obs::Counter& measurement_repairs =
       obs::Registry::global().counter("fleet.measurement_repairs_total");
+  obs::Counter& mech_publishes =
+      obs::Registry::global().counter("mech.publishes_total");
+  obs::Counter& mech_settles =
+      obs::Registry::global().counter("mech.settles_total");
 };
 
 FleetCounters& fleet_counters() {
@@ -96,15 +101,15 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
   channel_.set_resilience(config_.resilience);
   if (injector_.enabled()) channel_.set_fault_injector(&injector_);
 
-  // The offline solve happens here (OnlinePricer's constructor). When the
-  // fault plan can fire, the guard defaults to the armed preset; a clean
-  // driver keeps the behavior-preserving default guard.
+  // Any offline solve happens here (inside the mechanism's constructor).
+  // When the fault plan can fire, the guard defaults to the armed preset; a
+  // clean driver keeps the behavior-preserving default guard.
   const PricerGuardConfig guard = config_.pricer_guard.value_or(
       injector_.enabled() ? PricerGuardConfig::protective()
                           : PricerGuardConfig{});
-  pricer_ = std::make_unique<OnlinePricer>(baseline_fluid_model(population_),
-                                           config_.offline_options,
-                                           /*speculative=*/false, guard);
+  mechanism_ = mech::make_mechanism(config_.mechanism,
+                                    baseline_fluid_model(population_),
+                                    config_.offline_options, guard);
 
   // Shards group whole slices into contiguous near-equal runs; the slice
   // layout (and with it every reduction order) depends on users and slice
@@ -121,7 +126,15 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
   }
   TDP_LOG_INFO << "fleet: " << users << " users over " << slices
                << " slices in " << shard_count << " shards, " << threads_
-               << " threads, " << population_.periods() << " periods";
+               << " threads, " << population_.periods() << " periods, "
+               << mechanism_->name() << " mechanism";
+}
+
+const OnlinePricer& FleetDriver::pricer() const {
+  const OnlinePricer* pricer = mechanism_->online_pricer();
+  TDP_REQUIRE(pricer != nullptr,
+              "pricer() needs the tube_online mechanism; use mechanism()");
+  return *pricer;
 }
 
 FleetDriver::Observation FleetDriver::observe(
@@ -241,8 +254,32 @@ FleetMetrics FleetDriver::run_day() {
     phase_span.reset();
   };
 
+  // Per-day settlement accumulators (every day, warmup included: budgeted
+  // mechanisms adapt their splits across warmup days too).
+  std::vector<double> day_offered(n, 0.0);
+  std::vector<double> day_realized(n, 0.0);
+  double day_reward_paid = 0.0;
+
   for (std::size_t day = 0; day < total_days; ++day) {
     const bool measured = day + 1 == total_days;
+    day_offered.assign(n, 0.0);
+    day_realized.assign(n, 0.0);
+    day_reward_paid = 0.0;
+    {
+      const math::Vector& published = mechanism_->rewards();
+      double mean_reward = 0.0;
+      double max_reward = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        mean_reward += published[p];
+        max_reward = std::max(max_reward, published[p]);
+      }
+      mean_reward /= static_cast<double>(n);
+      fc.mech_publishes.add(1);
+      obs::journal_record("mech.publish", -1, -1, mechanism_->name(),
+                          {{"day", static_cast<double>(day)},
+                           {"mean_reward", mean_reward},
+                           {"max_reward", max_reward}});
+    }
     for (std::size_t period = 0; period < n; ++period) {
       std::optional<obs::Span> period_span;
       period_span.emplace("fleet.period");
@@ -251,7 +288,7 @@ FleetMetrics FleetDriver::run_day() {
       // Publish the current schedule and fan it out (one server fetch per
       // group; every user in a group reads the group cache).
       begin_phase("fleet.publish");
-      channel_.publish(pricer_->rewards());
+      channel_.publish(mechanism_->rewards());
       fanout_.sync(day * n + period);
 
       std::vector<const math::Vector*> schedules(classes);
@@ -276,6 +313,9 @@ FleetMetrics FleetDriver::run_day() {
       begin_phase("fleet.aggregate");
       const PeriodStats merged = aggregator_.merged(period);
       all_day_sessions += merged.sessions;
+      day_offered[period] = merged.offered_work * calibration;
+      day_realized[period] = merged.realized_work * calibration;
+      day_reward_paid += merged.reward_paid * calibration;
       if (measured) {
         metrics.sessions += merged.sessions;
         metrics.deferred_sessions += merged.deferred_sessions;
@@ -310,7 +350,7 @@ FleetMetrics FleetDriver::run_day() {
                               "telemetry blackout, schedule frozen",
                               {{"abs_period",
                                 static_cast<double>(abs_period)}});
-          pricer_->observe_missed(period);
+          mechanism_->observe_missed(period);
         } else {
           const MeasurementGuard::Admitted admitted =
               guard_.admit(period, obs.sample);
@@ -318,13 +358,32 @@ FleetMetrics FleetDriver::run_day() {
           const std::size_t budget =
               injector_.exhaust_solver(abs_period)
                   ? injector_.plan().solver_starved_budget
-                  : pricer_->guard().solver_max_iterations;
-          pricer_->observe_period_ex(
+                  : mechanism_->solver_budget();
+          mechanism_->observe_period(
               period, admitted.value,
               admitted.degraded || obs.lost_stripes > 0, budget);
         }
         lap(fc.pricer_ns);
       }
+    }
+
+    mech::DaySettlement settlement;
+    settlement.offered_units = day_offered;
+    settlement.realized_units = day_realized;
+    settlement.reward_paid_units = day_reward_paid;
+    const mech::SettleInfo settle = mechanism_->settle_day(settlement);
+    fc.mech_settles.add(1);
+    reg.counter(std::string("mech.") + mechanism_->name() + ".days_total")
+        .add(1);
+    obs::journal_record(
+        "mech.settle", -1, -1, mechanism_->name(),
+        {{"day", static_cast<double>(day)},
+         {"budget_spent", settle.budget_spent},
+         {"budget_pool", settle.budget_pool},
+         {"schedule_changed", settle.schedule_changed ? 1.0 : 0.0}});
+    if (measured) {
+      metrics.rebate_budget_spent = settle.budget_spent;
+      metrics.rebate_budget_pool = settle.budget_pool;
     }
   }
 
@@ -346,7 +405,8 @@ FleetMetrics FleetDriver::run_day() {
   }
   metrics.peak_to_average_tip = peak_to_average(metrics.offered_units);
   metrics.peak_to_average_tdp = peak_to_average(metrics.realized_units);
-  metrics.pricer_expected_cost = pricer_->expected_cost();
+  metrics.pricer_expected_cost = mechanism_->expected_cost();
+  metrics.mechanism = mechanism_->name();
 
   // Robustness counters: per-run deltas of the channel/pricer/fleet
   // registry counters (the components bump them at the event sites).
@@ -368,9 +428,11 @@ FleetMetrics FleetDriver::run_day() {
   metrics.fallback_observations = d_fallback_obs.delta();
   metrics.pricer_recoveries = d_recoveries.delta();
   // The maximum and the final rung are state, not counts: read them from
-  // the pricer directly.
-  metrics.max_recovery_periods = pricer_->health_stats().max_recovery_periods;
-  metrics.final_health = to_string(pricer_->health());
+  // the mechanism directly.
+  const PricerHealthStats* health_stats = mechanism_->health_stats();
+  metrics.max_recovery_periods =
+      health_stats != nullptr ? health_stats->max_recovery_periods : 0;
+  metrics.final_health = to_string(mechanism_->health());
   return metrics;
 }
 

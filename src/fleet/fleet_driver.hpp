@@ -45,6 +45,7 @@
 #include "fleet/population.hpp"
 #include "fleet/price_fanout.hpp"
 #include "fleet/shard.hpp"
+#include "mech/mechanism.hpp"
 #include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
@@ -68,10 +69,14 @@ struct FleetDriverConfig {
   std::size_t threads = 0;
   /// Days simulated before the measured day to warm the deferral rings.
   std::size_t warmup_days = 1;
-  /// Feed measured aggregates into the online pricer (off = the offline
-  /// schedule is published unchanged all day).
+  /// Feed measured aggregates into the pricing mechanism (off = the
+  /// initial schedule is published unchanged all day).
   bool online_pricing = true;
   DynamicOptimizerOptions offline_options;
+  /// Which pricing mechanism drives the fleet (DESIGN.md §13). The default
+  /// TubeOnline run is bit-identical to the pre-arena driver; every
+  /// mechanism sees the same fault plan, telemetry, and journal events.
+  mech::MechanismConfig mechanism;
 
   /// Fault plan for the chaos run (default: nothing ever fires).
   FaultPlan fault;
@@ -96,7 +101,10 @@ class FleetDriver {
   explicit FleetDriver(FleetDriverConfig config);
 
   const Population& population() const { return population_; }
-  const OnlinePricer& pricer() const { return *pricer_; }
+  /// The §III-B pricer — TubeOnline runs only (TDP_REQUIRE otherwise);
+  /// mechanism() is the kind-agnostic view.
+  const OnlinePricer& pricer() const;
+  const mech::PricingMechanism& mechanism() const { return *mechanism_; }
   const PriceChannel& channel() const { return channel_; }
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t slice_count() const { return aggregator_.stripes(); }
@@ -121,9 +129,10 @@ class FleetDriver {
   FleetDriverConfig config_;
   Population population_;
   FaultInjector injector_;
-  /// The fluid model the pricer plans against: the paper's demand mix at
-  /// the paper's load factor — exactly the population's expected aggregate.
-  std::unique_ptr<OnlinePricer> pricer_;
+  /// The configured mechanism, planning against the baseline fluid model:
+  /// the paper's demand mix at the paper's load factor — exactly the
+  /// population's expected aggregate.
+  std::unique_ptr<mech::PricingMechanism> mechanism_;
   PriceChannel channel_;
   PriceFanout fanout_;
   MeasurementGuard guard_;

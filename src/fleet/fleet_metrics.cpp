@@ -145,6 +145,13 @@ std::string FleetMetrics::to_json() const {
   out += "\"final_health\":\"";
   out += final_health;
   out += "\",";
+  out += "\"mechanism\":\"";
+  out += mechanism;
+  out += "\",";
+  append_field(out, "rebate_budget_pool", rebate_budget_pool);
+  out += ',';
+  append_field(out, "rebate_budget_spent", rebate_budget_spent);
+  out += ',';
   append_array(out, "offered_units", offered_units);
   out += ',';
   append_array(out, "realized_units", realized_units);

@@ -45,6 +45,11 @@ struct FleetMetrics {
   double reward_paid_units = 0.0;      ///< realized reward payouts
   double pricer_expected_cost = 0.0;   ///< model's view after all updates
 
+  // Mechanism arena (DESIGN.md §13).
+  std::string mechanism = "tube_online";  ///< active pricing mechanism
+  double rebate_budget_pool = 0.0;   ///< daily pool (0 = unbudgeted)
+  double rebate_budget_spent = 0.0;  ///< measured day's settle payout
+
   // Fan-out accounting.
   std::size_t price_groups = 0;
   std::size_t price_server_fetches = 0;

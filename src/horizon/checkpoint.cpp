@@ -23,6 +23,11 @@ enum SectionTag : std::uint32_t {
   kSecDays = 9,
   kSecPartial = 10,
   kSecObs = 11,
+  // Optional: written only when the run departs from the defaults (a
+  // non-TubeOnline mechanism or adaptive users). Absent = TubeOnline, no
+  // adaptation — keeps pre-arena checkpoints and golden fixtures valid
+  // byte for byte.
+  kSecMech = 12,
 };
 
 /// Upper bound used only to reject absurd structural counts early; real
@@ -264,6 +269,27 @@ std::vector<std::uint8_t> encode(const CheckpointData& data) {
   }
   w.end_section(s);
 
+  if (data.mechanism_kind != 0 || data.adaptive_users) {
+    s = w.begin_section(kSecMech);
+    w.u32(data.mechanism_kind);
+    w.f64(data.rebate_pool);
+    w.f64(data.rebate_share_blend);
+    w.f64(data.rebate_inflow_floor);
+    w.boolean(data.oracle_refine);
+    w.f64(data.oracle_capacity_target);
+    w.vec_f64(data.mech_state.rewards);
+    w.vec_f64(data.mech_state.scalars);
+    w.u64(data.mech_state.vectors.size());
+    for (const std::vector<double>& v : data.mech_state.vectors) {
+      w.vec_f64(v);
+    }
+    w.boolean(data.adaptive_users);
+    w.f64(data.adaptation_rate);
+    w.f64(data.adaptation_gain);
+    w.vec_f64(data.adapt_scale);
+    w.end_section(s);
+  }
+
   return w.finish();
 }
 
@@ -271,11 +297,11 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
   ser::Reader r(bytes, size, kCheckpointMagic, kCheckpointVersion,
                 kCheckpointVersion);
   CheckpointData data;
-  bool seen[12] = {};
+  bool seen[13] = {};
 
   while (!r.at_end()) {
     const std::uint32_t tag = r.begin_section();
-    if (tag >= 1 && tag <= 11 && seen[tag]) {
+    if (tag >= 1 && tag <= 12 && seen[tag]) {
       throw ser::FormatError("checkpoint: duplicate section");
     }
     switch (tag) {
@@ -471,6 +497,32 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
+      case kSecMech: {
+        data.mechanism_kind = r.u32();
+        if (data.mechanism_kind > 3) {
+          throw ser::FormatError("checkpoint: unknown mechanism kind");
+        }
+        data.rebate_pool = r.f64();
+        data.rebate_share_blend = r.f64();
+        data.rebate_inflow_floor = r.f64();
+        data.oracle_refine = r.boolean();
+        data.oracle_capacity_target = r.f64();
+        data.mech_state.rewards = r.vec_f64_finite(kMaxPeriods);
+        data.mech_state.scalars = r.vec_f64(kMaxPeriods);
+        const std::uint64_t vec_count = r.u64();
+        if (vec_count > kMaxPeriods) {
+          throw ser::FormatError("checkpoint: implausible mech vectors");
+        }
+        data.mech_state.vectors.reserve(static_cast<std::size_t>(vec_count));
+        for (std::uint64_t i = 0; i < vec_count; ++i) {
+          data.mech_state.vectors.push_back(r.vec_f64_finite(kMaxPeriods));
+        }
+        data.adaptive_users = r.boolean();
+        data.adaptation_rate = r.f64();
+        data.adaptation_gain = r.f64();
+        data.adapt_scale = r.vec_f64_finite(kMaxPeriods);
+        break;
+      }
       default:
         // Unknown section from a future writer: skip under the documented
         // compatibility policy (skip_section also closes the section).
@@ -478,7 +530,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         continue;
     }
     r.end_section();
-    if (tag >= 1 && tag <= 11) seen[tag] = true;
+    if (tag >= 1 && tag <= 12) seen[tag] = true;
   }
 
   for (std::uint32_t tag = 1; tag <= 11; ++tag) {
@@ -498,6 +550,10 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
   }
   if (data.ring_head >= data.periods || data.period >= data.periods) {
     throw ser::FormatError("checkpoint: clock out of range");
+  }
+  if (data.mechanism_kind != 0 &&
+      data.mech_state.rewards.size() != data.periods) {
+    throw ser::FormatError("checkpoint: mechanism rewards size mismatch");
   }
   return data;
 }

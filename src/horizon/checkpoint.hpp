@@ -24,6 +24,7 @@
 #include "dynamic/online_pricer.hpp"
 #include "horizon/horizon_metrics.hpp"
 #include "math/vector_ops.hpp"
+#include "mech/mechanism.hpp"
 #include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
@@ -84,6 +85,22 @@ struct CheckpointData {
   ModelSource model_source = ModelSource::kBaseline;
   double model_beta = 0.0;                ///< kEstimated only
   std::vector<double> model_volumes;      ///< kEstimated only, per period
+
+  // -- pricing mechanism (DESIGN.md §13) ----------------------------------
+  // Serialized as an optional section: checkpoints written under the
+  // default TubeOnline mechanism with no user adaptation omit it and stay
+  // byte-identical to the pre-arena format (golden-fixture compatibility).
+  std::uint32_t mechanism_kind = 0;  ///< mech::MechanismKind
+  double rebate_pool = 0.0;
+  double rebate_share_blend = 0.0;
+  double rebate_inflow_floor = 0.0;
+  bool oracle_refine = true;
+  double oracle_capacity_target = 0.85;
+  mech::MechanismState mech_state;  ///< non-TubeOnline internal state
+  bool adaptive_users = false;
+  double adaptation_rate = 0.0;
+  double adaptation_gain = 0.0;
+  std::vector<double> adapt_scale;  ///< per-class patience scale (EWMA)
 
   // -- online estimation sliding window -----------------------------------
   std::vector<DayRecord> window;

@@ -13,6 +13,8 @@
 #include "core/waiting_function.hpp"
 #include "estimation/wf_estimator.hpp"
 #include "fleet/fleet_metrics.hpp"
+#include "mech/tube_online.hpp"
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 
 namespace tdp::horizon {
@@ -34,6 +36,10 @@ struct HorizonCounters {
       obs::Registry::global().counter("horizon.measurement_gaps_total");
   obs::Counter& stripes_lost =
       obs::Registry::global().counter("horizon.stripes_lost_total");
+  obs::Counter& mech_settles =
+      obs::Registry::global().counter("mech.settles_total");
+  obs::Counter& adaptations =
+      obs::Registry::global().counter("mech.adaptations_total");
 };
 
 HorizonCounters& horizon_counters() {
@@ -119,6 +125,29 @@ HorizonConfig validate_restore(HorizonConfig config,
       "checkpoint guard policy does not match configuration");
   TDP_REQUIRE(data.day <= config.warmup_days + config.horizon_days,
               "checkpoint clock is past the configured horizon");
+  TDP_REQUIRE(
+      static_cast<std::uint32_t>(config.mechanism.kind) == data.mechanism_kind,
+      "checkpoint mechanism does not match configuration");
+  if (config.mechanism.kind == mech::MechanismKind::kFixedBudgetRebate) {
+    TDP_REQUIRE(
+        config.mechanism.rebate_pool == data.rebate_pool &&
+            config.mechanism.rebate_share_blend == data.rebate_share_blend &&
+            config.mechanism.rebate_inflow_floor == data.rebate_inflow_floor,
+        "checkpoint rebate parameters do not match configuration");
+  }
+  if (config.mechanism.kind == mech::MechanismKind::kDayAheadOracle) {
+    TDP_REQUIRE(config.mechanism.oracle_refine == data.oracle_refine &&
+                    config.mechanism.oracle_capacity_target ==
+                        data.oracle_capacity_target,
+                "checkpoint oracle settings do not match configuration");
+  }
+  TDP_REQUIRE(config.adaptive_users == data.adaptive_users,
+              "checkpoint adaptation mode does not match configuration");
+  if (config.adaptive_users) {
+    TDP_REQUIRE(config.adaptation_rate == data.adaptation_rate &&
+                    config.adaptation_gain == data.adaptation_gain,
+                "checkpoint adaptation settings do not match configuration");
+  }
   return config;
 }
 
@@ -154,17 +183,31 @@ MultiDayDriver::MultiDayDriver(HorizonConfig config,
     const std::size_t end = slices * (s + 1) / shard_count;
     shards_.emplace_back(population_, begin, end, slices);
   }
+  TDP_REQUIRE(!config_.adaptive_users ||
+                  (config_.adaptation_rate > 0.0 &&
+                   config_.adaptation_rate <= 1.0 &&
+                   config_.adaptation_gain >= 0.0),
+              "adaptation settings out of range");
+  adapt_scale_.assign(population_.patience_classes(), 1.0);
+}
+
+const OnlinePricer& MultiDayDriver::pricer() const {
+  const OnlinePricer* pricer = mechanism_->online_pricer();
+  TDP_REQUIRE(pricer != nullptr,
+              "pricer() needs the tube_online mechanism; use mechanism()");
+  return *pricer;
 }
 
 MultiDayDriver::MultiDayDriver(HorizonConfig config)
     : MultiDayDriver(std::move(config), /*slice_override=*/0) {
-  pricer_ = std::make_unique<OnlinePricer>(
-      fleet::baseline_fluid_model(population_), config_.offline_options,
-      /*speculative=*/false, guard_config_for(config_, injector_));
+  mechanism_ = mech::make_mechanism(
+      config_.mechanism, fleet::baseline_fluid_model(population_),
+      config_.offline_options, guard_config_for(config_, injector_));
   TDP_LOG_INFO << "horizon: " << population_.users() << " users, "
                << config_.warmup_days << "+" << config_.horizon_days
                << " days over " << aggregator_.stripes() << " slices in "
-               << shards_.size() << " shards";
+               << shards_.size() << " shards under "
+               << mechanism_->name();
 }
 
 MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
@@ -186,8 +229,23 @@ MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
   model_source_ = data.model_source;
   model_beta_ = data.model_beta;
   model_volumes_ = data.model_volumes;
-  pricer_ = OnlinePricer::restore(rebuild_model(), data.pricer,
-                                  guard_config_for(config_, injector_));
+  if (config_.mechanism.kind == mech::MechanismKind::kTubeOnline) {
+    // The pricer section carries the full online-pricer state; rebuilding
+    // through it keeps kill-and-restore bitwise.
+    mechanism_ = std::make_unique<mech::TubeOnlineMechanism>(
+        OnlinePricer::restore(rebuild_model(), data.pricer,
+                              guard_config_for(config_, injector_)));
+  } else {
+    mechanism_ = mech::make_mechanism(
+        config_.mechanism, rebuild_model(), config_.offline_options,
+        guard_config_for(config_, injector_));
+    mechanism_->restore_state(data.mech_state);
+  }
+  if (config_.adaptive_users) {
+    TDP_REQUIRE(data.adapt_scale.size() == population_.patience_classes(),
+                "checkpoint adaptive scale does not match the population");
+    adapt_scale_ = data.adapt_scale;
+  }
 
   day_ = data.day;
   period_ = data.period;
@@ -249,15 +307,21 @@ DynamicModel MultiDayDriver::rebuild_model() const {
 
 void MultiDayDriver::build_drift_tables() {
   drift_tables_.clear();
-  if (!injector_.plan().drifts()) return;
   const std::size_t classes = population_.patience_classes();
   std::vector<double> scale(classes, 1.0);
   bool all_one = true;
-  for (std::uint32_t c = 0; c < classes; ++c) {
-    scale[c] = injector_.beta_drift_scale(c, static_cast<std::size_t>(day_));
+  if (injector_.plan().drifts()) {
+    for (std::uint32_t c = 0; c < classes; ++c) {
+      scale[c] = injector_.beta_drift_scale(c, static_cast<std::size_t>(day_));
+    }
+  }
+  // Adaptive users compose with injected drift: drift is the world
+  // changing, adaptation is users responding to published rewards.
+  for (std::size_t c = 0; c < classes; ++c) {
+    scale[c] *= adapt_scale_[c];
     if (scale[c] != 1.0) all_one = false;
   }
-  if (all_one) return;  // day 0 of a pure-rate drift: bitwise undrifted
+  if (all_one) return;  // bitwise identical to an undrifted population
   drift_tables_ = population_.scaled_lag_tables(scale);
 }
 
@@ -270,7 +334,7 @@ void MultiDayDriver::start_day() {
   partial_.offered_units.assign(n, 0.0);
   partial_.realized_units.assign(n, 0.0);
   partial_.rewards.assign(n, 0.0);
-  const math::Vector& rewards = pricer_->rewards();
+  const math::Vector& rewards = mechanism_->rewards();
   if (has_prev_day_start_) {
     partial_.reward_step_linf =
         linf_distance(rewards, prev_day_start_rewards_);
@@ -319,7 +383,7 @@ void MultiDayDriver::step_period() {
   HorizonCounters& hc = horizon_counters();
   hc.periods.add(1);
 
-  channel_.publish(pricer_->rewards());
+  channel_.publish(mechanism_->rewards());
   fanout_.sync(static_cast<std::size_t>(abs_period));
   std::vector<const math::Vector*> schedules(classes);
   for (std::size_t c = 0; c < classes; ++c) {
@@ -345,7 +409,7 @@ void MultiDayDriver::step_period() {
   partial_.reward_paid_units += merged.reward_paid * calibration;
   // The reward this period's index published when the period ran — the
   // schedule users responded to, and the estimator's p_k for this day.
-  partial_.rewards[period_] = pricer_->rewards()[period_];
+  partial_.rewards[period_] = mechanism_->rewards()[period_];
 
   if (config_.online_pricing) {
     const Observation obs = observe(period_, abs_period, calibration, merged);
@@ -354,15 +418,15 @@ void MultiDayDriver::step_period() {
     }
     if (!obs.sample.has_value()) {
       hc.gaps.add_always(1);
-      pricer_->observe_missed(period_);
+      mechanism_->observe_missed(period_);
     } else {
       const MeasurementGuard::Admitted admitted =
           guard_.admit(period_, obs.sample);
       const std::size_t budget =
           injector_.exhaust_solver(abs_period)
               ? injector_.plan().solver_starved_budget
-              : pricer_->guard().solver_max_iterations;
-      pricer_->observe_period_ex(period_, admitted.value,
+              : mechanism_->solver_budget();
+      mechanism_->observe_period(period_, admitted.value,
                                  admitted.degraded || obs.lost_stripes > 0,
                                  budget);
     }
@@ -378,6 +442,42 @@ void MultiDayDriver::finish_day() {
       fleet::peak_to_average(partial_.offered_units);
   partial_.peak_to_average_tdp =
       fleet::peak_to_average(partial_.realized_units);
+
+  // Settle the finished day with the mechanism first: a settle that moves
+  // the schedule (the rebate's share re-fit) must land before estimation
+  // so tomorrow's publishes and the next day-start L-inf see it.
+  {
+    mech::DaySettlement settlement;
+    settlement.offered_units = partial_.offered_units;
+    settlement.realized_units = partial_.realized_units;
+    settlement.reward_paid_units = partial_.reward_paid_units;
+    const mech::SettleInfo settle = mechanism_->settle_day(settlement);
+    horizon_counters().mech_settles.add(1);
+    obs::journal_record(
+        "mech.settle", -1, -1, mechanism_->name(),
+        {{"day", static_cast<double>(day_)},
+         {"budget_spent", settle.budget_spent},
+         {"budget_pool", settle.budget_pool},
+         {"schedule_changed", settle.schedule_changed ? 1.0 : 0.0}});
+  }
+
+  // User adaptation: pull every class's patience index toward the target
+  // implied by the day's mean published reward (higher rewards -> lower
+  // beta scale -> more patient). Applied at day boundaries only, so the
+  // day itself stays a pure function of its starting state.
+  if (config_.adaptive_users) {
+    double mean_reward = 0.0;
+    for (std::size_t p = 0; p < n; ++p) mean_reward += partial_.rewards[p];
+    mean_reward /= static_cast<double>(n);
+    const double target =
+        1.0 / (1.0 + config_.adaptation_gain * mean_reward /
+                         paper::kStaticNormalizationReward);
+    for (double& scale : adapt_scale_) {
+      scale = (1.0 - config_.adaptation_rate) * scale +
+              config_.adaptation_rate * target;
+    }
+    horizon_counters().adaptations.add(1);
+  }
 
   // Measured days feed the estimator's sliding window; warmup days are the
   // rings filling up and would bias the fit.
@@ -426,14 +526,17 @@ void MultiDayDriver::finish_day() {
       partial_.estimate_residual = estimate.residual_norm2;
       horizon_counters().estimates.add(1);
 
-      if (config_.reanchor && config_.online_pricing &&
+      // Re-anchoring is an online-pricer concern; mechanisms without one
+      // (flat, rebate, oracle) keep their own schedules.
+      OnlinePricer* online = mechanism_->online_pricer();
+      if (config_.reanchor && config_.online_pricing && online != nullptr &&
           std::isfinite(partial_.beta_estimate) &&
           partial_.beta_estimate > 0.0) {
         model_beta_ = partial_.beta_estimate;
         model_volumes_ = tip;
         model_source_ = ModelSource::kEstimated;
-        pricer_->adopt_model(estimated_model(model_beta_, model_volumes_),
-                             config_.offline_options);
+        online->adopt_model(estimated_model(model_beta_, model_volumes_),
+                            config_.offline_options);
         partial_.reanchored = true;
         horizon_counters().reanchors.add(1);
       }
@@ -475,7 +578,7 @@ HorizonMetrics MultiDayDriver::metrics() const {
       std::min(config_.warmup_days, completed_days_.size());
   m.days.assign(completed_days_.begin() + static_cast<std::ptrdiff_t>(skip),
                 completed_days_.end());
-  m.final_health = to_string(pricer_->health());
+  m.final_health = to_string(mechanism_->health());
   m.wall_seconds = wall_seconds_;
   return m;
 }
@@ -521,10 +624,31 @@ CheckpointData MultiDayDriver::checkpoint() const {
   d.channel = channel_.export_state();
   d.fanout_schedules = fanout_.export_schedules();
   d.guard = guard_.export_state();
-  d.pricer = pricer_->export_state();
+  if (const OnlinePricer* online = mechanism_->online_pricer()) {
+    d.pricer = online->export_state();
+  } else {
+    // No online pricer behind this mechanism: the section still needs a
+    // schedule so pre-arena readers keep a usable view.
+    d.pricer.rewards = mechanism_->rewards();
+    d.pricer.reward_cap = mechanism_->reward_cap();
+  }
   d.model_source = model_source_;
   d.model_beta = model_beta_;
   d.model_volumes = model_volumes_;
+
+  d.mechanism_kind = static_cast<std::uint32_t>(config_.mechanism.kind);
+  d.rebate_pool = config_.mechanism.rebate_pool;
+  d.rebate_share_blend = config_.mechanism.rebate_share_blend;
+  d.rebate_inflow_floor = config_.mechanism.rebate_inflow_floor;
+  d.oracle_refine = config_.mechanism.oracle_refine;
+  d.oracle_capacity_target = config_.mechanism.oracle_capacity_target;
+  if (config_.mechanism.kind != mech::MechanismKind::kTubeOnline) {
+    d.mech_state = mechanism_->export_state();
+  }
+  d.adaptive_users = config_.adaptive_users;
+  d.adaptation_rate = config_.adaptation_rate;
+  d.adaptation_gain = config_.adaptation_gain;
+  if (config_.adaptive_users) d.adapt_scale = adapt_scale_;
 
   d.window = window_;
   d.completed_days = completed_days_;

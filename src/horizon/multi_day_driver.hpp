@@ -46,6 +46,7 @@
 #include "fleet/shard.hpp"
 #include "horizon/checkpoint.hpp"
 #include "horizon/horizon_metrics.hpp"
+#include "mech/mechanism.hpp"
 #include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
@@ -69,6 +70,20 @@ struct HorizonConfig {
 
   bool online_pricing = true;
   DynamicOptimizerOptions offline_options;
+
+  /// Pricing mechanism (DESIGN.md §13). The default TubeOnline config
+  /// keeps every pre-arena horizon run bitwise unchanged.
+  mech::MechanismConfig mechanism;
+
+  /// Day-over-day user adaptation: after each settled day, every patience
+  /// class's index is pulled toward a target set by the mean published
+  /// reward (higher rewards -> lower beta -> more patient users). The
+  /// EWMA'd scale composes multiplicatively with FaultPlan drift.
+  bool adaptive_users = false;
+  /// EWMA rate toward the target scale per day, in (0, 1].
+  double adaptation_rate = 0.25;
+  /// Sensitivity of the target scale to the mean reward.
+  double adaptation_gain = 0.5;
 
   /// Fault plan. Observation faults behave exactly as in FleetDriver; the
   /// drift_* fields additionally move the simulated population's patience
@@ -109,7 +124,13 @@ class MultiDayDriver {
       bool restore_counters = false);
 
   const fleet::Population& population() const { return population_; }
-  const OnlinePricer& pricer() const { return *pricer_; }
+  /// The TubeOnline mechanism's online pricer. Requires the default
+  /// (tube_online) mechanism; other mechanisms have no pricer.
+  const OnlinePricer& pricer() const;
+  /// The active pricing mechanism (always present).
+  const mech::PricingMechanism& mechanism() const { return *mechanism_; }
+  /// Per-class adaptive patience scale (all ones unless adaptive_users).
+  const std::vector<double>& adaptive_scale() const { return adapt_scale_; }
   std::size_t slice_count() const { return aggregator_.stripes(); }
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t thread_count() const { return threads_; }
@@ -175,7 +196,7 @@ class MultiDayDriver {
   HorizonConfig config_;
   fleet::Population population_;
   FaultInjector injector_;
-  std::unique_ptr<OnlinePricer> pricer_;
+  std::unique_ptr<mech::PricingMechanism> mechanism_;
   PriceChannel channel_;
   fleet::PriceFanout fanout_;
   MeasurementGuard guard_;
@@ -191,6 +212,10 @@ class MultiDayDriver {
   /// Current day's drifted lag tables (empty = no drift, use the
   /// population's own). Rebuilt each day, never serialized.
   std::vector<UniformLagWeightTable> drift_tables_;
+
+  /// Per-class adaptive patience scale (EWMA; all ones when adaptation is
+  /// off). Composes multiplicatively with the injector's drift scale.
+  std::vector<double> adapt_scale_;
 
   // Online estimation state.
   std::vector<DayRecord> window_;

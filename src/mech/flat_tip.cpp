@@ -1,0 +1,26 @@
+#include "mech/flat_tip.hpp"
+
+#include <utility>
+
+namespace tdp::mech {
+namespace {
+
+std::vector<double> model_tip_demand(const DynamicModel& model) {
+  const math::Vector tip = model.arrivals().tip_demand_vector();
+  return std::vector<double>(tip.begin(), tip.end());
+}
+
+}  // namespace
+
+FlatTipMechanism::FlatTipMechanism(DynamicModel model)
+    : PricingMechanism(model_tip_demand(model), model.reward_cap()),
+      rewards_(model.periods(), 0.0),
+      tip_cost_(model.tip_cost()) {}
+
+SettleInfo FlatTipMechanism::settle_day(const DaySettlement& day) {
+  SettleInfo info;
+  info.budget_spent = day.reward_paid_units;  // always 0: nothing published
+  return info;
+}
+
+}  // namespace tdp::mech

@@ -1,0 +1,32 @@
+// FlatTipMechanism: time-independent pricing — the arena's control arm.
+//
+// Publishes an all-zero reward schedule forever: no user ever defers, the
+// realized profile equals the offered profile, and the P2A reduction is 0
+// by construction. expected_cost() is the model's TIP cost, so the arena
+// can report the do-nothing ISP cost from the same source as the priced
+// mechanisms.
+#pragma once
+
+#include "mech/mechanism.hpp"
+
+namespace tdp::mech {
+
+class FlatTipMechanism final : public PricingMechanism {
+ public:
+  explicit FlatTipMechanism(DynamicModel model);
+
+  MechanismKind kind() const override { return MechanismKind::kFlatTip; }
+  const math::Vector& rewards() const override { return rewards_; }
+
+  void observe_period(std::size_t, double, bool, std::size_t) override {}
+  void observe_missed(std::size_t) override {}
+  SettleInfo settle_day(const DaySettlement& day) override;
+
+  double expected_cost() const override { return tip_cost_; }
+
+ private:
+  math::Vector rewards_;
+  double tip_cost_ = 0.0;
+};
+
+}  // namespace tdp::mech

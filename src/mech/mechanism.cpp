@@ -1,0 +1,87 @@
+#include "mech/mechanism.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "mech/flat_tip.hpp"
+#include "mech/oracle.hpp"
+#include "mech/rebate.hpp"
+#include "mech/tube_online.hpp"
+
+namespace tdp::mech {
+
+const char* to_string(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kTubeOnline:
+      return "tube_online";
+    case MechanismKind::kFlatTip:
+      return "flat_tip";
+    case MechanismKind::kFixedBudgetRebate:
+      return "fixed_budget_rebate";
+    case MechanismKind::kDayAheadOracle:
+      return "day_ahead_oracle";
+  }
+  return "unknown";
+}
+
+PricingMechanism::PricingMechanism(std::vector<double> tip_demand,
+                                   double reward_cap)
+    : tip_demand_(std::move(tip_demand)), reward_cap_(reward_cap) {
+  TDP_REQUIRE(!tip_demand_.empty(), "mechanism needs a period structure");
+}
+
+MechanismState PricingMechanism::export_state() const {
+  MechanismState state;
+  state.rewards = rewards();
+  return state;
+}
+
+void PricingMechanism::restore_state(const MechanismState& state) {
+  TDP_REQUIRE(state.rewards.size() == periods(),
+              "mechanism state period count mismatch");
+}
+
+std::unique_ptr<PricingMechanism> make_mechanism(
+    const MechanismConfig& config, DynamicModel model,
+    const DynamicOptimizerOptions& offline_options,
+    const PricerGuardConfig& guard) {
+  switch (config.kind) {
+    case MechanismKind::kTubeOnline:
+      return std::make_unique<TubeOnlineMechanism>(std::move(model),
+                                                   offline_options, guard);
+    case MechanismKind::kFlatTip:
+      return std::make_unique<FlatTipMechanism>(std::move(model));
+    case MechanismKind::kFixedBudgetRebate:
+      return std::make_unique<FixedBudgetRebateMechanism>(std::move(model),
+                                                          config);
+    case MechanismKind::kDayAheadOracle:
+      return std::make_unique<DayAheadOracleMechanism>(std::move(model),
+                                                       offline_options,
+                                                       config);
+  }
+  throw Error("unknown mechanism kind");
+}
+
+double profile_backlog_cost(const std::vector<double>& profile,
+                            const std::vector<double>& capacity,
+                            const math::PiecewiseLinearCost& cost,
+                            std::size_t warmup_days) {
+  TDP_REQUIRE(profile.size() == capacity.size() && !profile.empty(),
+              "profile/capacity size mismatch");
+  const std::size_t n = profile.size();
+  double backlog = 0.0;
+  for (std::size_t d = 0; d < warmup_days; ++d) {
+    for (std::size_t p = 0; p < n; ++p) {
+      backlog = std::max(backlog + profile[p] - capacity[p], 0.0);
+    }
+  }
+  double total = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    backlog = std::max(backlog + profile[p] - capacity[p], 0.0);
+    total += cost.value(backlog);
+  }
+  return total;
+}
+
+}  // namespace tdp::mech

@@ -1,0 +1,201 @@
+// The pluggable pricing-mechanism arena (DESIGN.md §13).
+//
+// A PricingMechanism is the contract every incentive scheme in the arena
+// implements against the fleet control loop:
+//
+//   * publish  — rewards() is the schedule the fleet's PriceChannel pushes
+//                to users each period (cyclic by period index);
+//   * observe  — observe_period / observe_missed feed the per-period
+//                measured aggregate back (the same guarded telemetry path
+//                the online pricer consumes; faults hit every mechanism at
+//                the same sites);
+//   * settle   — settle_day closes the books on one simulated day: the
+//                mechanism sees the day's offered/realized profiles and the
+//                rewards actually paid, and may rewrite its schedule for
+//                the next day.
+//
+// Implementations (one file each):
+//
+//   TubeOnlineMechanism   the paper's §III-B online pricer, wrapped. The
+//                         default — a fleet run with a default
+//                         MechanismConfig is bit-identical to the
+//                         pre-arena driver.
+//   FlatTipMechanism      time-independent pricing: zero rewards forever.
+//                         The do-nothing control every comparison is
+//                         anchored to (P2A reduction is 0 by construction).
+//   FixedBudgetRebate     arXiv:1305.6971-style: a fixed daily reward pool
+//                         split across periods in proportion to observed
+//                         deferred traffic; per-unit rates follow from the
+//                         pool share over the period's inflow.
+//   DayAheadOracle        ground-truth upper bound: solves the full-day
+//                         reward vector offline against the *true* fluid
+//                         model (the same waiting functions the population
+//                         samples from), with a refined smoothing/iteration
+//                         schedule, then never moves.
+//
+// Determinism: mechanisms are pure functions of their constructor inputs
+// and the observe/settle sequence — no clocks, no RNG — so every mechanism
+// inherits the fleet's bitwise thread-count independence for free.
+// Mechanisms do not touch the obs registry; journaling the publish/settle
+// events is the drivers' job (they know day/period context).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dynamic/dynamic_model.hpp"
+#include "dynamic/dynamic_optimizer.hpp"
+#include "dynamic/online_pricer.hpp"
+#include "math/vector_ops.hpp"
+
+namespace tdp::mech {
+
+enum class MechanismKind : std::uint32_t {
+  kTubeOnline = 0,        ///< §III-B online pricer (the default)
+  kFlatTip = 1,           ///< time-independent pricing, zero rewards
+  kFixedBudgetRebate = 2, ///< fixed daily pool split by deferred traffic
+  kDayAheadOracle = 3,    ///< exact day-ahead solve on the true model
+};
+
+const char* to_string(MechanismKind kind);
+
+/// Per-run mechanism selection + knobs. Only the fields of the selected
+/// kind matter; the rest are ignored (and excluded from checkpoint
+/// config-echo comparison for other kinds).
+struct MechanismConfig {
+  MechanismKind kind = MechanismKind::kTubeOnline;
+
+  /// Rebate: the fixed daily reward pool, in reward-rate x demand units
+  /// (the same money units as FleetMetrics::reward_paid_units).
+  /// 0 = derive as 15% of the model's TIP cost.
+  double rebate_pool = 0.0;
+  /// Rebate: EWMA weight pulling the pool split toward the observed
+  /// deferred-traffic shares at each settle (0 = frozen initial split,
+  /// 1 = last day only).
+  double rebate_share_blend = 0.3;
+  /// Rebate: inflow floor as a fraction of the mean per-period TIP demand;
+  /// keeps per-unit rates finite on periods that drew no deferrals.
+  double rebate_inflow_floor = 0.05;
+  /// Oracle: tighten the offline solve (more FISTA iterations, smaller
+  /// final smoothing) beyond the online pricer's own offline options.
+  bool oracle_refine = true;
+  /// Oracle: fraction of the model's capacity the day-ahead solve prices
+  /// against (the ISP capacity-target rule-of-thumb, TubeConfig style).
+  /// Below 1 the oracle flattens the whole peak, not just the
+  /// backlog-cost-positive excess; 1 = price the raw capacity.
+  double oracle_capacity_target = 0.85;
+};
+
+/// One day's aggregates handed to settle_day, in demand units.
+struct DaySettlement {
+  std::vector<double> offered_units;   ///< pre-deferral (TIP) per period
+  std::vector<double> realized_units;  ///< post-deferral per period
+  double reward_paid_units = 0.0;      ///< rewards actually paid today
+};
+
+/// What settle_day did.
+struct SettleInfo {
+  bool schedule_changed = false;  ///< next day publishes a new schedule
+  double budget_spent = 0.0;      ///< today's payout (budgeted mechanisms)
+  double budget_pool = 0.0;       ///< the daily pool (0 = unbudgeted)
+};
+
+/// The serializable slice of a mechanism's mutable state (checkpoints).
+/// TubeOnline serializes through OnlinePricerState instead; the others
+/// round-trip through this generic container.
+struct MechanismState {
+  math::Vector rewards;
+  std::vector<double> scalars;
+  std::vector<std::vector<double>> vectors;
+};
+
+class PricingMechanism {
+ public:
+  virtual ~PricingMechanism() = default;
+
+  PricingMechanism(const PricingMechanism&) = delete;
+  PricingMechanism& operator=(const PricingMechanism&) = delete;
+
+  virtual MechanismKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+  std::size_t periods() const { return tip_demand_.size(); }
+
+  /// The model's expected TIP demand per period — the measurement guard's
+  /// prior and the settle-time "offered" reference for driver code that
+  /// has no per-period accumulators of its own.
+  const std::vector<double>& tip_demand() const { return tip_demand_; }
+  double reward_cap() const { return reward_cap_; }
+
+  /// The schedule currently published (cyclic by period index).
+  virtual const math::Vector& rewards() const = 0;
+
+  /// Feed back the period's measured aggregate (guard-admitted demand
+  /// units). `degraded` marks synthesized/altered input; `iteration_budget`
+  /// caps any solve this observation triggers.
+  virtual void observe_period(std::size_t period, double measured_units,
+                              bool degraded, std::size_t iteration_budget) = 0;
+
+  /// The period's measurement never arrived (telemetry blackout).
+  virtual void observe_missed(std::size_t period) = 0;
+
+  /// Close the books on one simulated day; may rewrite rewards().
+  virtual SettleInfo settle_day(const DaySettlement& day) = 0;
+
+  /// Health ladder: meaningful for TubeOnline, trivially HEALTHY for the
+  /// schedule-frozen mechanisms (nothing a bad observation could break).
+  virtual PricerHealth health() const { return PricerHealth::kHealthy; }
+  virtual const PricerHealthStats* health_stats() const { return nullptr; }
+
+  /// The mechanism's own estimate of the ISP's daily cost at its current
+  /// schedule (0 when the mechanism carries no cost model).
+  virtual double expected_cost() const { return 0.0; }
+
+  /// Default per-observation solve budget (the fault injector's starvation
+  /// draw overrides it).
+  virtual std::size_t solver_budget() const {
+    return PricerGuardConfig{}.solver_max_iterations;
+  }
+
+  /// The wrapped OnlinePricer, or nullptr for every other mechanism.
+  /// Callers that need §III-B specifics (re-anchoring, health statistics,
+  /// OnlinePricerState checkpoints) gate on this.
+  virtual OnlinePricer* online_pricer() { return nullptr; }
+  const OnlinePricer* online_pricer() const {
+    return const_cast<PricingMechanism*>(this)->online_pricer();
+  }
+
+  /// Checkpoint hooks for the non-TubeOnline mechanisms: export captures
+  /// everything observe/settle mutate; restore installs it bit-for-bit.
+  virtual MechanismState export_state() const;
+  virtual void restore_state(const MechanismState& state);
+
+ protected:
+  PricingMechanism(std::vector<double> tip_demand, double reward_cap);
+
+  std::vector<double> tip_demand_;
+  double reward_cap_ = 0.0;
+};
+
+/// Build the configured mechanism against the true fluid model (the same
+/// model FleetDriver's offline solve uses). `offline_options`/`guard`
+/// parameterize TubeOnline exactly as the pre-arena driver did; the oracle
+/// refines `offline_options` per config.oracle_refine.
+std::unique_ptr<PricingMechanism> make_mechanism(
+    const MechanismConfig& config, DynamicModel model,
+    const DynamicOptimizerOptions& offline_options,
+    const PricerGuardConfig& guard);
+
+/// Steady-state daily backlog cost of a realized traffic profile: the
+/// day-cyclic hinge recursion B_i = max(B_{i-1} + profile_i - capacity_i, 0)
+/// warmed over `warmup_days` identical days, costing the final day. The
+/// arena's ISP-cost metric applies this to each mechanism's *measured*
+/// realized profile (plus rewards paid), so mechanisms are compared on what
+/// the fleet actually did, not on their own models.
+double profile_backlog_cost(const std::vector<double>& profile,
+                            const std::vector<double>& capacity,
+                            const math::PiecewiseLinearCost& cost,
+                            std::size_t warmup_days = 6);
+
+}  // namespace tdp::mech

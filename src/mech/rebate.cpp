@@ -1,0 +1,187 @@
+#include "mech/rebate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tdp::mech {
+namespace {
+
+constexpr double kDefaultPoolTipCostFraction = 0.10;
+/// Overfill guard: cap each rate so predicted inflow (response gain x
+/// rate) stays inside this fraction of the valley's room.
+constexpr double kTargetFillFraction = 0.8;
+/// EWMA weight for the per-period response-gain estimate.
+constexpr double kGainBlend = 0.5;
+
+std::vector<double> model_tip_demand(const DynamicModel& model) {
+  const math::Vector tip = model.arrivals().tip_demand_vector();
+  return std::vector<double>(tip.begin(), tip.end());
+}
+
+}  // namespace
+
+FixedBudgetRebateMechanism::FixedBudgetRebateMechanism(
+    DynamicModel model, const MechanismConfig& config)
+    : PricingMechanism(model_tip_demand(model), model.reward_cap()),
+      rewards_(model.periods(), 0.0) {
+  TDP_REQUIRE(config.rebate_pool >= 0.0 &&
+                  config.rebate_share_blend >= 0.0 &&
+                  config.rebate_share_blend <= 1.0 &&
+                  config.rebate_inflow_floor > 0.0,
+              "invalid rebate configuration");
+  const std::size_t n = periods();
+  pool_ = config.rebate_pool > 0.0
+              ? config.rebate_pool
+              : kDefaultPoolTipCostFraction * model.tip_cost();
+  share_blend_ = config.rebate_share_blend;
+
+  const double mean =
+      std::accumulate(tip_demand_.begin(), tip_demand_.end(), 0.0) /
+      static_cast<double>(n);
+  inflow_floor_ = config.rebate_inflow_floor * mean;
+  TDP_REQUIRE(inflow_floor_ > 0.0, "rebate needs positive expected demand");
+
+  // Seed shares from valley depth under TIP: deferral can only move work
+  // into periods with room below the mean, and deeper valleys absorb more.
+  // The room profile doubles as the inflow envelope — a valley cannot
+  // absorb more than its depth without minting a new peak — so per-unit
+  // rates computed against it keep the realized payout bounded by the
+  // pool (the fixed-budget contract), instead of exploding when a day's
+  // measured inflow comes in low.
+  room_.assign(n, 0.0);
+  double total_room = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    room_[p] = std::max(mean - tip_demand_[p], 0.0);
+    total_room += room_[p];
+  }
+  shares_.assign(n, 1.0 / static_cast<double>(n));
+  if (total_room > 0.0) {
+    for (std::size_t p = 0; p < n; ++p) shares_[p] = room_[p] / total_room;
+  }
+  gain_.assign(n, 0.0);  // unknown until the first settle observes a day
+
+  rates_from_inflow(std::vector<double>(n, 0.0));
+}
+
+void FixedBudgetRebateMechanism::rates_from_inflow(
+    const std::vector<double>& inflow) {
+  const std::size_t n = periods();
+  for (std::size_t p = 0; p < n; ++p) {
+    if (room_[p] <= 0.0) {
+      rewards_[p] = 0.0;  // above-mean periods are never rebate-eligible
+      continue;
+    }
+    const double envelope =
+        std::max({inflow[p], room_[p], inflow_floor_});
+    double rate = spend_scale_ * pool_ * shares_[p] / envelope;
+    // Overfill guard: proportional allocation alone pays the same per-unit
+    // rate wherever deferrers land (share and inflow cancel), so nothing
+    // stops one valley from overfilling past the original peak. Cap the
+    // rate so the *predicted* inflow — the period's estimated response
+    // gain times the rate — stays inside a fraction of the valley's room.
+    if (gain_[p] > 0.0) {
+      rate = std::min(rate, kTargetFillFraction * room_[p] / gain_[p]);
+    }
+    rewards_[p] = std::clamp(rate, 0.0, reward_cap_);
+  }
+}
+
+SettleInfo FixedBudgetRebateMechanism::settle_day(const DaySettlement& day) {
+  const std::size_t n = periods();
+  TDP_REQUIRE(day.offered_units.size() == n &&
+                  day.realized_units.size() == n,
+              "settlement profile size mismatch");
+
+  // Only off-peak periods (room > 0) are rebate-eligible: inflow that
+  // lands on an above-mean shoulder is traffic the mechanism must stop
+  // paying for, not chase — steering pool share there stacks a new peak
+  // right next to the old one. Masked inflow drives both the share update
+  // and the rate re-fit.
+  std::vector<double> inflow(n, 0.0);
+  double total_inflow = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (room_[p] <= 0.0) continue;
+    inflow[p] = std::max(day.realized_units[p] - day.offered_units[p], 0.0);
+    total_inflow += inflow[p];
+  }
+
+  // Per-period response gain: units of inflow drawn per unit of published
+  // rate, learned from yesterday's (rate, inflow) pair. This is the online
+  // elasticity estimate the overfill guard prices against.
+  for (std::size_t p = 0; p < n; ++p) {
+    if (room_[p] <= 0.0 || rewards_[p] <= 1e-12) continue;
+    const double observed = inflow[p] / rewards_[p];
+    gain_[p] = gain_[p] > 0.0
+                   ? (1.0 - kGainBlend) * gain_[p] + kGainBlend * observed
+                   : observed;
+  }
+
+  if (total_inflow > 0.0) {
+    double share_sum = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      shares_[p] = (1.0 - share_blend_) * shares_[p] +
+                   share_blend_ * (inflow[p] / total_inflow);
+      share_sum += shares_[p];
+    }
+    // EWMA of two unit-sum vectors stays unit-sum up to rounding; the
+    // renormalization pins Σ s_p = 1 exactly so the pool never leaks.
+    if (share_sum > 0.0) {
+      for (std::size_t p = 0; p < n; ++p) shares_[p] /= share_sum;
+    }
+  }
+  // Pacing: pull tomorrow's spend toward the pool from whichever side
+  // today landed on. The square root halves the correction in log space —
+  // full-ratio steps overshoot into a sustained limit cycle because the
+  // deferral response is elastic. The per-day step is clamped so one
+  // anomalous day cannot slam the controller, and the cumulative scale is
+  // bounded so a dead market (paid ~ 0 no matter the rate) cannot wind it
+  // up forever.
+  if (day.reward_paid_units > 0.0) {
+    const double step = std::clamp(
+        std::sqrt(pool_ / day.reward_paid_units), 0.7, 1.4);
+    spend_scale_ = std::clamp(spend_scale_ * step, 0.1, 10.0);
+  }
+  rates_from_inflow(inflow);
+
+  paid_total_ += day.reward_paid_units;
+  ++days_settled_;
+
+  SettleInfo info;
+  info.schedule_changed = true;
+  info.budget_spent = day.reward_paid_units;
+  info.budget_pool = pool_;
+  return info;
+}
+
+MechanismState FixedBudgetRebateMechanism::export_state() const {
+  MechanismState state;
+  state.rewards = rewards_;
+  state.scalars = {pool_,       inflow_floor_,
+                   share_blend_, spend_scale_,
+                   paid_total_, static_cast<double>(days_settled_)};
+  state.vectors = {shares_, gain_};
+  return state;
+}
+
+void FixedBudgetRebateMechanism::restore_state(const MechanismState& state) {
+  const std::size_t n = periods();
+  TDP_REQUIRE(state.rewards.size() == n && state.scalars.size() == 6 &&
+                  state.vectors.size() == 2 && state.vectors[0].size() == n &&
+                  state.vectors[1].size() == n,
+              "rebate state shape mismatch");
+  rewards_ = state.rewards;
+  pool_ = state.scalars[0];
+  inflow_floor_ = state.scalars[1];
+  share_blend_ = state.scalars[2];
+  spend_scale_ = state.scalars[3];
+  paid_total_ = state.scalars[4];
+  days_settled_ = static_cast<std::uint64_t>(state.scalars[5]);
+  shares_ = state.vectors[0];
+  gain_ = state.vectors[1];
+}
+
+}  // namespace tdp::mech

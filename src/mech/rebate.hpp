@@ -1,0 +1,84 @@
+// FixedBudgetRebateMechanism: a fixed daily reward pool split across
+// periods in proportion to deferred traffic (the arXiv:1305.6971
+// comparison arm).
+//
+// The ISP commits to a daily budget R (money units — reward rate x demand
+// units, the same units as FleetMetrics::reward_paid_units). Each period p
+// carries a share s_p of the pool (Σ s_p = 1) and publishes the per-unit
+// rate
+//
+//   r_p = clamp(R * s_p / max(I_p, room_p, floor), 0, reward_cap)
+//
+// where I_p is the period's expected deferred *inflow* (extra work arriving
+// at p because users moved it there) and room_p = max(0, mean - tip_p) is
+// the valley's depth under the TIP mean. More traffic crowding into a
+// period dilutes its rate; an empty valley's rate rises toward the envelope
+// rate R*s_p/room_p — the budget-conserving feedback the rebate literature
+// studies. Keeping room_p in the denominator is what makes the budget
+// *fixed*: a valley cannot absorb more than its depth without minting a new
+// peak, so pricing against the room envelope bounds the realized payout by
+// ~R even when a day's measured inflow comes in near zero (a raw 1/I_p
+// re-fit whipsaws — one weak day sends every rate to the cap and the next
+// day's payout to a multiple of the pool).
+//
+// Day over day the shares track reality: settle_day measures the realized
+// inflow I_p = max(0, realized_p - offered_p), blends the observed shares
+// into s_p with an EWMA (rebate_share_blend), renormalizes, and recomputes
+// the rates. Before any settle, shares seed from valley depth (room_p,
+// normalized) — a deterministic, model-free prior.
+//
+// On top of the envelope, a multiplicative pacing controller closes the
+// loop on actual spend: each settle rescales every rate by the day's
+// pool/paid ratio (step clamped to [1/2, 2] per day, cumulative scale to
+// [0.1, 10]), so the realized payout converges to the pool from either
+// side — the mechanism needs no demand-elasticity model to pace its
+// budget, only yesterday's bill.
+//
+// The published rates change only at day boundaries: within a day the
+// schedule is frozen (observe_* are no-ops), so the mechanism is trivially
+// healthy and needs no solver budget.
+#pragma once
+
+#include "mech/mechanism.hpp"
+
+namespace tdp::mech {
+
+class FixedBudgetRebateMechanism final : public PricingMechanism {
+ public:
+  FixedBudgetRebateMechanism(DynamicModel model,
+                             const MechanismConfig& config);
+
+  MechanismKind kind() const override {
+    return MechanismKind::kFixedBudgetRebate;
+  }
+  const math::Vector& rewards() const override { return rewards_; }
+
+  void observe_period(std::size_t, double, bool, std::size_t) override {}
+  void observe_missed(std::size_t) override {}
+  SettleInfo settle_day(const DaySettlement& day) override;
+
+  MechanismState export_state() const override;
+  void restore_state(const MechanismState& state) override;
+
+  double pool() const { return pool_; }
+  double paid_total() const { return paid_total_; }
+  std::uint64_t days_settled() const { return days_settled_; }
+  const std::vector<double>& shares() const { return shares_; }
+  double spend_scale() const { return spend_scale_; }
+
+ private:
+  void rates_from_inflow(const std::vector<double>& inflow);
+
+  math::Vector rewards_;
+  std::vector<double> shares_;  ///< pool split per period, sums to 1
+  std::vector<double> room_;    ///< valley depth under the TIP mean
+  std::vector<double> gain_;    ///< learned inflow per unit rate
+  double pool_ = 0.0;
+  double inflow_floor_ = 0.0;
+  double share_blend_ = 0.0;
+  double spend_scale_ = 1.0;  ///< pacing controller state, paid -> pool
+  double paid_total_ = 0.0;
+  std::uint64_t days_settled_ = 0;
+};
+
+}  // namespace tdp::mech

@@ -23,6 +23,7 @@
 #include "common/fault.hpp"
 #include "dynamic/online_pricer.hpp"
 #include "math/vector_ops.hpp"
+#include "mech/mechanism.hpp"
 #include "netsim/traffic.hpp"
 #include "tube/gui_agent.hpp"
 #include "tube/measurement.hpp"
@@ -100,7 +101,15 @@ class TubeSystem {
 
   /// Profile waiting functions from the recorded windows, build the
   /// dynamic pricing model, and run with online-optimized prices. Fig. 12.
+  /// Equivalent to run_mechanism with the default (TubeOnline) config.
   PhaseReport run_optimized(std::size_t cycles);
+
+  /// Arena entry point: profile waiting functions as run_optimized does,
+  /// then drive the testbed under the configured pricing mechanism. Each
+  /// cycle boundary settles the finished day with the mechanism (measured
+  /// usage vs the profiled TIP demand) and republishes any new schedule.
+  PhaseReport run_mechanism(const mech::MechanismConfig& mechanism,
+                            std::size_t cycles);
 
   const ProfilingEngine& profiler() const { return profiler_; }
   const TubeConfig& config() const { return config_; }
@@ -110,7 +119,13 @@ class TubeSystem {
 
  private:
   PhaseReport run_phase(const math::Vector* fixed_rewards,
-                        OnlinePricer* pricer, std::size_t cycles);
+                        mech::PricingMechanism* mechanism,
+                        std::size_t cycles);
+
+  /// The profiled dynamic model run_optimized prices against (waiting
+  /// functions from the recorded TIP/TDP windows, ISP capacity target,
+  /// infeasibility shrink).
+  DynamicModel build_priced_model();
 
   TubeConfig config_;
   ProfilingEngine profiler_;

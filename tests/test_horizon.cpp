@@ -292,6 +292,16 @@ TEST(HorizonCheckpoint, MismatchedConfigIsRejected) {
   wrong.slices = config.slices + 1;
   EXPECT_THROW(MultiDayDriver::restore(wrong, data), PreconditionError);
 
+  // The mechanism is part of the run's identity: a checkpoint written
+  // under TubeOnline must not restore under another pricing scheme.
+  wrong = config;
+  wrong.mechanism.kind = mech::MechanismKind::kFixedBudgetRebate;
+  EXPECT_THROW(MultiDayDriver::restore(wrong, data), PreconditionError);
+
+  wrong = config;
+  wrong.adaptive_users = true;
+  EXPECT_THROW(MultiDayDriver::restore(wrong, data), PreconditionError);
+
   // Execution knobs are free: resharding is legal, not a mismatch.
   wrong = config;
   wrong.shards = 1;

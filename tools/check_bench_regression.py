@@ -29,6 +29,16 @@ multi-day loop, checkpoint encode/decode, and restore:
   tools/check_bench_regression.py --suite horizon BENCH_horizon.json \
       [--baseline bench/baselines/BENCH_horizon.baseline.json] [--update]
 
+`--suite mechanism` gates BENCH_mechanism.json from bench_mechanism_arena:
+the mechanism ordering on peak-to-average reduction must hold
+(day_ahead_oracle >= tube_online >= flat_tip, up to --ordering-epsilon),
+tube_online must clear a reduction floor (--min-tube-reduction, default
+0.05), flat_tip must stay at zero reduction (it publishes no rewards), and
+every *_seconds field is gated against the baseline like the other suites:
+
+  tools/check_bench_regression.py --suite mechanism BENCH_mechanism.json \
+      [--baseline bench/baselines/BENCH_mechanism.baseline.json] [--update]
+
 A second mode gates telemetry overhead instead: give it the stdout logs of
 two bench_fleet_scale runs — one with observability on (TDP_OBS=1
 TDP_TRACE=1), one with it off (TDP_OBS=0) — and it compares the
@@ -115,6 +125,45 @@ def check_wall_regressions(current: dict, baseline: dict,
     return failures
 
 
+def check_mechanism_ordering(current: dict, epsilon: float,
+                             min_tube_reduction: float) -> list[str]:
+    """The arena's ranking invariant: perfect day-ahead information beats
+    the online pricer, which beats doing nothing."""
+    failures = []
+    benches = current.get("benches", {})
+    reductions = {}
+    for arm in ("arena_flat_tip", "arena_tube_online",
+                "arena_day_ahead_oracle"):
+        entry = benches.get(arm)
+        if entry is None or "p2a_reduction" not in entry:
+            failures.append(f"missing bench '{arm}' with p2a_reduction")
+            continue
+        reductions[arm] = entry["p2a_reduction"]
+    if failures:
+        return failures
+
+    flat = reductions["arena_flat_tip"]
+    tube = reductions["arena_tube_online"]
+    oracle = reductions["arena_day_ahead_oracle"]
+    print(f"  p2a_reduction: oracle {oracle:.3f} / tube {tube:.3f} / "
+          f"flat {flat:.3f}")
+    if oracle + epsilon < tube:
+        failures.append(
+            f"ordering violated: oracle {oracle:.3f} < tube {tube:.3f}")
+    if tube + epsilon < flat:
+        failures.append(
+            f"ordering violated: tube {tube:.3f} < flat {flat:.3f}")
+    if tube < min_tube_reduction:
+        failures.append(
+            f"tube_online p2a_reduction {tube:.3f} below the "
+            f"{min_tube_reduction:.2f} floor")
+    if abs(flat) > epsilon:
+        failures.append(
+            f"flat_tip p2a_reduction {flat:.3f} is not zero "
+            f"(it publishes no rewards)")
+    return failures
+
+
 BENCH_JSON_PREFIX = "BENCH_JSON "
 
 
@@ -175,10 +224,11 @@ def main() -> int:
     parser.add_argument("current", type=Path, nargs="?",
                         help="BENCH_kernel.json / BENCH_horizon.json from "
                              "this run")
-    parser.add_argument("--suite", choices=("kernel", "horizon"),
+    parser.add_argument("--suite", choices=("kernel", "horizon", "mechanism"),
                         default="kernel",
                         help="which bench suite the input comes from; "
-                             "'horizon' skips the kernel speedup floors")
+                             "'horizon' skips the kernel speedup floors, "
+                             "'mechanism' checks the arena ordering instead")
     parser.add_argument("--fleet-overhead", nargs=2, type=Path,
                         metavar=("ON_LOG", "OFF_LOG"),
                         help="compare bench_fleet_scale stdout logs with "
@@ -193,6 +243,12 @@ def main() -> int:
                              "(0.15 = 15%%)")
     parser.add_argument("--min-static-speedup", type=float, default=5.0)
     parser.add_argument("--min-online-speedup", type=float, default=3.0)
+    parser.add_argument("--min-tube-reduction", type=float, default=0.05,
+                        help="floor on tube_online's p2a_reduction in the "
+                             "mechanism suite")
+    parser.add_argument("--ordering-epsilon", type=float, default=0.01,
+                        help="slack allowed in the mechanism-ordering "
+                             "comparisons")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
     args = parser.parse_args()
@@ -215,6 +271,9 @@ def main() -> int:
             "online_resolve": ("speedup", args.min_online_speedup),
         }
     failures = check_speedup_floors(current, floors)
+    if args.suite == "mechanism":
+        failures += check_mechanism_ordering(current, args.ordering_epsilon,
+                                             args.min_tube_reduction)
 
     if args.update:
         if failures:
