@@ -13,7 +13,9 @@ bool FaultPlan::any() const {
   return price_pull_drop > 0.0 || clock_skew > 0.0 ||
          measurement_loss > 0.0 || measurement_nan > 0.0 ||
          measurement_negative > 0.0 || measurement_spike > 0.0 ||
-         solver_exhaustion > 0.0 || !measurement_blackouts.empty();
+         solver_exhaustion > 0.0 || !measurement_blackouts.empty() ||
+         storm_blackout.enabled() || storm_channel.enabled() ||
+         storm_solver.enabled();
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
@@ -35,6 +37,14 @@ FaultInjector::FaultInjector(FaultPlan plan)
               "starved budget must allow at least one iteration");
   TDP_REQUIRE(plan_.drift_beta_rate > -1.0 && plan_.drift_beta_step > -1.0,
               "beta drift factors must keep patience indices positive");
+  const auto storm_ok = [&](const StormRegime& regime) {
+    return in_unit(regime.onset) && in_unit(regime.persist) &&
+           in_unit(regime.intensity);
+  };
+  TDP_REQUIRE(storm_ok(plan_.storm_blackout) &&
+                  storm_ok(plan_.storm_channel) &&
+                  storm_ok(plan_.storm_solver),
+              "storm onset/persist/intensity must lie in [0, 1]");
   std::sort(plan_.measurement_blackouts.begin(),
             plan_.measurement_blackouts.end());
 }
@@ -47,12 +57,50 @@ Rng FaultInjector::stream(Domain domain, std::uint64_t entity,
       .fork_stream(attempt);
 }
 
+bool FaultInjector::storm_active(StormDomain domain,
+                                 std::uint64_t abs_period) const {
+  if (!enabled_) return false;
+  const StormRegime* regime = nullptr;
+  switch (domain) {
+    case StormDomain::kBlackout:
+      regime = &plan_.storm_blackout;
+      break;
+    case StormDomain::kChannel:
+      regime = &plan_.storm_channel;
+      break;
+    case StormDomain::kSolver:
+      regime = &plan_.storm_solver;
+      break;
+  }
+  if (regime == nullptr || !regime->enabled()) return false;
+  // Replay the chain from period 0: one transition draw per period, keyed
+  // only by (domain, period) so every query sees the same storm history.
+  bool on = false;
+  const std::uint64_t id = static_cast<std::uint64_t>(domain);
+  for (std::uint64_t t = 0; t <= abs_period; ++t) {
+    const double u = stream(kDomainStormState, id, t, 0).uniform();
+    on = on ? (u < regime->persist) : (u < regime->onset);
+  }
+  return on;
+}
+
 bool FaultInjector::drop_price_pull(std::uint64_t subscriber,
                                     std::uint64_t abs_period,
                                     std::uint64_t attempt) const {
-  if (!enabled_ || plan_.price_pull_drop <= 0.0) return false;
-  return stream(kDomainPricePull, subscriber, abs_period, attempt)
-      .bernoulli(plan_.price_pull_drop);
+  if (!enabled_) return false;
+  if (plan_.price_pull_drop > 0.0 &&
+      stream(kDomainPricePull, subscriber, abs_period, attempt)
+          .bernoulli(plan_.price_pull_drop)) {
+    return true;
+  }
+  // Channel flapping: while the storm is ON every fetch attempt also fails
+  // with P(intensity). Streams are stateless forks, so taking the base
+  // draw first never perturbs the storm draw (and vice versa).
+  if (storm_active(StormDomain::kChannel, abs_period)) {
+    return stream(kDomainStormChannel, subscriber, abs_period, attempt)
+        .bernoulli(plan_.storm_channel.intensity);
+  }
+  return false;
 }
 
 bool FaultInjector::skew_clock(std::uint64_t subscriber,
@@ -67,6 +115,14 @@ FaultInjector::MeasurementFault FaultInjector::measurement_fault(
   if (!enabled_) return MeasurementFault::kNone;
   if (std::binary_search(plan_.measurement_blackouts.begin(),
                          plan_.measurement_blackouts.end(), abs_period)) {
+    return MeasurementFault::kLost;
+  }
+  // Burst blackout: while the storm is ON each domain's sample is lost
+  // with P(intensity) — a correlated outage the i.i.d. rates below can't
+  // produce.
+  if (storm_active(StormDomain::kBlackout, abs_period) &&
+      stream(kDomainStormMeasurement, entity, abs_period, 0)
+          .bernoulli(plan_.storm_blackout.intensity)) {
     return MeasurementFault::kLost;
   }
   // One uniform draw split across the fault kinds, so the kinds are
@@ -112,9 +168,17 @@ double FaultInjector::beta_drift_scale(std::uint32_t /*cls*/,
 }
 
 bool FaultInjector::exhaust_solver(std::uint64_t abs_period) const {
-  if (!enabled_ || plan_.solver_exhaustion <= 0.0) return false;
-  return stream(kDomainSolver, 0, abs_period, 0)
-      .bernoulli(plan_.solver_exhaustion);
+  if (!enabled_) return false;
+  if (plan_.solver_exhaustion > 0.0 &&
+      stream(kDomainSolver, 0, abs_period, 0)
+          .bernoulli(plan_.solver_exhaustion)) {
+    return true;
+  }
+  if (storm_active(StormDomain::kSolver, abs_period)) {
+    return stream(kDomainStormSolver, 0, abs_period, 0)
+        .bernoulli(plan_.storm_solver.intensity);
+  }
+  return false;
 }
 
 const char* to_string(FaultInjector::MeasurementFault fault) {

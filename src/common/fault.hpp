@@ -25,6 +25,27 @@
 
 namespace tdp {
 
+/// One correlated storm process: a seeded two-state Markov chain over
+/// absolute periods. Each period the chain is ON or OFF; OFF->ON with
+/// probability `onset`, ON stays ON with probability `persist`. While the
+/// chain is ON, every site in the regime's fault domain fails independently
+/// with probability `intensity` each period — so faults arrive in *bursts*
+/// whose mean length is 1/(1-persist) periods, unlike the i.i.d. rates in
+/// FaultPlan. The stationary on-fraction (the storm duty cycle) is
+/// onset / (onset + 1 - persist).
+///
+/// The chain itself is a pure function of (plan seed, storm domain, tick):
+/// one fork_stream draw per elapsed period, independent of entity, shard
+/// layout, and query order — so storm plans inherit the full determinism
+/// contract.
+struct StormRegime {
+  double onset = 0.0;      ///< P(OFF -> ON) per period; 0 disables the regime
+  double persist = 0.0;    ///< P(ON -> ON) per period
+  double intensity = 1.0;  ///< P(site fails | storm ON) per site per period
+
+  bool enabled() const { return onset > 0.0; }
+};
+
 /// Rates and parameters of one chaos experiment. All probabilities are
 /// per-site per-period (a "site" is a subscriber for the price path, a
 /// fault domain — fleet shard or whole telemetry aggregate — for the
@@ -46,6 +67,17 @@ struct FaultPlan {
   /// Absolute periods in which the whole measurement path is down (a
   /// scheduled blackout: every domain's sample is lost with certainty).
   std::vector<std::uint64_t> measurement_blackouts;
+
+  // --- correlated storm regimes (independent Markov chains) ---
+  /// Burst measurement blackouts: while ON, each measurement domain loses
+  /// its sample with P(intensity) — at intensity 1 a full blackout window.
+  StormRegime storm_blackout;
+  /// Channel flapping: while ON, each price fetch attempt additionally
+  /// fails with P(intensity), on top of the i.i.d. price_pull_drop rate.
+  StormRegime storm_channel;
+  /// Solver-starvation windows: while ON, the re-pricing solve is starved
+  /// to solver_starved_budget with P(intensity) each period.
+  StormRegime storm_solver;
 
   // --- price-determination path (per period) ---
   double solver_exhaustion = 0.0;  ///< P(the 1-D solve is cut off before
@@ -91,6 +123,20 @@ class FaultInjector {
   /// Entity id for "the one aggregate telemetry stream" (vs a shard id).
   static constexpr std::uint64_t kAggregateEntity = ~0ull;
 
+  /// The three correlated storm processes a plan can carry.
+  enum class StormDomain : std::uint64_t {
+    kBlackout = 1,
+    kChannel = 2,
+    kSolver = 3,
+  };
+
+  /// Is `domain`'s storm chain ON in `abs_period`? Pure function of
+  /// (plan seed, domain, abs_period): the chain starts OFF at period 0 and
+  /// is replayed draw by draw, so any two queries — from any thread, in any
+  /// order — agree. O(abs_period) per call; ticks are period counts
+  /// (hundreds), so replay cost is noise next to a shard sweep.
+  bool storm_active(StormDomain domain, std::uint64_t abs_period) const;
+
   /// Does fetch attempt `attempt` by `subscriber` in `abs_period` fail?
   bool drop_price_pull(std::uint64_t subscriber, std::uint64_t abs_period,
                        std::uint64_t attempt = 0) const;
@@ -124,6 +170,14 @@ class FaultInjector {
     kDomainClock = 2,
     kDomainMeasurement = 3,
     kDomainSolver = 4,
+    // Storm streams get their own domains so they never collide with the
+    // i.i.d. draws above: kDomainStormState carries the per-domain Markov
+    // chain (entity = StormDomain id), the rest carry per-site intensity
+    // draws while a chain is ON.
+    kDomainStormState = 5,
+    kDomainStormChannel = 6,
+    kDomainStormMeasurement = 7,
+    kDomainStormSolver = 8,
   };
 
   /// The private stream for one decision site; pure function of the

@@ -116,18 +116,33 @@ std::vector<std::uint8_t> Writer::finish() {
   TDP_REQUIRE(!finished_, "Writer::finish is single-shot");
   TDP_REQUIRE(!in_section_, "unclosed section at finish");
   finished_ = true;
+  return frame(std::string_view(reinterpret_cast<const char*>(magic_), 4),
+               version_, payload_);
+}
+
+std::vector<std::uint8_t> Writer::take_payload() {
+  TDP_REQUIRE(!finished_, "Writer::take_payload is single-shot");
+  TDP_REQUIRE(!in_section_, "unclosed section at take_payload");
+  finished_ = true;
+  return std::move(payload_);
+}
+
+std::vector<std::uint8_t> Writer::frame(
+    std::string_view magic, std::uint32_t version,
+    const std::vector<std::uint8_t>& payload) {
+  TDP_REQUIRE(magic.size() == 4, "format magic must be exactly 4 bytes");
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderSize + payload_.size() + kCrcSize);
-  out.insert(out.end(), magic_, magic_ + 4);
+  out.reserve(kHeaderSize + payload.size() + kCrcSize);
+  out.insert(out.end(), magic.data(), magic.data() + 4);
   out.resize(kHeaderSize);
-  put_u32_at(out, 4, version_);
-  const std::uint64_t size = payload_.size();
+  put_u32_at(out, 4, version);
+  const std::uint64_t size = payload.size();
   for (int i = 0; i < 8; ++i) {
     out[8 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(size >> (8 * i));
   }
-  out.insert(out.end(), payload_.begin(), payload_.end());
-  const std::uint32_t crc = crc32(payload_.data(), payload_.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
   out.resize(out.size() + kCrcSize);
   put_u32_at(out, out.size() - kCrcSize, crc);
   return out;

@@ -76,6 +76,18 @@ class Writer {
   /// Header + payload + CRC as one buffer. The Writer is spent afterwards.
   std::vector<std::uint8_t> finish();
 
+  /// The accumulated payload alone — no header, no CRC; the Writer is
+  /// spent afterwards. A streaming writer encodes each section through its
+  /// own Writer, caches the chunks, and frames their concatenation with
+  /// frame() — producing bytes identical to one finish() call over the
+  /// same sections in the same order.
+  std::vector<std::uint8_t> take_payload();
+
+  /// Assemble header + `payload` + CRC exactly as finish() would.
+  static std::vector<std::uint8_t> frame(
+      std::string_view magic, std::uint32_t version,
+      const std::vector<std::uint8_t>& payload);
+
  private:
   std::vector<std::uint8_t> payload_;
   std::uint8_t magic_[4];

@@ -156,6 +156,18 @@ void OnlinePricer::adopt_model(DynamicModel model,
   reward_cap_ = model_.reward_cap() * offline_options.reward_cap_factor;
 }
 
+void OnlinePricer::adopt_model(DynamicModel model,
+                               const DynamicOptimizerOptions& offline_options,
+                               math::Vector solved_rewards) {
+  TDP_REQUIRE(solved_rewards.size() == model.periods(),
+              "solved schedule does not match the adopted model");
+  join_speculation();
+  speculation_.reset();
+  model_ = std::move(model);
+  rewards_ = std::move(solved_rewards);
+  reward_cap_ = model_.reward_cap() * offline_options.reward_cap_factor;
+}
+
 math::GoldenSectionResult OnlinePricer::solve_period(
     const DynamicModel& model, math::Vector rewards, std::size_t period,
     double reward_cap, std::size_t max_iterations) {

@@ -205,6 +205,14 @@ class OnlinePricer {
   void adopt_model(DynamicModel model,
                    const DynamicOptimizerOptions& offline_options = {});
 
+  /// Same, but install an already-solved schedule instead of re-running the
+  /// offline solve — the health-gated re-anchor path solves the candidate
+  /// model first (to compare its predicted objective against the anchored
+  /// plan) and must not pay for, or risk divergence from, a second solve.
+  void adopt_model(DynamicModel model,
+                   const DynamicOptimizerOptions& offline_options,
+                   math::Vector solved_rewards);
+
  private:
   struct RestoreTag {};
   OnlinePricer(RestoreTag, DynamicModel model, const OnlinePricerState& state,

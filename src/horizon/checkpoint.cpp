@@ -5,30 +5,12 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "horizon/checkpoint_sections.hpp"
 
 namespace tdp::horizon {
 namespace {
 
-// Section tags (v1 writes them in this order; the reader skips unknown
-// tags so later versions can append sections old readers ignore).
-enum SectionTag : std::uint32_t {
-  kSecConfig = 1,
-  kSecClock = 2,
-  kSecRings = 3,
-  kSecChannel = 4,
-  kSecFanout = 5,
-  kSecGuard = 6,
-  kSecPricer = 7,
-  kSecWindow = 8,
-  kSecDays = 9,
-  kSecPartial = 10,
-  kSecObs = 11,
-  // Optional: written only when the run departs from the defaults (a
-  // non-TubeOnline mechanism or adaptive users). Absent = TubeOnline, no
-  // adaptation — keeps pre-arena checkpoints and golden fixtures valid
-  // byte for byte.
-  kSecMech = 12,
-};
+using detail::SectionTag;
 
 /// Upper bound used only to reject absurd structural counts early; real
 /// allocation safety comes from Reader's remaining-bytes bound.
@@ -133,179 +115,249 @@ PricerHealth read_health(ser::Reader& r) {
 
 }  // namespace
 
+namespace detail {
+
+bool needs_v2(const CheckpointData& data) {
+  return data.fault.storm_blackout.enabled() ||
+         data.fault.storm_channel.enabled() ||
+         data.fault.storm_solver.enabled() ||
+         data.carry_floor_fraction != 0.5 || data.estimation_health_gate ||
+         data.reanchor_healthy_periods != 0 ||
+         data.reanchor_objective_guard ||
+         data.reanchor_guard_tolerance != 0.0;
+}
+
+std::uint32_t format_version_for(const CheckpointData& data) {
+  return needs_v2(data) ? kCheckpointVersion : 1u;
+}
+
+bool section_present(SectionTag tag, const CheckpointData& data) {
+  switch (tag) {
+    case kSecMech:
+      return data.mechanism_kind != 0 || data.adaptive_users;
+    case kSecStorm:
+      return needs_v2(data);
+    default:
+      return true;
+  }
+}
+
+bool section_dirty_within_day(SectionTag tag) {
+  switch (tag) {
+    case kSecConfig:  // pure config echo, fixed for the whole run
+    case kSecWindow:  // estimation window only moves at finish_day
+    case kSecDays:    // completed-day list only grows at finish_day
+    case kSecMech:    // settle/adaptation only run at finish_day
+      return false;
+    default:
+      return true;
+  }
+}
+
+void write_section(ser::Writer& w, SectionTag tag,
+                   const CheckpointData& data) {
+  const std::size_t s = w.begin_section(tag);
+  switch (tag) {
+    case kSecConfig:
+      w.u64(data.users);
+      w.u32(data.periods);
+      w.u64(data.population_seed);
+      w.f64(data.sessions_per_day);
+      w.u64(data.slices);
+      w.u32(data.warmup_days);
+      w.u32(data.horizon_days);
+      w.boolean(data.online_pricing);
+      w.boolean(data.estimation);
+      w.u32(data.estimation_window);
+      w.u32(data.estimation_min_days);
+      w.u32(data.estimation_starts);
+      w.boolean(data.reanchor);
+      w.f64(data.fault.price_pull_drop);
+      w.f64(data.fault.clock_skew);
+      w.f64(data.fault.measurement_loss);
+      w.f64(data.fault.measurement_nan);
+      w.f64(data.fault.measurement_negative);
+      w.f64(data.fault.measurement_spike);
+      w.f64(data.fault.spike_factor);
+      w.vec_u64(data.fault.measurement_blackouts);
+      w.f64(data.fault.solver_exhaustion);
+      w.u64(data.fault.solver_starved_budget);
+      w.f64(data.fault.drift_beta_rate);
+      w.f64(data.fault.drift_beta_step);
+      w.u64(data.fault.drift_step_day);
+      w.u64(data.fault.seed);
+      w.u64(data.staleness_ttl);
+      w.u64(data.max_retries);
+      w.f64(data.max_spike_factor);
+      w.u64(data.max_carry_forward);
+      break;
+    case kSecClock:
+      w.u64(data.day);
+      w.u32(data.period);
+      w.u32(data.ring_head);
+      break;
+    case kSecRings:
+      w.u64(data.ring_work.size());
+      for (std::size_t i = 0; i < data.ring_work.size(); ++i) {
+        w.vec_f64(data.ring_work[i]);
+        w.vec_f64(data.ring_reward[i]);
+      }
+      break;
+    case kSecChannel:
+      w.vec_f64(data.channel.published);
+      w.u64(data.channel.publish_count);
+      w.u64(data.channel.subscribers.size());
+      for (const PriceChannelState::Subscriber& sub :
+           data.channel.subscribers) {
+        w.vec_f64(sub.cache);
+        w.u64(sub.last_pull_period);
+        w.boolean(sub.pulled_ever);
+        write_telemetry(w, sub.stats);
+      }
+      break;
+    case kSecFanout:
+      w.u64(data.fanout_schedules.size());
+      for (const math::Vector& schedule : data.fanout_schedules) {
+        w.vec_f64(schedule);
+      }
+      break;
+    case kSecGuard: {
+      w.vec_f64(data.guard.last_good);
+      std::vector<std::uint64_t> flags(data.guard.has_last_good.size());
+      for (std::size_t i = 0; i < flags.size(); ++i) {
+        flags[i] = data.guard.has_last_good[i] ? 1 : 0;
+      }
+      w.vec_u64(flags);
+      w.vec_u64(data.guard.gap_streak);
+      w.u64(data.guard.gaps_filled);
+      w.u64(data.guard.nan_rejected);
+      w.u64(data.guard.negative_rejected);
+      w.u64(data.guard.spikes_clamped);
+      break;
+    }
+    case kSecPricer:
+      w.vec_f64(data.pricer.rewards);
+      w.f64(data.pricer.reward_cap);
+      w.u64(data.pricer.volumes.size());
+      for (const std::vector<double>& v : data.pricer.volumes) w.vec_f64(v);
+      w.u8(static_cast<std::uint8_t>(data.pricer.health));
+      write_health_stats(w, data.pricer.stats);
+      w.u64(data.pricer.log.size());
+      for (const OnlinePricer::HealthTransition& t : data.pricer.log) {
+        w.u64(t.observation);
+        w.u8(static_cast<std::uint8_t>(t.from));
+        w.u8(static_cast<std::uint8_t>(t.to));
+      }
+      w.u64(data.pricer.observation_count);
+      w.u64(data.pricer.consecutive_bad);
+      w.u64(data.pricer.consecutive_good);
+      w.u64(data.pricer.excursion_periods);
+      w.u32(static_cast<std::uint32_t>(data.model_source));
+      w.f64(data.model_beta);
+      w.vec_f64(data.model_volumes);
+      break;
+    case kSecWindow:
+      w.u64(data.window.size());
+      for (const DayRecord& record : data.window) {
+        w.vec_f64(record.rewards);
+        w.vec_f64(record.usage_change);
+        w.vec_f64(record.tip_demand);
+      }
+      break;
+    case kSecDays:
+      w.u64(data.completed_days.size());
+      for (const DayMetrics& m : data.completed_days) {
+        write_day_metrics(w, m);
+      }
+      break;
+    case kSecPartial:
+      write_day_metrics(w, data.partial);
+      w.vec_f64(data.prev_day_start_rewards);
+      w.boolean(data.has_prev_day_start);
+      break;
+    case kSecObs:
+      w.u64(data.counters.size());
+      for (const auto& [name, value] : data.counters) {
+        w.str(name);
+        w.u64(value);
+      }
+      break;
+    case kSecMech:
+      w.u32(data.mechanism_kind);
+      w.f64(data.rebate_pool);
+      w.f64(data.rebate_share_blend);
+      w.f64(data.rebate_inflow_floor);
+      w.boolean(data.oracle_refine);
+      w.f64(data.oracle_capacity_target);
+      w.vec_f64(data.mech_state.rewards);
+      w.vec_f64(data.mech_state.scalars);
+      w.u64(data.mech_state.vectors.size());
+      for (const std::vector<double>& v : data.mech_state.vectors) {
+        w.vec_f64(v);
+      }
+      w.boolean(data.adaptive_users);
+      w.f64(data.adaptation_rate);
+      w.f64(data.adaptation_gain);
+      w.vec_f64(data.adapt_scale);
+      break;
+    case kSecStorm: {
+      w.f64(data.fault.storm_blackout.onset);
+      w.f64(data.fault.storm_blackout.persist);
+      w.f64(data.fault.storm_blackout.intensity);
+      w.f64(data.fault.storm_channel.onset);
+      w.f64(data.fault.storm_channel.persist);
+      w.f64(data.fault.storm_channel.intensity);
+      w.f64(data.fault.storm_solver.onset);
+      w.f64(data.fault.storm_solver.persist);
+      w.f64(data.fault.storm_solver.intensity);
+      w.f64(data.carry_floor_fraction);
+      w.boolean(data.estimation_health_gate);
+      w.u64(data.reanchor_healthy_periods);
+      w.boolean(data.reanchor_objective_guard);
+      w.f64(data.reanchor_guard_tolerance);
+      w.u64(data.healthy_streak_periods);
+      // Per-day health extras: parallel arrays over kSecDays plus one
+      // trailing entry for the partial day.
+      w.u64(data.completed_days.size() + 1);
+      const auto write_extra = [&w](const DayMetrics& m) {
+        w.u64(m.fallback_periods);
+        std::uint8_t flags = 0;
+        if (m.estimation_frozen) flags |= 1;
+        if (m.reanchor_rolled_back) flags |= 2;
+        w.u8(flags);
+      };
+      for (const DayMetrics& m : data.completed_days) write_extra(m);
+      write_extra(data.partial);
+      break;
+    }
+  }
+  w.end_section(s);
+}
+
+}  // namespace detail
+
 std::vector<std::uint8_t> encode(const CheckpointData& data) {
-  ser::Writer w(kCheckpointMagic, kCheckpointVersion);
-
-  std::size_t s = w.begin_section(kSecConfig);
-  w.u64(data.users);
-  w.u32(data.periods);
-  w.u64(data.population_seed);
-  w.f64(data.sessions_per_day);
-  w.u64(data.slices);
-  w.u32(data.warmup_days);
-  w.u32(data.horizon_days);
-  w.boolean(data.online_pricing);
-  w.boolean(data.estimation);
-  w.u32(data.estimation_window);
-  w.u32(data.estimation_min_days);
-  w.u32(data.estimation_starts);
-  w.boolean(data.reanchor);
-  w.f64(data.fault.price_pull_drop);
-  w.f64(data.fault.clock_skew);
-  w.f64(data.fault.measurement_loss);
-  w.f64(data.fault.measurement_nan);
-  w.f64(data.fault.measurement_negative);
-  w.f64(data.fault.measurement_spike);
-  w.f64(data.fault.spike_factor);
-  w.vec_u64(data.fault.measurement_blackouts);
-  w.f64(data.fault.solver_exhaustion);
-  w.u64(data.fault.solver_starved_budget);
-  w.f64(data.fault.drift_beta_rate);
-  w.f64(data.fault.drift_beta_step);
-  w.u64(data.fault.drift_step_day);
-  w.u64(data.fault.seed);
-  w.u64(data.staleness_ttl);
-  w.u64(data.max_retries);
-  w.f64(data.max_spike_factor);
-  w.u64(data.max_carry_forward);
-  w.end_section(s);
-
-  s = w.begin_section(kSecClock);
-  w.u64(data.day);
-  w.u32(data.period);
-  w.u32(data.ring_head);
-  w.end_section(s);
-
-  s = w.begin_section(kSecRings);
-  w.u64(data.ring_work.size());
-  for (std::size_t i = 0; i < data.ring_work.size(); ++i) {
-    w.vec_f64(data.ring_work[i]);
-    w.vec_f64(data.ring_reward[i]);
-  }
-  w.end_section(s);
-
-  s = w.begin_section(kSecChannel);
-  w.vec_f64(data.channel.published);
-  w.u64(data.channel.publish_count);
-  w.u64(data.channel.subscribers.size());
-  for (const PriceChannelState::Subscriber& sub : data.channel.subscribers) {
-    w.vec_f64(sub.cache);
-    w.u64(sub.last_pull_period);
-    w.boolean(sub.pulled_ever);
-    write_telemetry(w, sub.stats);
-  }
-  w.end_section(s);
-
-  s = w.begin_section(kSecFanout);
-  w.u64(data.fanout_schedules.size());
-  for (const math::Vector& schedule : data.fanout_schedules) {
-    w.vec_f64(schedule);
-  }
-  w.end_section(s);
-
-  s = w.begin_section(kSecGuard);
-  w.vec_f64(data.guard.last_good);
-  {
-    std::vector<std::uint64_t> flags(data.guard.has_last_good.size());
-    for (std::size_t i = 0; i < flags.size(); ++i) {
-      flags[i] = data.guard.has_last_good[i] ? 1 : 0;
+  ser::Writer w(kCheckpointMagic, detail::format_version_for(data));
+  for (const SectionTag tag : detail::kSectionOrder) {
+    if (detail::section_present(tag, data)) {
+      detail::write_section(w, tag, data);
     }
-    w.vec_u64(flags);
   }
-  w.vec_u64(data.guard.gap_streak);
-  w.u64(data.guard.gaps_filled);
-  w.u64(data.guard.nan_rejected);
-  w.u64(data.guard.negative_rejected);
-  w.u64(data.guard.spikes_clamped);
-  w.end_section(s);
-
-  s = w.begin_section(kSecPricer);
-  w.vec_f64(data.pricer.rewards);
-  w.f64(data.pricer.reward_cap);
-  w.u64(data.pricer.volumes.size());
-  for (const std::vector<double>& v : data.pricer.volumes) w.vec_f64(v);
-  w.u8(static_cast<std::uint8_t>(data.pricer.health));
-  write_health_stats(w, data.pricer.stats);
-  w.u64(data.pricer.log.size());
-  for (const OnlinePricer::HealthTransition& t : data.pricer.log) {
-    w.u64(t.observation);
-    w.u8(static_cast<std::uint8_t>(t.from));
-    w.u8(static_cast<std::uint8_t>(t.to));
-  }
-  w.u64(data.pricer.observation_count);
-  w.u64(data.pricer.consecutive_bad);
-  w.u64(data.pricer.consecutive_good);
-  w.u64(data.pricer.excursion_periods);
-  w.u32(static_cast<std::uint32_t>(data.model_source));
-  w.f64(data.model_beta);
-  w.vec_f64(data.model_volumes);
-  w.end_section(s);
-
-  s = w.begin_section(kSecWindow);
-  w.u64(data.window.size());
-  for (const DayRecord& record : data.window) {
-    w.vec_f64(record.rewards);
-    w.vec_f64(record.usage_change);
-    w.vec_f64(record.tip_demand);
-  }
-  w.end_section(s);
-
-  s = w.begin_section(kSecDays);
-  w.u64(data.completed_days.size());
-  for (const DayMetrics& m : data.completed_days) write_day_metrics(w, m);
-  w.end_section(s);
-
-  s = w.begin_section(kSecPartial);
-  write_day_metrics(w, data.partial);
-  w.vec_f64(data.prev_day_start_rewards);
-  w.boolean(data.has_prev_day_start);
-  w.end_section(s);
-
-  s = w.begin_section(kSecObs);
-  w.u64(data.counters.size());
-  for (const auto& [name, value] : data.counters) {
-    w.str(name);
-    w.u64(value);
-  }
-  w.end_section(s);
-
-  if (data.mechanism_kind != 0 || data.adaptive_users) {
-    s = w.begin_section(kSecMech);
-    w.u32(data.mechanism_kind);
-    w.f64(data.rebate_pool);
-    w.f64(data.rebate_share_blend);
-    w.f64(data.rebate_inflow_floor);
-    w.boolean(data.oracle_refine);
-    w.f64(data.oracle_capacity_target);
-    w.vec_f64(data.mech_state.rewards);
-    w.vec_f64(data.mech_state.scalars);
-    w.u64(data.mech_state.vectors.size());
-    for (const std::vector<double>& v : data.mech_state.vectors) {
-      w.vec_f64(v);
-    }
-    w.boolean(data.adaptive_users);
-    w.f64(data.adaptation_rate);
-    w.f64(data.adaptation_gain);
-    w.vec_f64(data.adapt_scale);
-    w.end_section(s);
-  }
-
   return w.finish();
 }
 
 CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
-  ser::Reader r(bytes, size, kCheckpointMagic, kCheckpointVersion,
-                kCheckpointVersion);
+  ser::Reader r(bytes, size, kCheckpointMagic, 1, kCheckpointVersion);
   CheckpointData data;
-  bool seen[13] = {};
+  bool seen[14] = {};
 
   while (!r.at_end()) {
     const std::uint32_t tag = r.begin_section();
-    if (tag >= 1 && tag <= 12 && seen[tag]) {
+    if (tag >= 1 && tag <= 13 && seen[tag]) {
       throw ser::FormatError("checkpoint: duplicate section");
     }
     switch (tag) {
-      case kSecConfig:
+      case detail::kSecConfig:
         data.users = r.u64();
         data.periods = r.u32();
         data.population_seed = r.u64();
@@ -346,12 +398,12 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
           throw ser::FormatError("checkpoint: implausible slice layout");
         }
         break;
-      case kSecClock:
+      case detail::kSecClock:
         data.day = r.u64();
         data.period = r.u32();
         data.ring_head = r.u32();
         break;
-      case kSecRings: {
+      case detail::kSecRings: {
         const std::uint64_t count = r.u64();
         if (count > kMaxListed) {
           throw ser::FormatError("checkpoint: implausible ring count");
@@ -364,7 +416,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
-      case kSecChannel: {
+      case detail::kSecChannel: {
         data.channel.published = r.vec_f64(kMaxPeriods);
         data.channel.publish_count = r.u64();
         const std::uint64_t count = r.u64();
@@ -382,7 +434,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
-      case kSecFanout: {
+      case detail::kSecFanout: {
         const std::uint64_t count = r.u64();
         if (count > kMaxListed) {
           throw ser::FormatError("checkpoint: implausible group count");
@@ -393,7 +445,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
-      case kSecGuard: {
+      case detail::kSecGuard: {
         data.guard.last_good = r.vec_f64(kMaxPeriods);
         const std::vector<std::uint64_t> flags = r.vec_u64(kMaxPeriods);
         data.guard.has_last_good.resize(flags.size());
@@ -410,7 +462,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         data.guard.spikes_clamped = r.u64();
         break;
       }
-      case kSecPricer: {
+      case detail::kSecPricer: {
         data.pricer.rewards = r.vec_f64_finite(kMaxPeriods);
         data.pricer.reward_cap = r.f64();
         const std::uint64_t vol_count = r.u64();
@@ -453,7 +505,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         data.model_volumes = r.vec_f64(kMaxPeriods);
         break;
       }
-      case kSecWindow: {
+      case detail::kSecWindow: {
         const std::uint64_t count = r.u64();
         if (count > kMaxListed) {
           throw ser::FormatError("checkpoint: implausible window depth");
@@ -468,7 +520,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
-      case kSecDays: {
+      case detail::kSecDays: {
         const std::uint64_t count = r.u64();
         if (count > kMaxListed) {
           throw ser::FormatError("checkpoint: implausible day count");
@@ -479,12 +531,12 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
-      case kSecPartial:
+      case detail::kSecPartial:
         data.partial = read_day_metrics(r);
         data.prev_day_start_rewards = r.vec_f64(kMaxPeriods);
         data.has_prev_day_start = r.boolean();
         break;
-      case kSecObs: {
+      case detail::kSecObs: {
         const std::uint64_t count = r.u64();
         if (count > kMaxListed) {
           throw ser::FormatError("checkpoint: implausible counter count");
@@ -497,7 +549,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
-      case kSecMech: {
+      case detail::kSecMech: {
         data.mechanism_kind = r.u32();
         if (data.mechanism_kind > 3) {
           throw ser::FormatError("checkpoint: unknown mechanism kind");
@@ -523,6 +575,54 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         data.adapt_scale = r.vec_f64_finite(kMaxPeriods);
         break;
       }
+      case detail::kSecStorm: {
+        if (r.version() < 2) {
+          // A version-1 reader does not know this tag: honor the
+          // unknown-section policy so v1 semantics — skip v2-only
+          // sections cleanly — are exercised for real (the compat test
+          // patches the header version on genuine v2 bytes).
+          r.skip_section();
+          continue;
+        }
+        data.fault.storm_blackout.onset = r.f64();
+        data.fault.storm_blackout.persist = r.f64();
+        data.fault.storm_blackout.intensity = r.f64();
+        data.fault.storm_channel.onset = r.f64();
+        data.fault.storm_channel.persist = r.f64();
+        data.fault.storm_channel.intensity = r.f64();
+        data.fault.storm_solver.onset = r.f64();
+        data.fault.storm_solver.persist = r.f64();
+        data.fault.storm_solver.intensity = r.f64();
+        data.carry_floor_fraction = r.f64();
+        data.estimation_health_gate = r.boolean();
+        data.reanchor_healthy_periods = r.u64();
+        data.reanchor_objective_guard = r.boolean();
+        data.reanchor_guard_tolerance = r.f64();
+        data.healthy_streak_periods = r.u64();
+        const std::uint64_t count = r.u64();
+        if (count != data.completed_days.size() + 1) {
+          // The extras are parallel arrays over kSecDays + the partial
+          // day, so kSecDays/kSecPartial must precede kSecStorm (the
+          // canonical order) and the counts must line up.
+          throw ser::FormatError(
+              "checkpoint: storm extras do not match day count");
+        }
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::uint64_t fallback = r.u64();
+          const std::uint8_t flags = r.u8();
+          if (flags > 3) {
+            throw ser::FormatError("checkpoint: invalid storm day flags");
+          }
+          DayMetrics& m =
+              (i + 1 == count)
+                  ? data.partial
+                  : data.completed_days[static_cast<std::size_t>(i)];
+          m.fallback_periods = fallback;
+          m.estimation_frozen = (flags & 1) != 0;
+          m.reanchor_rolled_back = (flags & 2) != 0;
+        }
+        break;
+      }
       default:
         // Unknown section from a future writer: skip under the documented
         // compatibility policy (skip_section also closes the section).
@@ -530,7 +630,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         continue;
     }
     r.end_section();
-    if (tag >= 1 && tag <= 12) seen[tag] = true;
+    if (tag >= 1 && tag <= 13) seen[tag] = true;
   }
 
   for (std::uint32_t tag = 1; tag <= 11; ++tag) {

@@ -10,9 +10,17 @@
 // any shard or thread count that groups whole slices.
 //
 // Encoding: the versioned little-endian framing of common/serialize.hpp —
-// magic "TDPC", version 1, tagged sections, CRC-32 trailer. decode() is
-// safe on hostile bytes: every failure is a ser::FormatError, never UB
-// (fuzzed in tests/test_horizon.cpp).
+// magic "TDPC", tagged sections, CRC-32 trailer. decode() is safe on
+// hostile bytes: every failure is a ser::FormatError, never UB (fuzzed in
+// tests/test_horizon.cpp).
+//
+// Versioning (DESIGN.md §14): the writer emits format version 1 unless the
+// run actually uses a storm-mode feature (storm regimes, guard carry
+// floor, health-gated re-anchoring) — then it emits version 2, which
+// appends one extra section (kSecStorm) that version-1 readers skip under
+// the unknown-tag policy. Legacy configurations therefore keep producing
+// byte-identical v1 checkpoints (golden-fixture tripwire), and v1 files
+// decode into the v2 defaults.
 #pragma once
 
 #include <cstddef>
@@ -31,7 +39,9 @@
 namespace tdp::horizon {
 
 inline constexpr char kCheckpointMagic[] = "TDPC";
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Newest format this build writes; emitted only when a v2 feature is in
+/// use (see the versioning note above).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// How the pricer's *baseline* fluid model is rebuilt on restore.
 enum class ModelSource : std::uint32_t {
@@ -62,11 +72,21 @@ struct CheckpointData {
   std::uint32_t estimation_min_days = 0;
   std::uint32_t estimation_starts = 0;
   bool reanchor = false;
-  FaultPlan fault;  ///< full plan, drift fields included
+  FaultPlan fault;  ///< full plan, drift + storm fields included
   std::uint64_t staleness_ttl = 0;
   std::uint64_t max_retries = 0;
   double max_spike_factor = 0.0;
   std::uint64_t max_carry_forward = 0;
+
+  // -- storm-mode extensions (kSecStorm; serialized only at version 2) ----
+  // Config echo: the guard's carry floor and the health-gate knobs.
+  double carry_floor_fraction = 0.5;
+  bool estimation_health_gate = false;
+  std::uint64_t reanchor_healthy_periods = 0;
+  bool reanchor_objective_guard = false;
+  double reanchor_guard_tolerance = 0.0;
+  // State: the re-anchor hysteresis counter (always 0 when ungated).
+  std::uint64_t healthy_streak_periods = 0;
 
   // -- simulated clock ----------------------------------------------------
   std::uint64_t day = 0;     ///< next day to simulate

@@ -1,0 +1,78 @@
+// Internal: the checkpoint's section inventory, shared by the
+// stop-the-world encoder (checkpoint.cpp) and the incremental streamer
+// (checkpoint_stream.cpp).
+//
+// Each section is self-contained — tag, byte length, fields — so the two
+// writers can produce identical bytes by construction: encode() writes
+// every present section through one Writer; the streamer encodes each
+// present section through its own Writer, caches the chunks, and frames
+// their concatenation. Keeping the inventory (order, presence, dirtiness)
+// in one place is what makes "streamed bytes == encode(checkpoint())" a
+// structural property instead of a test-enforced coincidence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "horizon/checkpoint.hpp"
+
+namespace tdp::horizon::detail {
+
+/// Section tags. v1 wrote 1..12 (12 conditionally); v2 appends kSecStorm,
+/// which v1 readers skip under the unknown-tag policy.
+enum SectionTag : std::uint32_t {
+  kSecConfig = 1,
+  kSecClock = 2,
+  kSecRings = 3,
+  kSecChannel = 4,
+  kSecFanout = 5,
+  kSecGuard = 6,
+  kSecPricer = 7,
+  kSecWindow = 8,
+  kSecDays = 9,
+  kSecPartial = 10,
+  kSecObs = 11,
+  // Optional: written only when the run departs from the defaults (a
+  // non-TubeOnline mechanism or adaptive users). Absent = TubeOnline, no
+  // adaptation — keeps pre-arena checkpoints and golden fixtures valid
+  // byte for byte.
+  kSecMech = 12,
+  // v2 only: storm-regime echo, guard carry floor, health-gate knobs and
+  // state, and the per-day health extras. Must follow kSecDays/kSecPartial
+  // (its per-day arrays index into them).
+  kSecStorm = 13,
+};
+
+/// Canonical write order (encode() and the streamer must agree).
+inline constexpr SectionTag kSectionOrder[] = {
+    kSecConfig, kSecClock,  kSecRings, kSecChannel, kSecFanout,
+    kSecGuard,  kSecPricer, kSecWindow, kSecDays,   kSecPartial,
+    kSecObs,    kSecMech,   kSecStorm,
+};
+inline constexpr std::size_t kSectionCount =
+    sizeof(kSectionOrder) / sizeof(kSectionOrder[0]);
+
+/// True when the checkpoint uses a v2 feature: a storm regime, a non-default
+/// guard carry floor, or any health gate. A pure function of the config
+/// echo, so legacy configurations keep writing byte-identical v1 files.
+bool needs_v2(const CheckpointData& data);
+
+/// The format version the writer emits for `data` (1 or 2).
+std::uint32_t format_version_for(const CheckpointData& data);
+
+/// Whether this checkpoint writes `tag` at all (kSecMech and kSecStorm are
+/// conditional; everything else is required).
+bool section_present(SectionTag tag, const CheckpointData& data);
+
+/// Encode exactly one tagged section — begin_section through end_section —
+/// into `w`.
+void write_section(ser::Writer& w, SectionTag tag, const CheckpointData& data);
+
+/// True when the section's bytes can change between two period-boundary
+/// commits inside the same day. False means only a day rollover (settle,
+/// estimation, adaptation) can dirty it — the streamer reuses the cached
+/// chunk for mid-day commits.
+bool section_dirty_within_day(SectionTag tag);
+
+}  // namespace tdp::horizon::detail

@@ -69,6 +69,12 @@ void append_day(std::string& out, const DayMetrics& day) {
   out += ',';
   append_field(out, "reanchored", day.reanchored);
   out += ',';
+  append_field(out, "fallback_periods", day.fallback_periods);
+  out += ',';
+  append_field(out, "estimation_frozen", day.estimation_frozen);
+  out += ',';
+  append_field(out, "reanchor_rolled_back", day.reanchor_rolled_back);
+  out += ',';
   append_field(out, "reward_step_linf", day.reward_step_linf);
   out += ',';
   append_array(out, "offered_units", day.offered_units);

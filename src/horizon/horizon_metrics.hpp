@@ -36,6 +36,12 @@ struct DayMetrics {
   double estimate_residual = 0.0; ///< squared residual norm of the fit
   bool reanchored = false;        ///< pricer re-solved on the estimated model
 
+  // Storm-mode health gating (all zero unless the gates are configured, so
+  // legacy runs serialize unchanged).
+  std::uint64_t fallback_periods = 0;  ///< periods the pricer sat in FALLBACK
+  bool estimation_frozen = false;      ///< day excluded from the fit window
+  bool reanchor_rolled_back = false;   ///< objective guard rejected the re-fit
+
   /// L-inf distance between this day's starting reward schedule and the
   /// previous day's — the limit-cycle diagnostic (0 for the first day).
   double reward_step_linf = 0.0;

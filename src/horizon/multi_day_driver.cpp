@@ -40,6 +40,14 @@ struct HorizonCounters {
       obs::Registry::global().counter("mech.settles_total");
   obs::Counter& adaptations =
       obs::Registry::global().counter("mech.adaptations_total");
+  obs::Counter& frozen =
+      obs::Registry::global().counter("horizon.estimation_frozen_total");
+  obs::Counter& deferred =
+      obs::Registry::global().counter("horizon.reanchor_deferred_total");
+  obs::Counter& rollbacks =
+      obs::Registry::global().counter("horizon.reanchor_rollbacks_total");
+  obs::Counter& stream_commits =
+      obs::Registry::global().counter("horizon.stream_commits_total");
 };
 
 HorizonCounters& horizon_counters() {
@@ -115,13 +123,33 @@ HorizonConfig validate_restore(HorizonConfig config,
                   a.drift_beta_step == b.drift_beta_step &&
                   a.drift_step_day == b.drift_step_day && a.seed == b.seed,
               "checkpoint fault plan does not match configuration");
+  TDP_REQUIRE(a.storm_blackout.onset == b.storm_blackout.onset &&
+                  a.storm_blackout.persist == b.storm_blackout.persist &&
+                  a.storm_blackout.intensity == b.storm_blackout.intensity &&
+                  a.storm_channel.onset == b.storm_channel.onset &&
+                  a.storm_channel.persist == b.storm_channel.persist &&
+                  a.storm_channel.intensity == b.storm_channel.intensity &&
+                  a.storm_solver.onset == b.storm_solver.onset &&
+                  a.storm_solver.persist == b.storm_solver.persist &&
+                  a.storm_solver.intensity == b.storm_solver.intensity,
+              "checkpoint storm plan does not match configuration");
+  TDP_REQUIRE(config.estimation_health_gate == data.estimation_health_gate &&
+                  config.reanchor_healthy_periods ==
+                      data.reanchor_healthy_periods &&
+                  config.reanchor_objective_guard ==
+                      data.reanchor_objective_guard &&
+                  config.reanchor_guard_tolerance ==
+                      data.reanchor_guard_tolerance,
+              "checkpoint health gates do not match configuration");
   TDP_REQUIRE(config.resilience.staleness_ttl == data.staleness_ttl &&
                   config.resilience.max_retries == data.max_retries,
               "checkpoint resilience policy does not match configuration");
   TDP_REQUIRE(
       config.measurement_guard.max_spike_factor == data.max_spike_factor &&
           config.measurement_guard.max_carry_forward ==
-              data.max_carry_forward,
+              data.max_carry_forward &&
+          config.measurement_guard.carry_floor_fraction ==
+              data.carry_floor_fraction,
       "checkpoint guard policy does not match configuration");
   TDP_REQUIRE(data.day <= config.warmup_days + config.horizon_days,
               "checkpoint clock is past the configured horizon");
@@ -203,6 +231,9 @@ MultiDayDriver::MultiDayDriver(HorizonConfig config)
   mechanism_ = mech::make_mechanism(
       config_.mechanism, fleet::baseline_fluid_model(population_),
       config_.offline_options, guard_config_for(config_, injector_));
+  if (!config_.checkpoint_path.empty()) {
+    stream_ = std::make_unique<CheckpointStream>(config_.checkpoint_path);
+  }
   TDP_LOG_INFO << "horizon: " << population_.users() << " users, "
                << config_.warmup_days << "+" << config_.horizon_days
                << " days over " << aggregator_.stripes() << " slices in "
@@ -249,6 +280,7 @@ MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
 
   day_ = data.day;
   period_ = data.period;
+  healthy_streak_periods_ = data.healthy_streak_periods;
   window_ = data.window;
   completed_days_ = data.completed_days;
   partial_ = data.partial;
@@ -265,6 +297,9 @@ MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
     for (const auto& [name, value] : data.counters) {
       registry.set_counter_value(name, value);
     }
+  }
+  if (!config_.checkpoint_path.empty()) {
+    stream_ = std::make_unique<CheckpointStream>(config_.checkpoint_path);
   }
   horizon_counters().restores.add(1);
 }
@@ -432,8 +467,38 @@ void MultiDayDriver::step_period() {
     }
   }
 
+  // Health tracking for the storm gates. Runs only when a gate is
+  // configured so ungated runs keep fallback_periods/healthy_streak at
+  // zero and their checkpoints stay byte-identical to format v1.
+  if (health_gated() && config_.online_pricing) {
+    switch (mechanism_->health()) {
+      case PricerHealth::kHealthy:
+        ++healthy_streak_periods_;
+        break;
+      case PricerHealth::kFallback:
+        ++partial_.fallback_periods;
+        healthy_streak_periods_ = 0;
+        break;
+      default:  // DEGRADED: not fallback-tainted, but not healthy either
+        healthy_streak_periods_ = 0;
+        break;
+    }
+  }
+
   ++period_;
   if (period_ == n) finish_day();
+  maybe_stream_commit();
+}
+
+void MultiDayDriver::maybe_stream_commit() {
+  if (stream_ == nullptr) return;
+  // finish_day has already rolled the clock when this is a day boundary.
+  const bool day_boundary = period_ == 0;
+  const bool periodic = config_.checkpoint_every_periods > 0 &&
+                        period_ % config_.checkpoint_every_periods == 0;
+  if (!day_boundary && !periodic) return;
+  stream_->commit(checkpoint(), day_boundary);
+  horizon_counters().stream_commits.add(1);
 }
 
 void MultiDayDriver::finish_day() {
@@ -482,7 +547,23 @@ void MultiDayDriver::finish_day() {
   // Measured days feed the estimator's sliding window; warmup days are the
   // rings filling up and would bias the fit.
   const bool measured = day_ >= config_.warmup_days;
-  if (measured && config_.estimation) {
+
+  // Health gate: a day containing FALLBACK periods measured the safety
+  // schedule's world, not the control loop's. Freezing re-estimation
+  // excludes the whole day from the window — the model must provably
+  // never be re-fit from fallback-window data.
+  const bool tainted = config_.estimation_health_gate &&
+                       partial_.fallback_periods > 0;
+  if (measured && config_.estimation && tainted) {
+    partial_.estimation_frozen = true;
+    horizon_counters().frozen.add(1);
+    obs::journal_record(
+        "horizon.estimation_frozen", -1, -1, "fallback-tainted day",
+        {{"day", static_cast<double>(day_)},
+         {"fallback_periods",
+          static_cast<double>(partial_.fallback_periods)}});
+  }
+  if (measured && config_.estimation && !tainted) {
     DayRecord record;
     record.rewards = partial_.rewards;
     record.tip_demand = partial_.offered_units;
@@ -532,13 +613,62 @@ void MultiDayDriver::finish_day() {
       if (config_.reanchor && config_.online_pricing && online != nullptr &&
           std::isfinite(partial_.beta_estimate) &&
           partial_.beta_estimate > 0.0) {
-        model_beta_ = partial_.beta_estimate;
-        model_volumes_ = tip;
-        model_source_ = ModelSource::kEstimated;
-        online->adopt_model(estimated_model(model_beta_, model_volumes_),
-                            config_.offline_options);
-        partial_.reanchored = true;
-        horizon_counters().reanchors.add(1);
+        if (config_.reanchor_healthy_periods > 0 &&
+            healthy_streak_periods_ < config_.reanchor_healthy_periods) {
+          // Hysteresis: a pricer freshly back from an excursion re-anchors
+          // only after K consecutive healthy periods — one good reading is
+          // not proof the storm has passed.
+          horizon_counters().deferred.add(1);
+          obs::journal_record(
+              "horizon.reanchor_deferred", -1, -1, "hysteresis",
+              {{"day", static_cast<double>(day_)},
+               {"healthy_streak",
+                static_cast<double>(healthy_streak_periods_)},
+               {"required",
+                static_cast<double>(config_.reanchor_healthy_periods)}});
+        } else if (config_.reanchor_objective_guard) {
+          // Predicted-objective guard: re-solve the candidate model and
+          // adopt only when its own objective says the new schedule beats
+          // the anchored one (within tolerance). A re-fit poisoned by
+          // residual storm corruption predicts a worse day and rolls back.
+          DynamicModel candidate = estimated_model(partial_.beta_estimate,
+                                                   tip);
+          const DynamicPricingSolution solved =
+              optimize_dynamic_prices(candidate, config_.offline_options);
+          const double candidate_cost = candidate.total_cost(solved.rewards);
+          const double anchored_cost = candidate.total_cost(online->rewards());
+          if (candidate_cost <=
+              anchored_cost * (1.0 + config_.reanchor_guard_tolerance)) {
+            model_beta_ = partial_.beta_estimate;
+            model_volumes_ = tip;
+            model_source_ = ModelSource::kEstimated;
+            online->adopt_model(std::move(candidate),
+                                config_.offline_options, solved.rewards);
+            partial_.reanchored = true;
+            horizon_counters().reanchors.add(1);
+            obs::journal_record(
+                "horizon.reanchor_adopted", -1, -1, "objective guard",
+                {{"day", static_cast<double>(day_)},
+                 {"candidate_cost", candidate_cost},
+                 {"anchored_cost", anchored_cost}});
+          } else {
+            partial_.reanchor_rolled_back = true;
+            horizon_counters().rollbacks.add(1);
+            obs::journal_record(
+                "horizon.reanchor_rolledback", -1, -1, "objective guard",
+                {{"day", static_cast<double>(day_)},
+                 {"candidate_cost", candidate_cost},
+                 {"anchored_cost", anchored_cost}});
+          }
+        } else {
+          model_beta_ = partial_.beta_estimate;
+          model_volumes_ = tip;
+          model_source_ = ModelSource::kEstimated;
+          online->adopt_model(estimated_model(model_beta_, model_volumes_),
+                              config_.offline_options);
+          partial_.reanchored = true;
+          horizon_counters().reanchors.add(1);
+        }
       }
     }
   }
@@ -604,6 +734,12 @@ CheckpointData MultiDayDriver::checkpoint() const {
   d.max_retries = config_.resilience.max_retries;
   d.max_spike_factor = config_.measurement_guard.max_spike_factor;
   d.max_carry_forward = config_.measurement_guard.max_carry_forward;
+  d.carry_floor_fraction = config_.measurement_guard.carry_floor_fraction;
+  d.estimation_health_gate = config_.estimation_health_gate;
+  d.reanchor_healthy_periods = config_.reanchor_healthy_periods;
+  d.reanchor_objective_guard = config_.reanchor_objective_guard;
+  d.reanchor_guard_tolerance = config_.reanchor_guard_tolerance;
+  d.healthy_streak_periods = healthy_streak_periods_;
 
   d.day = day_;
   d.period = static_cast<std::uint32_t>(period_);

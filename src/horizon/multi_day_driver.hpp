@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/fault.hpp"
@@ -45,6 +46,7 @@
 #include "fleet/price_fanout.hpp"
 #include "fleet/shard.hpp"
 #include "horizon/checkpoint.hpp"
+#include "horizon/checkpoint_stream.hpp"
 #include "horizon/horizon_metrics.hpp"
 #include "mech/mechanism.hpp"
 #include "tube/measurement_guard.hpp"
@@ -104,6 +106,32 @@ struct HorizonConfig {
   std::size_t estimation_starts = 4;
   /// Rebuild + re-solve the pricer's fluid model from each estimate.
   bool reanchor = true;
+
+  // -- storm-mode health gating (all defaults preserve legacy behavior) ---
+
+  /// Freeze §IV re-estimation for any day during which the pricer FSM sat
+  /// in FALLBACK: measurements from a fallback window describe the safety
+  /// schedule's world, not the control loop's, and must never be fitted.
+  bool estimation_health_gate = false;
+  /// Hysteresis: re-anchor only after this many consecutive HEALTHY
+  /// periods (0 = re-anchor as soon as an estimate lands, legacy).
+  std::size_t reanchor_healthy_periods = 0;
+  /// Guard adopt_model with a predicted-objective check: re-solve the
+  /// candidate model and roll the re-fit back when its own objective says
+  /// the new schedule is worse than the anchored one.
+  bool reanchor_objective_guard = false;
+  /// Relative slack for the objective guard: adopt while
+  /// candidate_cost <= anchored_cost * (1 + tolerance).
+  double reanchor_guard_tolerance = 0.0;
+
+  // -- streaming checkpoints (execution knobs; never config-echoed) -------
+
+  /// When non-empty, stream incremental v2 checkpoints to this path at
+  /// period boundaries (atomic tmp-file/rename commits).
+  std::string checkpoint_path;
+  /// Commit every k-th period boundary in addition to day boundaries
+  /// (0 = day boundaries only).
+  std::size_t checkpoint_every_periods = 0;
 };
 
 class MultiDayDriver {
@@ -178,6 +206,17 @@ class MultiDayDriver {
   void start_day();
   void finish_day();
   void build_drift_tables();
+  /// True when any storm-mode health gate is configured. Health tracking
+  /// (healthy_streak_periods_, DayMetrics::fallback_periods) runs only when
+  /// gated, so ungated runs keep the new fields at zero and their
+  /// checkpoints stay byte-identical to format v1.
+  bool health_gated() const {
+    return config_.estimation_health_gate ||
+           config_.reanchor_healthy_periods > 0 ||
+           config_.reanchor_objective_guard;
+  }
+  /// Stream a checkpoint commit if the clock warrants one.
+  void maybe_stream_commit();
   /// The estimated fluid model: one tied class per period at the window's
   /// mean TIP volumes, with the baseline's capacity and cost.
   DynamicModel estimated_model(double beta,
@@ -222,6 +261,12 @@ class MultiDayDriver {
   ModelSource model_source_ = ModelSource::kBaseline;
   double model_beta_ = 0.0;
   std::vector<double> model_volumes_;
+
+  /// Consecutive HEALTHY periods (tracked only when health_gated()).
+  std::uint64_t healthy_streak_periods_ = 0;
+
+  /// Streaming checkpoint writer (present when checkpoint_path is set).
+  std::unique_ptr<CheckpointStream> stream_;
 
   // Metrics.
   std::vector<DayMetrics> completed_days_;

@@ -96,6 +96,22 @@ SettleInfo FixedBudgetRebateMechanism::settle_day(const DaySettlement& day) {
                   day.realized_units.size() == n,
               "settlement profile size mismatch");
 
+  // Blackout hold: a day with missing measurements reads as "nobody
+  // deferred" and would whipsaw the pacing controller (see header). Keep
+  // the books, freeze everything learned, and wait for a fully-observed
+  // day before updating shares/gains/pacing or re-fitting the rates.
+  if (missed_periods_today_ > 0) {
+    missed_periods_today_ = 0;
+    ++held_settles_;
+    paid_total_ += day.reward_paid_units;
+    ++days_settled_;
+    SettleInfo held;
+    held.schedule_changed = false;
+    held.budget_spent = day.reward_paid_units;
+    held.budget_pool = pool_;
+    return held;
+  }
+
   // Only off-peak periods (room > 0) are rebate-eligible: inflow that
   // lands on an above-mean shoulder is traffic the mechanism must stop
   // paying for, not chase — steering pool share there stacks a new peak
@@ -160,16 +176,24 @@ SettleInfo FixedBudgetRebateMechanism::settle_day(const DaySettlement& day) {
 MechanismState FixedBudgetRebateMechanism::export_state() const {
   MechanismState state;
   state.rewards = rewards_;
-  state.scalars = {pool_,       inflow_floor_,
-                   share_blend_, spend_scale_,
-                   paid_total_, static_cast<double>(days_settled_)};
+  state.scalars = {pool_,
+                   inflow_floor_,
+                   share_blend_,
+                   spend_scale_,
+                   paid_total_,
+                   static_cast<double>(days_settled_),
+                   static_cast<double>(missed_periods_today_),
+                   static_cast<double>(held_settles_)};
   state.vectors = {shares_, gain_};
   return state;
 }
 
 void FixedBudgetRebateMechanism::restore_state(const MechanismState& state) {
   const std::size_t n = periods();
-  TDP_REQUIRE(state.rewards.size() == n && state.scalars.size() == 6 &&
+  // Legacy 6-scalar states (pre blackout-hold) restore with zero hold
+  // counters; current states carry 8.
+  TDP_REQUIRE(state.rewards.size() == n &&
+                  (state.scalars.size() == 6 || state.scalars.size() == 8) &&
                   state.vectors.size() == 2 && state.vectors[0].size() == n &&
                   state.vectors[1].size() == n,
               "rebate state shape mismatch");
@@ -180,6 +204,13 @@ void FixedBudgetRebateMechanism::restore_state(const MechanismState& state) {
   spend_scale_ = state.scalars[3];
   paid_total_ = state.scalars[4];
   days_settled_ = static_cast<std::uint64_t>(state.scalars[5]);
+  missed_periods_today_ =
+      state.scalars.size() > 6
+          ? static_cast<std::uint64_t>(state.scalars[6])
+          : 0;
+  held_settles_ = state.scalars.size() > 7
+                      ? static_cast<std::uint64_t>(state.scalars[7])
+                      : 0;
   shares_ = state.vectors[0];
   gain_ = state.vectors[1];
 }

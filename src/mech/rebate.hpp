@@ -35,8 +35,17 @@
 // budget, only yesterday's bill.
 //
 // The published rates change only at day boundaries: within a day the
-// schedule is frozen (observe_* are no-ops), so the mechanism is trivially
-// healthy and needs no solver budget.
+// schedule is frozen (observe_period is a no-op), so the mechanism is
+// trivially healthy and needs no solver budget.
+//
+// Blackout hold: the pacing controller and the share/gain EWMAs all learn
+// from *observed* inflow, which a measurement blackout zeroes — a settle on
+// a blacked-out day would read "nobody deferred", crank spend_scale_ up
+// sqrt(pool/paid)-fast, and overspend the pool the day the lights come
+// back. So any day with at least one missed measurement settles on hold:
+// the books are kept (paid_total_, days_settled_) but the learned state —
+// shares, gains, pacing factor, and the published schedule itself — is
+// frozen at its last-known value until a fully-observed day settles.
 #pragma once
 
 #include "mech/mechanism.hpp"
@@ -54,7 +63,7 @@ class FixedBudgetRebateMechanism final : public PricingMechanism {
   const math::Vector& rewards() const override { return rewards_; }
 
   void observe_period(std::size_t, double, bool, std::size_t) override {}
-  void observe_missed(std::size_t) override {}
+  void observe_missed(std::size_t) override { ++missed_periods_today_; }
   SettleInfo settle_day(const DaySettlement& day) override;
 
   MechanismState export_state() const override;
@@ -65,6 +74,7 @@ class FixedBudgetRebateMechanism final : public PricingMechanism {
   std::uint64_t days_settled() const { return days_settled_; }
   const std::vector<double>& shares() const { return shares_; }
   double spend_scale() const { return spend_scale_; }
+  std::uint64_t held_settles() const { return held_settles_; }
 
  private:
   void rates_from_inflow(const std::vector<double>& inflow);
@@ -79,6 +89,8 @@ class FixedBudgetRebateMechanism final : public PricingMechanism {
   double spend_scale_ = 1.0;  ///< pacing controller state, paid -> pool
   double paid_total_ = 0.0;
   std::uint64_t days_settled_ = 0;
+  std::uint64_t missed_periods_today_ = 0;  ///< blackout gaps since settle
+  std::uint64_t held_settles_ = 0;          ///< settles frozen by blackouts
 };
 
 }  // namespace tdp::mech

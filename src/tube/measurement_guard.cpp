@@ -40,6 +40,9 @@ MeasurementGuard::MeasurementGuard(std::vector<double> reference,
   TDP_REQUIRE(!reference_.empty(), "need at least one period");
   TDP_REQUIRE(config_.max_spike_factor > 1.0,
               "spike factor must exceed 1 or clean data would be clamped");
+  TDP_REQUIRE(config_.carry_floor_fraction >= 0.0 &&
+                  config_.carry_floor_fraction < 1.0,
+              "carry floor fraction must lie in [0, 1)");
   for (double r : reference_) {
     TDP_REQUIRE(std::isfinite(r) && r >= 0.0,
                 "reference profile must be finite and nonnegative");
@@ -54,11 +57,17 @@ double MeasurementGuard::fill_gap(std::size_t period) {
       gap_streak_[period] <= config_.max_carry_forward) {
     return last_good_[period];
   }
-  // Extended blackout (or no history yet): interpolate toward the prior —
-  // keep one carry-forward's worth of weight on the last good sample so
-  // the transition is not a cliff, pure reference once even that is gone.
+  // Extended blackout (or no history yet): decay geometrically from the
+  // last good sample toward the prior, clamped at the carry floor — over a
+  // near-zero reference period an unclamped decay walks the carried value
+  // to ~0, and the first post-blackout re-solve would see a demand cliff.
   if (has_last_good_[period]) {
-    return 0.5 * (last_good_[period] + reference_[period]);
+    const double lg = last_good_[period];
+    const double ref = reference_[period];
+    const std::size_t over = gap_streak_[period] - config_.max_carry_forward;
+    const double decayed =
+        ref + (lg - ref) * std::pow(0.5, static_cast<double>(over));
+    return std::max(decayed, config_.carry_floor_fraction * lg);
   }
   return reference_[period];
 }

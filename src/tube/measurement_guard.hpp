@@ -50,6 +50,12 @@ struct MeasurementGuardConfig {
   /// Consecutive gaps (per period index) filled with last-known-good
   /// before decaying to the reference profile.
   std::size_t max_carry_forward = 3;
+  /// Floor on blackout decay, as a fraction of the last good sample: a
+  /// multi-day blackout over a near-zero reference period must not decay
+  /// the carried value toward zero, or the first post-blackout re-solve
+  /// sees a demand cliff and spikes the schedule. 0 disables the floor
+  /// (pure decay-to-reference). Must lie in [0, 1).
+  double carry_floor_fraction = 0.5;
 };
 
 class MeasurementGuard {

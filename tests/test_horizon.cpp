@@ -90,6 +90,9 @@ void expect_days_bitwise_equal(const std::vector<DayMetrics>& a,
     EXPECT_EQ(a[d].estimate_residual, b[d].estimate_residual);
     EXPECT_EQ(a[d].reanchored, b[d].reanchored);
     EXPECT_EQ(a[d].reward_step_linf, b[d].reward_step_linf);
+    EXPECT_EQ(a[d].fallback_periods, b[d].fallback_periods);
+    EXPECT_EQ(a[d].estimation_frozen, b[d].estimation_frozen);
+    EXPECT_EQ(a[d].reanchor_rolled_back, b[d].reanchor_rolled_back);
   }
 }
 

@@ -39,6 +39,18 @@ every *_seconds field is gated against the baseline like the other suites:
   tools/check_bench_regression.py --suite mechanism BENCH_mechanism.json \
       [--baseline bench/baselines/BENCH_mechanism.baseline.json] [--update]
 
+`--suite storm` gates BENCH_storm.json from bench_storm_recovery: the
+pricer must retain most of its peak-to-average reduction through a
+20%-duty storm (--min-p2a-retention, default 0.85), streaming v2
+checkpoint commits must stay cheap next to the bare period loop
+(--max-stream-overhead, default 0.15 at CI scale; the <5% acceptance
+claim is measured at 1M users), and every *_seconds field — including
+recovery_wall_seconds, the crash-under-storm recovery ceiling — is gated
+against the baseline like the other suites:
+
+  tools/check_bench_regression.py --suite storm BENCH_storm.json \
+      [--baseline bench/baselines/BENCH_storm.baseline.json] [--update]
+
 A second mode gates telemetry overhead instead: give it the stdout logs of
 two bench_fleet_scale runs — one with observability on (TDP_OBS=1
 TDP_TRACE=1), one with it off (TDP_OBS=0) — and it compares the
@@ -164,6 +176,43 @@ def check_mechanism_ordering(current: dict, epsilon: float,
     return failures
 
 
+def check_storm_resilience(current: dict, min_retention: float,
+                           max_stream_overhead: float) -> list[str]:
+    """The storm suite's machine-independent gates: P2A retention under
+    the 20%-duty storm and the streaming-checkpoint overhead ceiling."""
+    failures = []
+    benches = current.get("benches", {})
+
+    week = benches.get("storm_week")
+    if week is None or "p2a_retention" not in week:
+        failures.append("missing bench 'storm_week' with p2a_retention")
+    else:
+        retention = week["p2a_retention"]
+        if retention < min_retention:
+            failures.append(
+                f"storm_week: p2a_retention {retention:.3f} below the "
+                f"{min_retention:.2f} floor (storm-mode P2A drift too large)")
+        else:
+            print(f"  OK  storm_week.p2a_retention = {retention:.3f} "
+                  f"(floor {min_retention:.2f})")
+
+    overhead_entry = benches.get("stream_overhead")
+    if (overhead_entry is None
+            or "stream_overhead_fraction" not in overhead_entry):
+        failures.append(
+            "missing bench 'stream_overhead' with stream_overhead_fraction")
+    else:
+        overhead = overhead_entry["stream_overhead_fraction"]
+        if overhead > max_stream_overhead:
+            failures.append(
+                f"stream_overhead: {overhead:.3f} above the "
+                f"{max_stream_overhead:.2f} ceiling")
+        else:
+            print(f"  OK  stream_overhead.stream_overhead_fraction = "
+                  f"{overhead:.3f} (ceiling {max_stream_overhead:.2f})")
+    return failures
+
+
 BENCH_JSON_PREFIX = "BENCH_JSON "
 
 
@@ -224,11 +273,14 @@ def main() -> int:
     parser.add_argument("current", type=Path, nargs="?",
                         help="BENCH_kernel.json / BENCH_horizon.json from "
                              "this run")
-    parser.add_argument("--suite", choices=("kernel", "horizon", "mechanism"),
+    parser.add_argument("--suite",
+                        choices=("kernel", "horizon", "mechanism", "storm"),
                         default="kernel",
                         help="which bench suite the input comes from; "
                              "'horizon' skips the kernel speedup floors, "
-                             "'mechanism' checks the arena ordering instead")
+                             "'mechanism' checks the arena ordering, "
+                             "'storm' checks P2A retention and streaming "
+                             "overhead instead")
     parser.add_argument("--fleet-overhead", nargs=2, type=Path,
                         metavar=("ON_LOG", "OFF_LOG"),
                         help="compare bench_fleet_scale stdout logs with "
@@ -249,6 +301,12 @@ def main() -> int:
     parser.add_argument("--ordering-epsilon", type=float, default=0.01,
                         help="slack allowed in the mechanism-ordering "
                              "comparisons")
+    parser.add_argument("--min-p2a-retention", type=float, default=0.85,
+                        help="floor on storm_week.p2a_retention in the "
+                             "storm suite")
+    parser.add_argument("--max-stream-overhead", type=float, default=0.15,
+                        help="ceiling on stream_overhead_fraction in the "
+                             "storm suite")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
     args = parser.parse_args()
@@ -274,6 +332,9 @@ def main() -> int:
     if args.suite == "mechanism":
         failures += check_mechanism_ordering(current, args.ordering_epsilon,
                                              args.min_tube_reduction)
+    if args.suite == "storm":
+        failures += check_storm_resilience(current, args.min_p2a_retention,
+                                           args.max_stream_overhead)
 
     if args.update:
         if failures:
