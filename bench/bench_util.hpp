@@ -10,7 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/batch_solver.hpp"
 
 // Short commit SHA baked in by bench/CMakeLists.txt so every BENCH_JSON
@@ -100,6 +102,11 @@ class BenchReport {
   /// no mechanism axis). Always emitted so arena results sort by regime.
   void set_mechanism(std::string name) { mechanism_ = std::move(name); }
 
+  /// Worker threads this bench actually ran on. Defaults to the hardware
+  /// count; benches that sweep a thread axis set it per cell so the
+  /// provenance fields describe the measurement, not the host.
+  void set_threads_used(std::size_t threads) { threads_used_ = threads; }
+
   void emit() {
     emitted_ = true;
     const double wall = std::chrono::duration<double>(
@@ -110,6 +117,14 @@ class BenchReport {
       line += ",\"" + key + "\":" + value;
     }
     line += ",\"mechanism\":\"" + mechanism_ + "\"";
+    // Measurement provenance: what the host can do (host_isa), what the
+    // dispatcher actually used (simd_mode), and the threading layout —
+    // so any two BENCH_JSON lines are comparable, or visibly not.
+    line += ",\"host_isa\":\"" + std::string(simd::host_isa()) + "\"";
+    line += ",\"simd_mode\":\"" + std::string(simd::mode_name()) + "\"";
+    line += ",\"threads_used\":" + std::to_string(threads_used_);
+    line += ",\"pinned\":";
+    line += pin_threads() ? "true" : "false";
     line += ",\"git_sha\":\"" TDP_GIT_SHA "\"";
     char buffer[64];
     std::snprintf(buffer, sizeof buffer,
@@ -122,6 +137,7 @@ class BenchReport {
  private:
   std::string name_;
   std::string mechanism_ = "none";
+  std::size_t threads_used_ = hardware_threads();
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, std::string>> fields_;
   bool emitted_ = false;

@@ -7,9 +7,9 @@
 namespace tdp {
 
 std::uint64_t Rng::next() {
-  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  std::uint64_t z = (state_ += kGamma);
+  z = (z ^ (z >> 30)) * kFinalizer1;
+  z = (z ^ (z >> 27)) * kFinalizer2;
   return z ^ (z >> 31);
 }
 
@@ -80,18 +80,18 @@ Rng Rng::fork() {
   // Derive a child seed from two draws to decorrelate the streams.
   const std::uint64_t a = next();
   const std::uint64_t b = next();
-  return Rng(a ^ (b * 0xD1342543DE82EF95ull) ^ 0x5851F42D4C957F2Dull);
+  return Rng(a ^ (b * kForkMul) ^ kStreamMul);
 }
 
 Rng Rng::fork_stream(std::uint64_t stream) const {
   // SplitMix finalizer over (state, stream) — two rounds so that adjacent
   // stream indices land in unrelated regions of the parent's state space.
-  std::uint64_t z = state_ ^ (stream + 0x9E3779B97F4A7C15ull) *
-                                 0xD1342543DE82EF95ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  std::uint64_t z = state_ ^ (stream + kGamma) *
+                                 kForkMul;
+  z = (z ^ (z >> 30)) * kFinalizer1;
+  z = (z ^ (z >> 27)) * kFinalizer2;
   z ^= z >> 31;
-  return Rng(z ^ (stream * 0x5851F42D4C957F2Dull));
+  return Rng(z ^ (stream * kStreamMul));
 }
 
 }  // namespace tdp

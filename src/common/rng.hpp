@@ -18,7 +18,15 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+  // SplitMix64 constants, shared with the batched SIMD derivation kernels
+  // (common/simd.hpp) which must replicate next()/fork_stream() bit-exactly.
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+  static constexpr std::uint64_t kFinalizer1 = 0xBF58476D1CE4E5B9ull;
+  static constexpr std::uint64_t kFinalizer2 = 0x94D049BB133111EBull;
+  static constexpr std::uint64_t kForkMul = 0xD1342543DE82EF95ull;
+  static constexpr std::uint64_t kStreamMul = 0x5851F42D4C957F2Dull;
+
+  explicit Rng(std::uint64_t seed = kGamma) : state_(seed) {}
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }
@@ -59,6 +67,12 @@ class Rng {
   /// the same stream regardless of thread count or scheduling order —
   /// the determinism contract the batch engine relies on.
   Rng fork_stream(std::uint64_t stream) const;
+
+  /// Raw SplitMix64 state. next() is a pure finalizer over the advanced
+  /// state, so (state in, state out, draws) is an exact description of a
+  /// generator: Rng(state()) replays the remaining sequence. The fleet's
+  /// batched draw kernels persist states through this.
+  std::uint64_t state() const { return state_; }
 
  private:
   std::uint64_t state_;

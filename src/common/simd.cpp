@@ -1,0 +1,141 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tdp::simd {
+
+namespace {
+
+bool cpu_has(const char* feature) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (std::strcmp(feature, "avx2") == 0)
+    return __builtin_cpu_supports("avx2") != 0;
+  if (std::strcmp(feature, "avx512f") == 0)
+    return __builtin_cpu_supports("avx512f") != 0;
+  return false;
+#else
+  (void)feature;
+  return false;
+#endif
+}
+
+Mode detect_mode() {
+  Mode best = avx2_supported() ? Mode::kAvx2 : Mode::kScalar;
+  const char* env = std::getenv("TDP_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0)
+    return best;
+  if (std::strcmp(env, "scalar") == 0) return Mode::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    TDP_REQUIRE(avx2_supported(), "TDP_SIMD=avx2 but host/build lacks AVX2");
+    return Mode::kAvx2;
+  }
+  TDP_REQUIRE(false, "TDP_SIMD must be one of: auto, scalar, avx2");
+  return best;
+}
+
+// kScalar=0 / kAvx2=1 stored +1 so 0 means "not yet resolved".
+std::atomic<int> g_mode{0};
+
+}  // namespace
+
+bool avx2_supported() {
+#if defined(TDP_HAVE_AVX2)
+  static const bool supported = cpu_has("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Mode mode() {
+  int m = g_mode.load(std::memory_order_acquire);
+  if (m == 0) {
+    m = static_cast<int>(detect_mode()) + 1;
+    int expected = 0;
+    if (!g_mode.compare_exchange_strong(expected, m,
+                                        std::memory_order_acq_rel)) {
+      m = expected;
+    }
+  }
+  return static_cast<Mode>(m - 1);
+}
+
+void set_mode(Mode m) {
+  TDP_REQUIRE(m == Mode::kScalar || avx2_supported(),
+              "cannot force a SIMD mode this host/build does not support");
+  g_mode.store(static_cast<int>(m) + 1, std::memory_order_release);
+}
+
+const char* mode_name() {
+  return mode() == Mode::kAvx2 ? "avx2" : "scalar";
+}
+
+const char* host_isa() {
+  if (cpu_has("avx512f")) return "avx512";
+  if (cpu_has("avx2")) return "avx2";
+  return "sse2";
+}
+
+namespace detail {
+
+void fork_uniform_batch_scalar(const std::uint64_t* state, std::size_t count,
+                               std::uint64_t stream, double* u1,
+                               std::uint64_t* state_out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng child = Rng(state[i]).fork_stream(stream);
+    u1[i] = child.uniform();
+    state_out[i] = child.state();
+  }
+}
+
+void fork_uniform_screen_batch_scalar(const std::uint64_t* state,
+                                      std::size_t count, std::uint64_t stream,
+                                      const std::uint32_t* cls,
+                                      const double* screen, double* u1,
+                                      std::uint64_t* state_out,
+                                      std::uint64_t* active_mask) {
+  for (std::size_t w = 0; w < (count + 63) / 64; ++w) active_mask[w] = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng child = Rng(state[i]).fork_stream(stream);
+    u1[i] = child.uniform();
+    state_out[i] = child.state();
+    if (u1[i] > screen[cls[i]]) active_mask[i / 64] |= 1ull << (i % 64);
+  }
+}
+
+}  // namespace detail
+
+void fork_uniform_batch(const std::uint64_t* state, std::size_t count,
+                        std::uint64_t stream, double* u1,
+                        std::uint64_t* state_out) {
+#if defined(TDP_HAVE_AVX2)
+  if (mode() == Mode::kAvx2) {
+    detail::fork_uniform_batch_avx2(state, count, stream, u1, state_out);
+    return;
+  }
+#endif
+  detail::fork_uniform_batch_scalar(state, count, stream, u1, state_out);
+}
+
+void fork_uniform_screen_batch(const std::uint64_t* state, std::size_t count,
+                               std::uint64_t stream,
+                               const std::uint32_t* cls, const double* screen,
+                               double* u1, std::uint64_t* state_out,
+                               std::uint64_t* active_mask) {
+#if defined(TDP_HAVE_AVX2)
+  if (mode() == Mode::kAvx2) {
+    detail::fork_uniform_screen_batch_avx2(state, count, stream, cls, screen,
+                                           u1, state_out, active_mask);
+    return;
+  }
+#endif
+  detail::fork_uniform_screen_batch_scalar(state, count, stream, cls, screen,
+                                           u1, state_out, active_mask);
+}
+
+}  // namespace tdp::simd

@@ -1,0 +1,105 @@
+// Runtime-dispatched SIMD support with a bitwise-identical scalar fallback.
+//
+// Every vector kernel in this repo obeys one discipline: **lanes are
+// independent outputs, never partial sums of one output**. A lane executes
+// exactly the operation sequence the scalar code would execute for that
+// output, so scalar and SIMD builds — and any lane width — produce
+// bitwise-identical doubles. Cross-lane (horizontal) reductions are
+// forbidden; transcendentals that the scalar path takes from libm
+// (exp/log/pow) stay scalar calls on both paths. Integer kernels
+// (SplitMix64 stream derivation, the 53-bit uniform conversion) are exact
+// in any width, so they vectorize freely.
+//
+// Dispatch is resolved once per process from CPUID plus the TDP_SIMD
+// environment variable ("scalar" forces the fallback, "avx2" requests the
+// vector path, unset/"auto" uses the best supported). Tests flip the mode
+// at runtime via set_mode() to prove scalar-vs-SIMD bit identity on the
+// same host (tests/test_simd.cpp).
+//
+// The AVX2 implementations live in *_avx2.cpp translation units compiled
+// with -mavx2 (gated by the compiler check in src/common/CMakeLists.txt);
+// nothing in those TUs runs unless mode() says the host supports it. On
+// compilers or targets without AVX2 support the build simply omits the
+// vector TUs and mode() is pinned to kScalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdp::simd {
+
+enum class Mode : std::uint8_t {
+  kScalar = 0,  ///< portable fallback, always available
+  kAvx2 = 1,    ///< 4 × 64-bit lanes (requires CPU + build support)
+};
+
+/// True when this build contains the AVX2 kernels and the CPU reports
+/// AVX2. A false return pins mode() to kScalar.
+bool avx2_supported();
+
+/// The active mode: TDP_SIMD env override if valid, else the best
+/// supported width. Cached after the first call.
+Mode mode();
+
+/// Force a mode (tests). Forcing kAvx2 on a host without support throws.
+void set_mode(Mode mode);
+
+/// "scalar" or "avx2" for logs and BENCH_JSON.
+const char* mode_name();
+
+/// Host ISA summary for bench provenance: "avx512", "avx2", or "sse2"
+/// (what the CPU supports, independent of the active mode).
+const char* host_isa();
+
+// ---- Batched SplitMix64 stream derivation ---------------------------------
+//
+// For each i in [0, count): take the child stream
+// Rng(state[i]).fork_stream(stream), draw its first uniform() into u1[i],
+// and store the child's post-draw state in state_out[i] (so a caller can
+// resume the child's draw sequence with Rng(state_out[i])). Bitwise
+// identical to the Rng calls in every mode; the fleet's per-(user, period)
+// session loop batches its first Poisson draw through this.
+void fork_uniform_batch(const std::uint64_t* state, std::size_t count,
+                        std::uint64_t stream, double* u1,
+                        std::uint64_t* state_out);
+
+/// fork_uniform_batch plus an activity screen evaluated while u1 is still
+/// in registers: `active_mask` gets bit i set iff u1[i] > screen[cls[i]]
+/// (mask words cover 64 entries each; trailing bits stay 0). The fleet
+/// session loop iterates only the set bits — with the paper's mixes ~90%
+/// of user-periods are screened out as proven count==0 without ever
+/// touching their per-user state scalar-side. screen values are per
+/// class: an always-active class uses -1.0 (a uniform is never <= -1),
+/// a never-active class +infinity.
+void fork_uniform_screen_batch(const std::uint64_t* state, std::size_t count,
+                               std::uint64_t stream,
+                               const std::uint32_t* cls, const double* screen,
+                               double* u1, std::uint64_t* state_out,
+                               std::uint64_t* active_mask);
+
+namespace detail {
+// The mode-specific implementations (scalar always present; avx2 present
+// when TDP_HAVE_AVX2). Exposed for the bitwise cross-checks in tests.
+void fork_uniform_batch_scalar(const std::uint64_t* state, std::size_t count,
+                               std::uint64_t stream, double* u1,
+                               std::uint64_t* state_out);
+void fork_uniform_screen_batch_scalar(const std::uint64_t* state,
+                                      std::size_t count, std::uint64_t stream,
+                                      const std::uint32_t* cls,
+                                      const double* screen, double* u1,
+                                      std::uint64_t* state_out,
+                                      std::uint64_t* active_mask);
+#if defined(TDP_HAVE_AVX2)
+void fork_uniform_batch_avx2(const std::uint64_t* state, std::size_t count,
+                             std::uint64_t stream, double* u1,
+                             std::uint64_t* state_out);
+void fork_uniform_screen_batch_avx2(const std::uint64_t* state,
+                                    std::size_t count, std::uint64_t stream,
+                                    const std::uint32_t* cls,
+                                    const double* screen, double* u1,
+                                    std::uint64_t* state_out,
+                                    std::uint64_t* active_mask);
+#endif
+}  // namespace detail
+
+}  // namespace tdp::simd

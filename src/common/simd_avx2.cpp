@@ -1,0 +1,143 @@
+// AVX2 implementation of the batched SplitMix64 derivation kernel.
+// Compiled with -mavx2 (per-source flag in CMakeLists.txt); callers reach
+// it only through simd::fork_uniform_batch after the runtime CPUID check.
+//
+// Each 64-bit lane replays exactly the scalar sequence
+//   Rng child = Rng(state[i]).fork_stream(stream);
+//   u1[i] = child.uniform();
+//   state_out[i] = child.state();
+// All operations are integer (exact in any width) except the final
+// uint64 -> double conversion, which is exact by construction: the 53-bit
+// mantissa value is split into 32-bit halves, each converted exactly via
+// the 2^52 magic-number trick, and recombined with one multiply-by-2^32
+// and one add whose result is itself exactly representable (< 2^53).
+#include "common/simd.hpp"
+
+#if defined(TDP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "common/rng.hpp"
+
+namespace tdp::simd::detail {
+
+namespace {
+
+// Full 64-bit lane-wise multiply (AVX2 has only 32x32->64).
+inline __m256i mul64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                         _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+inline __m256i xorshift(__m256i z, int shift) {
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, shift));
+}
+
+// SplitMix64 finalizer (the body of Rng::next() after the state advance,
+// and of fork_stream() after the initial mix).
+inline __m256i finalize(__m256i z) {
+  z = mul64(xorshift(z, 30), _mm256_set1_epi64x(Rng::kFinalizer1));
+  z = mul64(xorshift(z, 27), _mm256_set1_epi64x(Rng::kFinalizer2));
+  return xorshift(z, 31);
+}
+
+// Exact double(y) for y < 2^53, matching static_cast<double>(y).
+inline __m256d u53_to_double(__m256i y) {
+  const __m256i mant_magic = _mm256_set1_epi64x(0x4330000000000000ll);  // 2^52
+  const __m256d two52 = _mm256_set1_pd(0x1.0p52);
+  const __m256i lo32 = _mm256_and_si256(y, _mm256_set1_epi64x(0xFFFFFFFFll));
+  const __m256i hi32 = _mm256_srli_epi64(y, 32);
+  const __m256d lo_d = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(lo32, mant_magic)), two52);
+  const __m256d hi_d = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(hi32, mant_magic)), two52);
+  return _mm256_add_pd(_mm256_mul_pd(hi_d, _mm256_set1_pd(0x1.0p32)), lo_d);
+}
+
+}  // namespace
+
+void fork_uniform_batch_avx2(const std::uint64_t* state, std::size_t count,
+                             std::uint64_t stream, double* u1,
+                             std::uint64_t* state_out) {
+  // Lane-invariant parts of fork_stream(): (stream + gamma) * kForkMul and
+  // stream * kStreamMul depend only on `stream`, so hoist them as scalars.
+  const std::uint64_t fork_mix = (stream + Rng::kGamma) * Rng::kForkMul;
+  const __m256i fork_mix_v = _mm256_set1_epi64x(
+      static_cast<long long>(fork_mix));
+  const __m256i stream_mix_v = _mm256_set1_epi64x(
+      static_cast<long long>(stream * Rng::kStreamMul));
+  const __m256i gamma_v = _mm256_set1_epi64x(
+      static_cast<long long>(Rng::kGamma));
+
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i parent = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(state + i));
+    // fork_stream: z = state ^ mix; finalize; child = z ^ stream*kStreamMul.
+    __m256i child = _mm256_xor_si256(
+        finalize(_mm256_xor_si256(parent, fork_mix_v)), stream_mix_v);
+    // uniform(): advance by gamma, finalize, take the top 53 bits.
+    child = _mm256_add_epi64(child, gamma_v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(state_out + i), child);
+    const __m256i bits = _mm256_srli_epi64(finalize(child), 11);
+    _mm256_storeu_pd(
+        u1 + i, _mm256_mul_pd(u53_to_double(bits),
+                              _mm256_set1_pd(0x1.0p-53)));
+  }
+  if (i < count)
+    fork_uniform_batch_scalar(state + i, count - i, stream, u1 + i,
+                              state_out + i);
+}
+
+void fork_uniform_screen_batch_avx2(const std::uint64_t* state,
+                                    std::size_t count, std::uint64_t stream,
+                                    const std::uint32_t* cls,
+                                    const double* screen, double* u1,
+                                    std::uint64_t* state_out,
+                                    std::uint64_t* active_mask) {
+  const std::uint64_t fork_mix = (stream + Rng::kGamma) * Rng::kForkMul;
+  const __m256i fork_mix_v = _mm256_set1_epi64x(
+      static_cast<long long>(fork_mix));
+  const __m256i stream_mix_v = _mm256_set1_epi64x(
+      static_cast<long long>(stream * Rng::kStreamMul));
+  const __m256i gamma_v = _mm256_set1_epi64x(
+      static_cast<long long>(Rng::kGamma));
+
+  for (std::size_t w = 0; w < (count + 63) / 64; ++w) active_mask[w] = 0;
+
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i parent = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(state + i));
+    __m256i child = _mm256_xor_si256(
+        finalize(_mm256_xor_si256(parent, fork_mix_v)), stream_mix_v);
+    child = _mm256_add_epi64(child, gamma_v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(state_out + i), child);
+    const __m256i bits = _mm256_srli_epi64(finalize(child), 11);
+    const __m256d u = _mm256_mul_pd(u53_to_double(bits),
+                                    _mm256_set1_pd(0x1.0p-53));
+    _mm256_storeu_pd(u1 + i, u);
+    // Screen while u is in registers: lane active iff u > screen[cls].
+    const __m128i cls4 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(cls + i));
+    const __m256d screen4 = _mm256_i32gather_pd(screen, cls4, 8);
+    const int lanes =
+        _mm256_movemask_pd(_mm256_cmp_pd(u, screen4, _CMP_GT_OQ));
+    active_mask[i / 64] |=
+        static_cast<std::uint64_t>(lanes) << (i % 64);
+  }
+  for (; i < count; ++i) {
+    Rng child = Rng(state[i]).fork_stream(stream);
+    u1[i] = child.uniform();
+    state_out[i] = child.state();
+    if (u1[i] > screen[cls[i]]) active_mask[i / 64] |= 1ull << (i % 64);
+  }
+}
+
+}  // namespace tdp::simd::detail
+
+#endif  // TDP_HAVE_AVX2

@@ -6,6 +6,8 @@
 #include <deque>
 #include <limits>
 #include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "common/cyclic.hpp"
 #include "common/error.hpp"
@@ -159,6 +161,36 @@ std::shared_ptr<const DeferralKernelState> build_state(
   if (!state->linear) return state;
 
   const std::size_t n = state->periods;
+
+  // Unit-reward lag weights per distinct waiting function, computed once
+  // per (function, lag) instead of once per (pair, class). Every weight is
+  // bitwise identical to lag_weight(wf, 1.0, lag, convention): the
+  // kPeriodStart branch IS that call, and under kUniformArrival the
+  // UniformLagWeightTable reproduces the quadrature's arithmetic exactly
+  // (one pow per power-law lookup instead of eight virtual calls through
+  // integrate_gauss — this table build used to dominate every online
+  // demand-update's kernel rebuild).
+  std::unordered_map<const WaitingFunction*, std::vector<double>> unit_weight;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const SessionClass& sc : state->classes[i]) {
+      auto [it, inserted] = unit_weight.emplace(sc.waiting.get(),
+                                                std::vector<double>());
+      if (!inserted) continue;
+      std::vector<double>& weights = it->second;
+      weights.assign(n, 0.0);  // lag 0 unused (from == to is skipped)
+      if (convention == LagConvention::kUniformArrival) {
+        const UniformLagWeightTable table(sc.waiting, n);
+        for (std::size_t lag = 1; lag < n; ++lag) {
+          weights[lag] = table.weight(1.0, lag);
+        }
+      } else {
+        for (std::size_t lag = 1; lag < n; ++lag) {
+          weights[lag] = lag_weight(*sc.waiting, 1.0, lag, convention);
+        }
+      }
+    }
+  }
+
   state->unit.assign(n * n, 0.0);
   state->unit_inflow.assign(n, 0.0);
   for (std::size_t from = 0; from < n; ++from) {
@@ -167,7 +199,7 @@ std::shared_ptr<const DeferralKernelState> build_state(
       const std::size_t lag = cyclic_lag(from, to, n);
       double volume = 0.0;
       for (const SessionClass& sc : state->classes[from]) {
-        volume += sc.volume * lag_weight(*sc.waiting, 1.0, lag, convention);
+        volume += sc.volume * unit_weight.find(sc.waiting.get())->second[lag];
       }
       state->unit[from * n + to] = volume;
       state->unit_inflow[to] += volume;

@@ -6,6 +6,7 @@
 
 #include "common/cyclic.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "math/quadrature.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -120,6 +121,39 @@ KernelPlan::KernelPlan(const DeferralKernel& kernel)
       }
     }
   }
+
+  // SIMD eligibility: the vector fill path processes four `from` rows in
+  // lockstep, so every period must flatten to the same master slot
+  // sequence (same waiting-function ids, same order, all power-law). Any
+  // mismatch — ragged class lists, a generic waiting function — falls
+  // back to the scalar column loop. Volumes are re-laid out column-major
+  // per slot so a row group's four lane volumes load contiguously.
+  const std::size_t slots = period_begin_[1] - period_begin_[0];
+  bool uniform = slots > 0;
+  for (std::size_t i = 0; i < n && uniform; ++i) {
+    if (period_begin_[i + 1] - period_begin_[i] != slots) {
+      uniform = false;
+      break;
+    }
+    for (std::size_t t = 0; t < slots; ++t) {
+      if (term_wf_[period_begin_[i] + t] != term_wf_[t]) {
+        uniform = false;
+        break;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < slots && uniform; ++t) {
+    if (functions_[term_wf_[t]].kind == WfKind::kGeneric) uniform = false;
+  }
+  simd_ready_ = uniform;
+  if (simd_ready_) {
+    slot_volume_.assign(slots * n, 0.0);
+    for (std::size_t from = 0; from < n; ++from) {
+      for (std::size_t t = 0; t < slots; ++t) {
+        slot_volume_[t * n + from] = term_volume_[period_begin_[from] + t];
+      }
+    }
+  }
 }
 
 void KernelPlan::fill_column(std::size_t to, double reward,
@@ -158,63 +192,81 @@ void KernelPlan::fill_column(std::size_t to, double reward,
     }
   }
 
+#if defined(TDP_HAVE_AVX2)
+  if (simd_ready_ && simd::mode() == simd::Mode::kAvx2) {
+    fill_column_avx2(to, reward, positive, with_derivatives, s);
+    return;
+  }
+#endif
+
   for (std::size_t from = 0; from < n; ++from) {
     if (from == to) continue;
-    const std::size_t lag = lag_[from * n + to];
-    double vol = 0.0;
-    double dvol = 0.0;
-    const std::size_t end = period_begin_[from + 1];
-    for (std::size_t t = period_begin_[from]; t < end; ++t) {
-      const std::uint32_t w = term_wf_[t];
-      const double v = term_volume_[t];
-      switch (functions_[w].kind) {
-        case WfKind::kPowerStart: {
-          const double lp = lag_pow_[w * n + lag];
-          if (positive) vol += v * (factor[w] * lp);
-          if (with_derivatives) dvol += v * (dfactor[w] * lp);
-          break;
-        }
-        case WfKind::kPowerUniform: {
-          const double* np = &node_pow_[(w * n + lag) * kGaussN];
-          const double half = lag_half_[lag];
-          if (positive) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < kGaussN; ++k) {
-              acc += math::kGauss8Weights[k] * (factor[w] * np[k]);
-            }
-            vol += v * (acc * half);
+    fill_cell(from, to, lag_[from * n + to], reward, positive,
+              with_derivatives, s);
+  }
+}
+
+void KernelPlan::fill_cell(std::size_t from, std::size_t to, std::size_t lag,
+                           double reward, bool positive,
+                           bool with_derivatives, FlowState& s) const {
+  const std::size_t n = periods_;
+  double* V = s.pair.data();
+  double* dV = s.pair_derivative.data();
+  const double* factor = s.wf_factor.data();
+  const double* dfactor = s.wf_factor_derivative.data();
+  double vol = 0.0;
+  double dvol = 0.0;
+  const std::size_t end = period_begin_[from + 1];
+  for (std::size_t t = period_begin_[from]; t < end; ++t) {
+    const std::uint32_t w = term_wf_[t];
+    const double v = term_volume_[t];
+    switch (functions_[w].kind) {
+      case WfKind::kPowerStart: {
+        const double lp = lag_pow_[w * n + lag];
+        if (positive) vol += v * (factor[w] * lp);
+        if (with_derivatives) dvol += v * (dfactor[w] * lp);
+        break;
+      }
+      case WfKind::kPowerUniform: {
+        const double* np = &node_pow_[(w * n + lag) * kGaussN];
+        const double half = lag_half_[lag];
+        if (positive) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < kGaussN; ++k) {
+            acc += math::kGauss8Weights[k] * (factor[w] * np[k]);
           }
-          if (with_derivatives) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < kGaussN; ++k) {
-              acc += math::kGauss8Weights[k] * (dfactor[w] * np[k]);
-            }
-            dvol += v * (acc * half);
-          }
-          break;
+          vol += v * (acc * half);
         }
-        case WfKind::kGeneric: {
-          const WaitingFunction& wf = *functions_[w].wf;
-          if (positive && with_derivatives) {
-            double wv = 0.0;
-            double wd = 0.0;
-            lag_weight_pair(wf, reward, lag, convention_, wv, wd);
-            vol += v * wv;
-            dvol += v * wd;
-          } else if (positive) {
-            vol += v * lag_weight(wf, reward, lag, convention_);
-          } else if (with_derivatives) {
-            dvol += v * lag_weight_derivative(wf, reward, lag, convention_);
+        if (with_derivatives) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < kGaussN; ++k) {
+            acc += math::kGauss8Weights[k] * (dfactor[w] * np[k]);
           }
-          break;
+          dvol += v * (acc * half);
         }
+        break;
+      }
+      case WfKind::kGeneric: {
+        const WaitingFunction& wf = *functions_[w].wf;
+        if (positive && with_derivatives) {
+          double wv = 0.0;
+          double wd = 0.0;
+          lag_weight_pair(wf, reward, lag, convention_, wv, wd);
+          vol += v * wv;
+          dvol += v * wd;
+        } else if (positive) {
+          vol += v * lag_weight(wf, reward, lag, convention_);
+        } else if (with_derivatives) {
+          dvol += v * lag_weight_derivative(wf, reward, lag, convention_);
+        }
+        break;
       }
     }
-    // pair_volume returns 0 outright for nonpositive rewards; the
-    // derivative has no such early exit.
-    V[from * n + to] = positive ? vol : 0.0;
-    if (with_derivatives) dV[from * n + to] = dvol;
   }
+  // pair_volume returns 0 outright for nonpositive rewards; the
+  // derivative has no such early exit.
+  V[from * n + to] = positive ? vol : 0.0;
+  if (with_derivatives) dV[from * n + to] = dvol;
 }
 
 void KernelPlan::reduce_inflow(std::size_t into, bool with_derivatives,
@@ -272,8 +324,17 @@ void KernelPlan::evaluate(const std::vector<double>& rewards,
   for (std::size_t to = 0; to < n; ++to) {
     fill_column(to, rewards[to], with_derivatives, s);
   }
-  for (std::size_t i = 0; i < n; ++i) reduce_inflow(i, with_derivatives, s);
-  for (std::size_t i = 0; i < n; ++i) reduce_outflow(i, s);
+  std::size_t i = 0;
+#if defined(TDP_HAVE_AVX2)
+  // Four column sums at a time over the freshly filled pair matrix; each
+  // lane keeps the scalar reduction order. The linear path's inflow is a
+  // table lookup, not a matrix reduction — leave it scalar.
+  if (!linear_ && simd::mode() == simd::Mode::kAvx2) {
+    for (; i + 4 <= n; i += 4) reduce_inflow4_avx2(i, with_derivatives, s);
+  }
+#endif
+  for (; i < n; ++i) reduce_inflow(i, with_derivatives, s);
+  for (std::size_t i2 = 0; i2 < n; ++i2) reduce_outflow(i2, s);
 }
 
 void KernelPlan::update_coordinate(std::size_t m, double reward,

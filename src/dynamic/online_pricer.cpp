@@ -357,7 +357,7 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
     ++health_stats_.skipped_updates;
     pricer_counters().skipped_updates.add_always(1);
     result.new_reward = result.old_reward;
-    result.expected_cost = model_.total_cost(rewards_);
+    result.expected_cost = model_.total_cost(rewards_, cost_scratch_);
     result.skipped = true;
     TDP_LOG_DEBUG << "online update period " << period
                   << " skipped (FALLBACK, degraded input)";
@@ -427,7 +427,7 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
   if (failed && guard_.keep_reward_on_failure) {
     result.solve_failed = true;
     result.new_reward = result.old_reward;
-    result.expected_cost = model_.total_cost(rewards_);
+    result.expected_cost = model_.total_cost(rewards_, cost_scratch_);
     TDP_LOG_WARN << "online update period " << period
                  << ": solve failed, keeping reward " << result.old_reward;
   } else {
@@ -444,7 +444,10 @@ OnlinePricer::StepResult OnlinePricer::observe_period_ex(
       result.clamped = true;
       math::Vector probe = rewards_;
       probe[period] = accepted;
-      cost = model_.total_cost(probe);
+      // Plan-based evaluation: bitwise identical to the reference
+      // model_.total_cost(probe) (same pair volumes, same reduction and
+      // assembly order) at a fraction of the virtual-dispatch cost.
+      cost = model_.total_cost(probe, cost_scratch_);
       TDP_LOG_WARN << "online update period " << period
                    << ": trust region clamps reward step to " << accepted;
     }

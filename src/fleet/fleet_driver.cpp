@@ -118,12 +118,20 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
   const std::size_t shard_count =
       std::min<std::size_t>(std::max<std::size_t>(config_.shards, 1), slices);
   const std::uint64_t users = population_.users();
-  shards_.reserve(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    const std::size_t begin = slices * s / shard_count;
-    const std::size_t end = slices * (s + 1) / shard_count;
-    shards_.emplace_back(population_, begin, end, slices);
-  }
+  // Built on the pool so each shard's arena pages are first-touched by a
+  // worker (NUMA locality with TDP_PIN_THREADS; also parallelizes the
+  // per-user trait derivation). Which worker builds which shard does not
+  // matter for determinism: every per-user value is a pure function of
+  // (seed, user id).
+  shards_.resize(shard_count);
+  parallel_for(
+      shard_count,
+      [&](std::size_t s) {
+        const std::size_t begin = slices * s / shard_count;
+        const std::size_t end = slices * (s + 1) / shard_count;
+        shards_[s] = std::make_unique<Shard>(population_, begin, end, slices);
+      },
+      threads_);
   TDP_LOG_INFO << "fleet: " << users << " users over " << slices
                << " slices in " << shard_count << " shards, " << threads_
                << " threads, " << population_.periods() << " periods, "
@@ -305,7 +313,7 @@ FleetMetrics FleetDriver::run_day() {
           shards_.size(),
           [&](std::size_t s) {
             TDP_OBS_SPAN("fleet.shard");
-            shards_[s].simulate_period(day, period, table, aggregator_);
+            shards_[s]->simulate_period(day, period, table, aggregator_);
           },
           threads_);
       lap(fc.simulate_ns);

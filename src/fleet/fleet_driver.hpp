@@ -136,7 +136,9 @@ class FleetDriver {
   PriceChannel channel_;
   PriceFanout fanout_;
   MeasurementGuard guard_;
-  std::vector<Shard> shards_;
+  /// Heap-held so construction can run on the pool workers (first-touch
+  /// NUMA placement of each shard's arena; see Shard's ctor comment).
+  std::vector<std::unique_ptr<Shard>> shards_;
   StripedAggregator aggregator_;
   std::size_t threads_;
   bool ran_ = false;

@@ -60,6 +60,11 @@ class Population {
   /// can be replayed or simulated in any grouping with identical results.
   Rng user_period_rng(std::uint64_t user, std::size_t period) const;
 
+  /// The per-user parent stream: user_period_rng(u, p) equals
+  /// user_rng(u).fork_stream(p) bitwise. Shards cache user_rng(u).state()
+  /// so the session loop can fork period streams in SIMD batches.
+  Rng user_rng(std::uint64_t user) const { return root_.fork_stream(user); }
+
   /// Expected sessions per period for a user of class `cls` with activity 1
   /// (scale by UserSpec::activity for a concrete user).
   double session_rate(std::uint32_t cls, std::size_t period) const;

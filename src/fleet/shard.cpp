@@ -1,8 +1,13 @@
 #include "fleet/shard.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "core/deferral_kernel.hpp"
 #include "fleet/aggregator.hpp"
 
@@ -79,18 +84,35 @@ Shard::Shard(const Population& population, std::size_t begin_slice,
     slice_user_end_.push_back(
         slice_user_begin(population.users(), total_slices, s + 1));
   }
-  specs_.reserve(end_ - begin_);
+
+  // One arena reservation for every per-user array; the writes below are
+  // the first touch of those pages, so constructing the shard on its
+  // owning worker places them on that worker's NUMA node.
+  const std::uint64_t users = end_ - begin_;
+  ring_slots_ = (end_slice_ - begin_slice_) * population.periods();
+  arena_.reset(Arena::bytes_for<std::uint32_t>(users) +
+               Arena::bytes_for<double>(users) +
+               Arena::bytes_for<std::uint64_t>(users) +
+               2 * Arena::bytes_for<double>(ring_slots_));
+  cls_ = arena_.allocate<std::uint32_t>(users);
+  activity_ = arena_.allocate<double>(users);
+  user_stream_ = arena_.allocate<std::uint64_t>(users);
+  deferred_ring_ = arena_.allocate<double>(ring_slots_);
+  reward_ring_ = arena_.allocate<double>(ring_slots_);
+
   for (std::uint64_t u = begin_; u < end_; ++u) {
-    specs_.push_back(population.spec(u));
+    const UserSpec spec = population.spec(u);
+    cls_[u - begin_] = spec.patience_class;
+    activity_[u - begin_] = spec.activity;
+    user_stream_[u - begin_] = population.user_rng(u).state();
   }
-  const std::size_t slots = (end_slice_ - begin_slice_) * population.periods();
-  deferred_ring_.assign(slots, 0.0);
-  reward_ring_.assign(slots, 0.0);
+  std::fill(deferred_ring_, deferred_ring_ + ring_slots_, 0.0);
+  std::fill(reward_ring_, reward_ring_ + ring_slots_, 0.0);
 }
 
 void Shard::reset() {
-  std::fill(deferred_ring_.begin(), deferred_ring_.end(), 0.0);
-  std::fill(reward_ring_.begin(), reward_ring_.end(), 0.0);
+  std::fill(deferred_ring_, deferred_ring_ + ring_slots_, 0.0);
+  std::fill(reward_ring_, reward_ring_ + ring_slots_, 0.0);
   ring_head_ = 0;
 }
 
@@ -105,10 +127,8 @@ void Shard::export_slice_rings(std::size_t slice, std::vector<double>& work,
               "slice not owned by this shard");
   const std::size_t n = population_->periods();
   const std::size_t base = (slice - begin_slice_) * n;
-  work.assign(deferred_ring_.begin() + static_cast<std::ptrdiff_t>(base),
-              deferred_ring_.begin() + static_cast<std::ptrdiff_t>(base + n));
-  reward.assign(reward_ring_.begin() + static_cast<std::ptrdiff_t>(base),
-                reward_ring_.begin() + static_cast<std::ptrdiff_t>(base + n));
+  work.assign(deferred_ring_ + base, deferred_ring_ + base + n);
+  reward.assign(reward_ring_ + base, reward_ring_ + base + n);
 }
 
 void Shard::restore_slice_rings(std::size_t slice,
@@ -120,10 +140,8 @@ void Shard::restore_slice_rings(std::size_t slice,
   TDP_REQUIRE(work.size() == n && reward.size() == n,
               "ring size mismatch");
   const std::size_t base = (slice - begin_slice_) * n;
-  std::copy(work.begin(), work.end(),
-            deferred_ring_.begin() + static_cast<std::ptrdiff_t>(base));
-  std::copy(reward.begin(), reward.end(),
-            reward_ring_.begin() + static_cast<std::ptrdiff_t>(base));
+  std::copy(work.begin(), work.end(), deferred_ring_ + base);
+  std::copy(reward.begin(), reward.end(), reward_ring_ + base);
 }
 
 void Shard::simulate_period(std::size_t day, std::size_t period,
@@ -136,6 +154,55 @@ void Shard::simulate_period(std::size_t day, std::size_t period,
 
   const double b = pop.mean_session_size();
   const std::size_t abs_period = day * n + period;
+
+  // Per-(class, period) precompute. `screen[c]` is a count==0 screen
+  // for the batched first draw: a class-c user's Poisson mean is
+  // activity * rate_c with activity in [0.5, 1.5], so
+  // mean <= 1.5 * rate_c * (1 + eps) < 1.6 * rate_c and therefore
+  // exp(-1.6 * rate_c) < exp(-mean) = Knuth's termination limit by a
+  // relative margin >= ~0.099 * rate_c — far above the few-ulp error of
+  // any faithful libm exp once rate_c >= 1e-12. A first uniform at or
+  // below the screen thus proves product <= limit: the count is 0 and no
+  // further draws happen, bitwise matching the scalar path without
+  // computing the user's own exp(-mean) (~90% of user-periods for the
+  // paper's mixes). Ineligible classes (tiny rate: margin argument void;
+  // rate_c >= 19: some users could cross Poisson's mean>=30 normal-approx
+  // branch) get sentinel -1.0, unreachable for a uniform in [0, 1).
+  // Users surviving the class screen get a per-user second chance below:
+  // exp(-x) >= 1 - x with gap x^2/2, so u1 <= (1 - mean)*(1 - 1e-9) also
+  // proves count == 0 (the 1e-9 haircut dwarfs every rounding term while
+  // staying under the Taylor gap whenever the bound is positive); only
+  // first uniforms above BOTH bounds — essentially the sessions that
+  // really happen — pay for an exp.
+  const std::size_t classes = pop.patience_classes();
+  constexpr std::size_t kMaxClasses = 32;
+  TDP_REQUIRE(classes <= kMaxClasses, "patience class count above cap");
+  std::array<double, kMaxClasses> rate_c;
+  std::array<double, kMaxClasses> screen;
+  std::array<double, kMaxClasses> stay_threshold;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double rc = pop.session_rate(static_cast<std::uint32_t>(c), period);
+    rate_c[c] = rc;
+    // Screen for the batched kernel: skip a user iff u1 <= screen[cls].
+    // rc <= 0 skips everyone (+inf screen: the scalar path's rate <= 0
+    // check can never pass). Otherwise exp(-1.6 * rc) proves count == 0,
+    // by the zero_bound argument above; classes outside its validity
+    // range screen nobody (-1.0: a uniform is never <= -1).
+    if (rc <= 0.0) {
+      screen[c] = std::numeric_limits<double>::infinity();
+    } else {
+      screen[c] = (rc >= 1e-12 && rc < 19.0) ? std::exp(-1.6 * rc) : -1.0;
+    }
+    stay_threshold[c] =
+        table.cumulative(static_cast<std::uint32_t>(c), n - 1);
+  }
+
+  // Scratch for the batched stream derivation: the first uniform of each
+  // user's (user, abs_period) stream, the stream's state after it, and
+  // the screen survivors as a bitmask.
+  alignas(64) std::array<double, kBatch> u1;
+  alignas(64) std::array<std::uint64_t, kBatch> s2;
+  std::array<std::uint64_t, kBatch / 64> active;
 
   std::uint64_t user = begin_;
   for (std::size_t local = 0; local < slice_user_end_.size(); ++local) {
@@ -150,34 +217,68 @@ void Shard::simulate_period(std::size_t day, std::size_t period,
     reward_ring_[ring_base + ring_head_] = 0.0;
 
     const std::uint64_t slice_end = slice_user_end_[local];
-    for (std::uint64_t u = user; u < slice_end; ++u) {
-      const UserSpec& spec = specs_[u - begin_];
-      const double rate =
-          spec.activity * pop.session_rate(spec.patience_class, period);
-      if (rate <= 0.0) continue;
-      Rng rng = pop.user_period_rng(u, abs_period);
-      const std::uint64_t count = rng.poisson(rate);
-      if (count == 0) continue;
-      stats.sessions += count;
+    for (std::uint64_t u0 = user; u0 < slice_end; u0 += kBatch) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kBatch, slice_end - u0));
+      const std::size_t base = static_cast<std::size_t>(u0 - begin_);
+      simd::fork_uniform_screen_batch(user_stream_ + base, len, abs_period,
+                                      cls_ + base, screen.data(), u1.data(),
+                                      s2.data(), active.data());
 
-      const std::uint32_t cls = spec.patience_class;
-      const double stay_threshold = table.cumulative(cls, n - 1);
-      for (std::uint64_t s = 0; s < count; ++s) {
-        const double work = rng.exponential(b);
-        stats.offered_work += work;
-        const double draw = rng.uniform();
-        if (draw >= stay_threshold) {  // common case: the session stays put
-          stats.realized_work += work;
-          continue;
+      // Walk only the screen survivors, in ascending user order (set bits
+      // ascend within a word, words ascend): the accumulation order — and
+      // with it every double — matches the dense walk bitwise.
+      for (std::size_t w = 0; w < (len + 63) / 64; ++w) {
+        std::uint64_t pending = active[w];
+        while (pending != 0) {
+          const std::size_t j =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(pending));
+          pending &= pending - 1;
+          const std::uint32_t cls = cls_[base + j];
+          const double rate = activity_[base + j] * rate_c[cls];
+          if (rate <= 0.0) continue;
+
+          // Continue Knuth's product walk from the batched first draw;
+          // computing the limit after it is exact (exp consumes no RNG).
+          Rng rng(s2[j]);
+          std::uint64_t count;
+          if (rate < 30.0) {
+            if (u1[j] <= (1.0 - rate) * 0.999999999) continue;  // count == 0
+            const double limit = std::exp(-rate);
+            count = 0;
+            double product = u1[j];
+            while (product > limit) {
+              ++count;
+              product *= rng.uniform();
+            }
+          } else {
+            // Normal-approximation regime: replay the whole draw from the
+            // stream state *before* the batched uniform (SplitMix64's state
+            // advance is an invertible += of the golden-ratio increment).
+            Rng replay(s2[j] - Rng::kGamma);
+            count = replay.poisson(rate);
+            rng = replay;
+          }
+          if (count == 0) continue;
+          stats.sessions += count;
+
+          const double stay = stay_threshold[cls];
+          for (std::uint64_t s = 0; s < count; ++s) {
+            const double work = rng.exponential(b);
+            stats.offered_work += work;
+            const double draw = rng.uniform();
+            if (draw >= stay) {  // common case: the session stays put
+              stats.realized_work += work;
+              continue;
+            }
+            const std::size_t lag = table.find_lag(cls, draw);
+            ++stats.deferred_sessions;
+            stats.deferred_work += work;
+            const std::size_t slot = ring_base + (ring_head_ + lag) % n;
+            deferred_ring_[slot] += work;
+            reward_ring_[slot] += table.reward(cls, lag) * work;
+          }
         }
-        // Smallest lag whose cumulative probability exceeds the draw.
-        std::size_t lag = 1;
-        while (draw >= table.cumulative(cls, lag)) ++lag;
-        ++stats.deferred_sessions;
-        stats.deferred_work += work;
-        const std::size_t slot = ring_base + (ring_head_ + lag) % n;
-        deferred_ring_[slot] += work;
-        reward_ring_[slot] += table.reward(cls, lag) * work;
       }
     }
     user = slice_end;

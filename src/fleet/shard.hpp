@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/kernel_plan.hpp"
 #include "fleet/population.hpp"
 #include "math/vector_ops.hpp"
@@ -87,6 +88,24 @@ class DeferralTable {
     return reward_[cls * periods_ + lag];
   }
 
+  /// Smallest lag (>= 1) with cumulative(cls, lag) > draw — the lag the
+  /// linear scan `while (draw >= cumulative(cls, lag)) ++lag` selects, via
+  /// a branchless binary search (the predicate compiles to cmov, so the
+  /// session loop never mispredicts on the deferral draw). Requires
+  /// draw < cumulative(cls, periods() - 1); the caller's stay-threshold
+  /// check guarantees it.
+  std::size_t find_lag(std::uint32_t cls, double draw) const {
+    const double* row = cumulative_.data() + cls * periods_ + 1;
+    std::size_t base = 0;
+    std::size_t len = periods_ - 1;
+    while (len > 1) {
+      const std::size_t half = len / 2;
+      base += (row[base + half - 1] <= draw) ? half : 0;
+      len -= half;
+    }
+    return base + 1;
+  }
+
   /// Sessions whose raw deferral probabilities summed above one and were
   /// renormalized (only when rewards exceed the validity bound).
   std::size_t probability_clamps() const { return probability_clamps_; }
@@ -113,11 +132,18 @@ struct PeriodStats {
 class Shard {
  public:
   /// Owns canonical slices [begin_slice, end_slice) of a `total_slices`
-  /// layout. Caches the specs of the covered users so the per-period walk
-  /// is pure arithmetic; the cache is a function of user ids only, never of
-  /// which shard holds them.
+  /// layout. Caches the covered users' traits in SoA arrays (class,
+  /// activity, parent RNG stream) so the per-period walk is pure
+  /// arithmetic; the cache is a function of user ids only, never of which
+  /// shard holds them. All per-user arrays live in a private arena whose
+  /// pages are first written here — construct each shard on its owning
+  /// worker thread and the pages land on that worker's NUMA node
+  /// (first-touch; a no-op on single-node hosts).
   Shard(const Population& population, std::size_t begin_slice,
         std::size_t end_slice, std::size_t total_slices);
+
+  Shard(Shard&&) noexcept = default;
+  Shard& operator=(Shard&&) noexcept = default;
 
   std::size_t begin_slice() const { return begin_slice_; }
   std::size_t end_slice() const { return end_slice_; }
@@ -153,17 +179,31 @@ class Shard {
                            const std::vector<double>& reward);
 
  private:
+  /// Users per simd::fork_uniform_batch call in the session loop — big
+  /// enough to amortize dispatch, small enough that the u1/state scratch
+  /// stays in L1 (2 KiB per array).
+  static constexpr std::size_t kBatch = 256;
+
   const Population* population_;
   std::size_t begin_slice_;
   std::size_t end_slice_;
   std::uint64_t begin_;
   std::uint64_t end_;
   std::vector<std::uint64_t> slice_user_end_;  ///< per owned slice
-  std::vector<UserSpec> specs_;                ///< specs_[u - begin_]
+
+  /// Backing store for every per-user array below (see ctor comment).
+  Arena arena_;
+  // SoA user traits, indexed by u - begin_. user_stream_ holds the state
+  // of population->user_rng(u): forking the period off it in SIMD batches
+  // reproduces user_period_rng(u, p) bitwise.
+  std::uint32_t* cls_ = nullptr;
+  double* activity_ = nullptr;
+  std::uint64_t* user_stream_ = nullptr;
   /// Per-slice deferral rings, [local_slice * periods + slot]: work
   /// arriving `lag` periods ahead and the reward owed with it.
-  std::vector<double> deferred_ring_;
-  std::vector<double> reward_ring_;
+  double* deferred_ring_ = nullptr;
+  double* reward_ring_ = nullptr;
+  std::size_t ring_slots_ = 0;
   std::size_t ring_head_ = 0;
 };
 

@@ -205,12 +205,18 @@ MultiDayDriver::MultiDayDriver(HorizonConfig config,
   const std::size_t slices = aggregator_.stripes();
   const std::size_t shard_count =
       std::min<std::size_t>(std::max<std::size_t>(config_.shards, 1), slices);
-  shards_.reserve(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    const std::size_t begin = slices * s / shard_count;
-    const std::size_t end = slices * (s + 1) / shard_count;
-    shards_.emplace_back(population_, begin, end, slices);
-  }
+  // Built on the pool so each shard's arena pages are first-touched by a
+  // worker (see fleet::Shard's ctor comment on NUMA placement).
+  shards_.resize(shard_count);
+  parallel_for(
+      shard_count,
+      [&](std::size_t s) {
+        const std::size_t begin = slices * s / shard_count;
+        const std::size_t end = slices * (s + 1) / shard_count;
+        shards_[s] = std::make_unique<fleet::Shard>(population_, begin, end,
+                                                    slices);
+      },
+      threads_);
   TDP_REQUIRE(!config_.adaptive_users ||
                   (config_.adaptation_rate > 0.0 &&
                    config_.adaptation_rate <= 1.0 &&
@@ -246,11 +252,11 @@ MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
                                bool restore_counters)
     : MultiDayDriver(validate_restore(std::move(config), data), data.slices) {
   // Per-slice rings regroup onto whatever shards this run configured.
-  for (fleet::Shard& shard : shards_) {
-    for (std::size_t s = shard.begin_slice(); s < shard.end_slice(); ++s) {
-      shard.restore_slice_rings(s, data.ring_work[s], data.ring_reward[s]);
+  for (const auto& shard : shards_) {
+    for (std::size_t s = shard->begin_slice(); s < shard->end_slice(); ++s) {
+      shard->restore_slice_rings(s, data.ring_work[s], data.ring_reward[s]);
     }
-    shard.set_ring_head(data.ring_head);
+    shard->set_ring_head(data.ring_head);
   }
 
   channel_.restore_state(data.channel);
@@ -431,7 +437,7 @@ void MultiDayDriver::step_period() {
   parallel_for(
       shards_.size(),
       [&](std::size_t s) {
-        shards_[s].simulate_period(static_cast<std::size_t>(day_), period_,
+        shards_[s]->simulate_period(static_cast<std::size_t>(day_), period_,
                                    table, aggregator_);
       },
       threads_);
@@ -743,15 +749,15 @@ CheckpointData MultiDayDriver::checkpoint() const {
 
   d.day = day_;
   d.period = static_cast<std::uint32_t>(period_);
-  d.ring_head = static_cast<std::uint32_t>(shards_.front().ring_head());
+  d.ring_head = static_cast<std::uint32_t>(shards_.front()->ring_head());
 
   d.ring_work.reserve(aggregator_.stripes());
   d.ring_reward.reserve(aggregator_.stripes());
-  for (const fleet::Shard& shard : shards_) {
-    for (std::size_t s = shard.begin_slice(); s < shard.end_slice(); ++s) {
+  for (const auto& shard : shards_) {
+    for (std::size_t s = shard->begin_slice(); s < shard->end_slice(); ++s) {
       std::vector<double> work;
       std::vector<double> reward;
-      shard.export_slice_rings(s, work, reward);
+      shard->export_slice_rings(s, work, reward);
       d.ring_work.push_back(std::move(work));
       d.ring_reward.push_back(std::move(reward));
     }

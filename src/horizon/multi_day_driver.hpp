@@ -239,7 +239,9 @@ class MultiDayDriver {
   PriceChannel channel_;
   fleet::PriceFanout fanout_;
   MeasurementGuard guard_;
-  std::vector<fleet::Shard> shards_;
+  /// Heap-held so construction can run on the pool workers (first-touch
+  /// NUMA placement of each shard's arena).
+  std::vector<std::unique_ptr<fleet::Shard>> shards_;
   fleet::StripedAggregator aggregator_;
   std::size_t threads_;
 

@@ -1,0 +1,443 @@
+// Scalar-vs-SIMD bitwise property tests (common/simd, core/kernel_plan,
+// fleet, horizon checkpoints).
+//
+// The vector kernels' contract is *bitwise* identity with the scalar path
+// — every comparison here is EXPECT_EQ on raw doubles / bytes, never a
+// tolerance. Tests that need the AVX2 path skip cleanly on hosts whose
+// CPU (or build) lacks it; the scalar assertions always run.
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/deferral_kernel.hpp"
+#include "core/kernel_plan.hpp"
+#include "fleet/fleet_driver.hpp"
+#include "fleet/fleet_metrics.hpp"
+#include "fleet/population.hpp"
+#include "fleet/shard.hpp"
+#include "horizon/multi_day_driver.hpp"
+#include "obs/registry.hpp"
+
+namespace tdp {
+namespace {
+
+/// Forces a SIMD mode for one scope and restores the previous mode on
+/// exit (the dispatcher caches the mode process-wide).
+class ModeGuard {
+ public:
+  explicit ModeGuard(simd::Mode mode) : saved_(simd::mode()) {
+    simd::set_mode(mode);
+  }
+  ~ModeGuard() { simd::set_mode(saved_); }
+
+ private:
+  simd::Mode saved_;
+};
+
+class PinGuard {
+ public:
+  explicit PinGuard(bool pin) : saved_(pin_threads()) {
+    set_pin_threads(pin);
+  }
+  ~PinGuard() { set_pin_threads(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(SimdDispatch, ReportsAValidModeAndHostIsa) {
+  const std::string mode = simd::mode_name();
+  EXPECT_TRUE(mode == "scalar" || mode == "avx2") << mode;
+  const std::string isa = simd::host_isa();
+  EXPECT_TRUE(isa == "sse2" || isa == "avx2" || isa == "avx512") << isa;
+  if (!simd::avx2_supported()) {
+    EXPECT_EQ(simd::mode(), simd::Mode::kScalar);
+    EXPECT_THROW(simd::set_mode(simd::Mode::kAvx2), std::exception);
+  }
+}
+
+// ---- Batched RNG kernels --------------------------------------------------
+
+TEST(RngBatch, ScalarKernelMatchesTheRngReference) {
+  constexpr std::size_t kCount = 1337;  // deliberately not a lane multiple
+  constexpr std::uint64_t kStream = 7;
+  std::vector<std::uint64_t> state(kCount);
+  Rng seeder(20110611);
+  for (auto& s : state) s = seeder.next();
+
+  std::vector<double> u1(kCount);
+  std::vector<std::uint64_t> out(kCount);
+  simd::detail::fork_uniform_batch_scalar(state.data(), kCount, kStream,
+                                          u1.data(), out.data());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    Rng child = Rng(state[i]).fork_stream(kStream);
+    EXPECT_EQ(child.uniform(), u1[i]) << "u1 " << i;
+    EXPECT_EQ(child.state(), out[i]) << "resume state " << i;
+    // Resuming from the stored state replays the child's tail sequence.
+    Rng resumed(out[i]);
+    EXPECT_EQ(child.next(), resumed.next()) << "tail " << i;
+  }
+}
+
+TEST(RngBatch, Avx2KernelsAreBitIdenticalToScalar) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host/build";
+#if defined(TDP_HAVE_AVX2)
+  constexpr std::size_t kCount = 1027;
+  constexpr std::uint64_t kStream = 3;
+  constexpr std::size_t kWords = (kCount + 63) / 64;
+  std::vector<std::uint64_t> state(kCount);
+  std::vector<std::uint32_t> cls(kCount);
+  Rng seeder(42);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    state[i] = seeder.next();
+    cls[i] = static_cast<std::uint32_t>(seeder.next() % 4);
+  }
+  // Screens spanning the interesting cases: never-active (+inf),
+  // always-active (-1; a uniform in [0,1) is never <= -1), and two
+  // ordinary thresholds.
+  const double screen[4] = {std::numeric_limits<double>::infinity(), -1.0,
+                            0.25, 0.9};
+
+  std::vector<double> u_a(kCount), u_b(kCount);
+  std::vector<std::uint64_t> s_a(kCount), s_b(kCount);
+  simd::detail::fork_uniform_batch_scalar(state.data(), kCount, kStream,
+                                          u_a.data(), s_a.data());
+  simd::detail::fork_uniform_batch_avx2(state.data(), kCount, kStream,
+                                        u_b.data(), s_b.data());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(u_a[i], u_b[i]) << "uniform " << i;
+    EXPECT_EQ(s_a[i], s_b[i]) << "state " << i;
+  }
+
+  std::vector<std::uint64_t> mask_a(kWords, ~0ull), mask_b(kWords, ~0ull);
+  simd::detail::fork_uniform_screen_batch_scalar(
+      state.data(), kCount, kStream, cls.data(), screen, u_a.data(),
+      s_a.data(), mask_a.data());
+  simd::detail::fork_uniform_screen_batch_avx2(
+      state.data(), kCount, kStream, cls.data(), screen, u_b.data(),
+      s_b.data(), mask_b.data());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(u_a[i], u_b[i]) << "screened uniform " << i;
+    EXPECT_EQ(s_a[i], s_b[i]) << "screened state " << i;
+    const bool active = (mask_a[i / 64] >> (i % 64)) & 1u;
+    EXPECT_EQ(active, u_a[i] > screen[cls[i]]) << "mask semantics " << i;
+  }
+  for (std::size_t w = 0; w < kWords; ++w) {
+    EXPECT_EQ(mask_a[w], mask_b[w]) << "mask word " << w;
+  }
+  // Trailing bits past kCount stay clear.
+  const std::size_t tail = kCount % 64;
+  if (tail != 0) {
+    EXPECT_EQ(mask_a.back() >> tail, 0ull);
+  }
+#endif
+}
+
+// ---- KernelPlan vector fill path ------------------------------------------
+
+/// A SIMD-eligible profile: the *same* class list every period (so every
+/// period flattens to one shared slot sequence), all power-law. Nonlinear
+/// gammas keep the plan off its linear fast path, so evaluate() actually
+/// walks the fill/reduce loops under test.
+DemandProfile uniform_profile(std::size_t n, bool linear,
+                              LagNormalization normalization,
+                              double max_reward) {
+  std::vector<WaitingFunctionPtr> wfs;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const double beta = 0.6 + static_cast<double>(s) * 0.9;
+    const double gamma = linear ? 1.0 : 0.6 + 0.15 * static_cast<double>(s);
+    wfs.push_back(std::make_shared<PowerLawWaitingFunction>(
+        beta, n, max_reward, gamma, normalization));
+  }
+  DemandProfile profile(n);
+  Rng rng(91 + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& wf : wfs) {
+      profile.add_class(i, SessionClass{wf, 1.0 + rng.uniform(0.0, 4.0)});
+    }
+  }
+  return profile;
+}
+
+math::Vector random_rewards(Rng& rng, std::size_t n, double cap) {
+  math::Vector rewards(n);
+  for (double& r : rewards) {
+    const double u = rng.uniform();
+    r = u < 0.15 ? 0.0 : rng.uniform(0.0, cap);  // exercise the p <= 0 gate
+  }
+  return rewards;
+}
+
+void expect_states_bitwise_equal(const FlowState& a, const FlowState& b,
+                                 std::size_t n, const char* context) {
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a.inflow[i], b.inflow[i]) << context << " inflow " << i;
+    EXPECT_EQ(a.outflow[i], b.outflow[i]) << context << " outflow " << i;
+    if (a.has_derivatives && b.has_derivatives) {
+      EXPECT_EQ(a.inflow_derivative[i], b.inflow_derivative[i])
+          << context << " dinflow " << i;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(a.pair[i * n + j], b.pair[i * n + j])
+          << context << " pair " << i << "," << j;
+      if (a.has_derivatives && b.has_derivatives) {
+        EXPECT_EQ(a.pair_derivative[i * n + j], b.pair_derivative[i * n + j])
+            << context << " dpair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(KernelPlanSimd, UniformProfilesAreEligibleRaggedOnesAreNot) {
+  const DeferralKernel uniform(
+      uniform_profile(12, /*linear=*/false, LagNormalization::kContinuous,
+                      1.5),
+      LagConvention::kUniformArrival);
+  ASSERT_NE(uniform.plan(), nullptr);
+  EXPECT_TRUE(uniform.plan()->simd_eligible());
+
+  // A profile with an empty period can't share one slot sequence.
+  DemandProfile ragged =
+      uniform_profile(12, false, LagNormalization::kContinuous, 1.5);
+  DemandProfile holes(12);
+  Rng rng(5);
+  auto wf = std::make_shared<PowerLawWaitingFunction>(
+      0.8, 12, 1.5, 0.7, LagNormalization::kContinuous);
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (i == 4) continue;
+    holes.add_class(i, SessionClass{wf, 1.0 + rng.uniform(0.0, 2.0)});
+  }
+  const DeferralKernel ragged_kernel(holes, LagConvention::kUniformArrival);
+  ASSERT_NE(ragged_kernel.plan(), nullptr);
+  EXPECT_FALSE(ragged_kernel.plan()->simd_eligible());
+}
+
+TEST(KernelPlanSimd, EvaluateIsBitIdenticalScalarVsAvx2) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host/build";
+  Rng rng(777);
+  for (const std::size_t n : {std::size_t{6}, std::size_t{12},
+                              std::size_t{48}}) {
+    for (const LagConvention convention :
+         {LagConvention::kPeriodStart, LagConvention::kUniformArrival}) {
+      const LagNormalization norm =
+          convention == LagConvention::kPeriodStart
+              ? LagNormalization::kDiscrete
+              : LagNormalization::kContinuous;
+      const DeferralKernel kernel(
+          uniform_profile(n, /*linear=*/false, norm, 1.5), convention);
+      const auto plan = kernel.plan();
+      ASSERT_NE(plan, nullptr);
+      ASSERT_TRUE(plan->simd_eligible());
+      ASSERT_FALSE(plan->linear());
+
+      for (const bool with_derivatives : {false, true}) {
+        const math::Vector rewards = random_rewards(rng, n, 1.5);
+        FlowState scalar_state, simd_state;
+        {
+          ModeGuard guard(simd::Mode::kScalar);
+          plan->evaluate(rewards, with_derivatives, scalar_state);
+        }
+        {
+          ModeGuard guard(simd::Mode::kAvx2);
+          plan->evaluate(rewards, with_derivatives, simd_state);
+        }
+        const std::string context = "n=" + std::to_string(n) + " deriv=" +
+                                    std::to_string(with_derivatives);
+        expect_states_bitwise_equal(scalar_state, simd_state, n,
+                                    context.c_str());
+
+        // Absolute correctness, not just scalar-agreement: the vector
+        // result must still match the reference kernel's virtual path.
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(kernel.inflow(i, rewards[i]), simd_state.inflow[i])
+              << context << " vs reference, period " << i;
+          EXPECT_EQ(kernel.outflow(i, rewards), simd_state.outflow[i])
+              << context << " vs reference outflow, period " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelPlanSimd, CoordinateUpdatesAreBitIdenticalScalarVsAvx2) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host/build";
+  Rng rng(31337);
+  const std::size_t n = 48;
+  const DeferralKernel kernel(
+      uniform_profile(n, /*linear=*/false, LagNormalization::kContinuous,
+                      1.5),
+      LagConvention::kUniformArrival);
+  const auto plan = kernel.plan();
+  ASSERT_TRUE(plan->simd_eligible());
+
+  math::Vector rewards = random_rewards(rng, n, 1.5);
+  FlowState scalar_state, simd_state;
+  {
+    ModeGuard guard(simd::Mode::kScalar);
+    plan->evaluate(rewards, /*with_derivatives=*/true, scalar_state);
+  }
+  {
+    ModeGuard guard(simd::Mode::kAvx2);
+    plan->evaluate(rewards, /*with_derivatives=*/true, simd_state);
+  }
+  for (int step = 0; step < 60; ++step) {
+    const std::size_t m = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(n)) % n;
+    const double u = rng.uniform();
+    rewards[m] = u < 0.2 ? 0.0 : rng.uniform(0.0, 1.5);
+    {
+      ModeGuard guard(simd::Mode::kScalar);
+      plan->update_coordinate(m, rewards[m], /*with_derivatives=*/true,
+                              scalar_state);
+    }
+    {
+      ModeGuard guard(simd::Mode::kAvx2);
+      plan->update_coordinate(m, rewards[m], /*with_derivatives=*/true,
+                              simd_state);
+    }
+    expect_states_bitwise_equal(scalar_state, simd_state, n, "update");
+  }
+}
+
+// ---- Branchless deferral-lag search ---------------------------------------
+
+TEST(DeferralTableSearch, BranchlessFindLagMatchesTheLinearScan) {
+  fleet::PopulationConfig pop_config;
+  pop_config.users = 200;
+  pop_config.periods = 48;
+  pop_config.seed = 20110611;
+  const fleet::Population pop(pop_config);
+
+  // A non-trivial published schedule so every class has deferral mass.
+  math::Vector schedule(48);
+  Rng sched_rng(7);
+  for (double& r : schedule) r = sched_rng.uniform(0.05, 0.9);
+  std::vector<const math::Vector*> schedules(pop.patience_classes(),
+                                             &schedule);
+  const fleet::DeferralTable table(pop, schedules, /*period=*/5);
+  const std::size_t n = table.periods();
+
+  Rng rng(987654321);
+  for (std::uint32_t c = 0;
+       c < static_cast<std::uint32_t>(pop.patience_classes()); ++c) {
+    const double total = table.cumulative(c, n - 1);
+    if (total <= 0.0) continue;  // nobody defers: find_lag is unreachable
+    for (int trial = 0; trial < 10000; ++trial) {
+      // uniform() < 1, so draw < total — the caller's stay-threshold
+      // precondition.
+      const double draw = rng.uniform() * total;
+      std::size_t lag = 1;
+      while (draw >= table.cumulative(c, lag)) ++lag;
+      ASSERT_EQ(lag, table.find_lag(c, draw))
+          << "class " << c << " draw " << draw;
+    }
+  }
+}
+
+// ---- Whole-day and checkpoint identity ------------------------------------
+
+fleet::FleetDriverConfig small_fleet(std::uint64_t users,
+                                     std::size_t threads) {
+  fleet::FleetDriverConfig config;
+  config.population.users = users;
+  config.population.periods = 48;
+  config.population.seed = 20110611;
+  config.shards = 8;
+  config.threads = threads;
+  config.warmup_days = 1;
+  config.online_pricing = true;
+  return config;
+}
+
+void expect_fleet_metrics_bitwise_equal(const fleet::FleetMetrics& a,
+                                        const fleet::FleetMetrics& b) {
+  ASSERT_EQ(a.offered_units.size(), b.offered_units.size());
+  for (std::size_t i = 0; i < a.offered_units.size(); ++i) {
+    EXPECT_EQ(a.offered_units[i], b.offered_units[i]) << "offered " << i;
+    EXPECT_EQ(a.realized_units[i], b.realized_units[i]) << "realized " << i;
+  }
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.deferred_sessions, b.deferred_sessions);
+  EXPECT_EQ(a.reward_paid_units, b.reward_paid_units);
+  EXPECT_EQ(a.peak_to_average_tip, b.peak_to_average_tip);
+  EXPECT_EQ(a.peak_to_average_tdp, b.peak_to_average_tdp);
+}
+
+TEST(FleetSimd, FullDayIsBitIdenticalScalarVsAvx2) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host/build";
+  fleet::FleetMetrics results[2];
+  math::Vector rewards[2];
+  const simd::Mode modes[2] = {simd::Mode::kScalar, simd::Mode::kAvx2};
+  for (int run = 0; run < 2; ++run) {
+    ModeGuard guard(modes[run]);
+    fleet::FleetDriver driver(small_fleet(10000, /*threads=*/2));
+    results[run] = driver.run_day();
+    rewards[run] = driver.pricer().rewards();
+  }
+  expect_fleet_metrics_bitwise_equal(results[0], results[1]);
+  ASSERT_EQ(rewards[0].size(), rewards[1].size());
+  for (std::size_t i = 0; i < rewards[0].size(); ++i) {
+    EXPECT_EQ(rewards[0][i], rewards[1][i]) << "reward " << i;
+  }
+}
+
+TEST(FleetSimd, PinnedThreadsPreserveBitIdentityAcrossThreadCounts) {
+  PinGuard pin(true);
+  fleet::FleetMetrics results[2];
+  math::Vector rewards[2];
+  const std::size_t thread_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    fleet::FleetDriver driver(small_fleet(10000, thread_counts[run]));
+    results[run] = driver.run_day();
+    rewards[run] = driver.pricer().rewards();
+  }
+  expect_fleet_metrics_bitwise_equal(results[0], results[1]);
+  for (std::size_t i = 0; i < rewards[0].size(); ++i) {
+    EXPECT_EQ(rewards[0][i], rewards[1][i]) << "reward " << i;
+  }
+}
+
+TEST(FleetSimd, CheckpointBytesAreIdenticalScalarVsAvx2) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host/build";
+  horizon::HorizonConfig config;
+  config.population.users = 1500;
+  config.population.periods = 12;
+  config.population.seed = 20110611;
+  config.shards = 4;
+  config.slices = 8;
+  config.threads = 2;
+  config.warmup_days = 1;
+  config.horizon_days = 2;
+  config.estimation_window = 3;
+  config.estimation_min_days = 1;
+  config.estimation_starts = 2;
+
+  std::vector<std::uint8_t> bytes[2];
+  const simd::Mode modes[2] = {simd::Mode::kScalar, simd::Mode::kAvx2};
+  for (int run = 0; run < 2; ++run) {
+    ModeGuard guard(modes[run]);
+    // The checkpoint embeds the process-global observability counters;
+    // zero them so each run's snapshot starts from the same baseline.
+    obs::Registry::global().reset_values();
+    horizon::MultiDayDriver driver(config);
+    // Stop mid-day so live ring/RNG state (not just day summaries) is in
+    // the checkpoint.
+    for (int step = 0; step < 18 && !driver.done(); ++step) {
+      driver.step_period();
+    }
+    bytes[run] = driver.checkpoint_bytes();
+  }
+  ASSERT_EQ(bytes[0].size(), bytes[1].size());
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -51,6 +51,20 @@ against the baseline like the other suites:
   tools/check_bench_regression.py --suite storm BENCH_storm.json \
       [--baseline bench/baselines/BENCH_storm.baseline.json] [--update]
 
+`--suite fleet` gates BENCH_fleet.json from `bench_fleet_scale ... --out`:
+every cell's sessions_per_second must clear the absolute floor
+(--min-sessions-per-second, default 0 = disabled; the 1M-user acceptance
+gate passes 1e7), the parallel 1M-user cell's fleet_wall_seconds must stay
+under --max-fleet-wall-seconds when given (the sub-second acceptance
+ceiling), normalized throughput must not drop more than --tolerance below
+the baseline, and every *_seconds field is gated against the baseline like
+the other suites:
+
+  tools/check_bench_regression.py --suite fleet BENCH_fleet.json \
+      [--baseline bench/baselines/BENCH_fleet.baseline.json] \
+      [--min-sessions-per-second 1e7] [--max-fleet-wall-seconds 1.0] \
+      [--update]
+
 A second mode gates telemetry overhead instead: give it the stdout logs of
 two bench_fleet_scale runs — one with observability on (TDP_OBS=1
 TDP_TRACE=1), one with it off (TDP_OBS=0) — and it compares the
@@ -213,6 +227,69 @@ def check_storm_resilience(current: dict, min_retention: float,
     return failures
 
 
+def check_fleet_throughput(current: dict, baseline: dict | None,
+                           min_sessions_per_second: float,
+                           max_fleet_wall_seconds: float,
+                           tolerance: float) -> list[str]:
+    """The fleet suite's throughput gates: absolute sessions/s floor and
+    wall ceiling on every cell, plus a calibration-normalized throughput
+    drop check against the baseline (wall-time regressions on *_seconds
+    fields ride the generic check)."""
+    failures = []
+    benches = current.get("benches", {})
+    if not benches:
+        return ["fleet suite: no benches in current run"]
+
+    for bench, entry in sorted(benches.items()):
+        sps = entry.get("sessions_per_second")
+        if sps is None:
+            failures.append(f"{bench}: missing sessions_per_second")
+            continue
+        if min_sessions_per_second > 0.0:
+            if sps < min_sessions_per_second:
+                failures.append(
+                    f"{bench}: {sps / 1e6:.2f}M sessions/s below the "
+                    f"{min_sessions_per_second / 1e6:.1f}M floor")
+            else:
+                print(f"  OK  {bench}.sessions_per_second = "
+                      f"{sps / 1e6:.2f}M (floor "
+                      f"{min_sessions_per_second / 1e6:.1f}M)")
+        wall = entry.get("fleet_wall_seconds")
+        if (max_fleet_wall_seconds > 0.0 and wall is not None
+                and wall > max_fleet_wall_seconds):
+            failures.append(
+                f"{bench}: fleet_wall_seconds {wall:.3f} above the "
+                f"{max_fleet_wall_seconds:.2f}s ceiling")
+
+    if baseline is None:
+        return failures
+    cur_cal = current.get("calibration_seconds", 0.0)
+    base_cal = baseline.get("calibration_seconds", 0.0)
+    if cur_cal <= 0.0 or base_cal <= 0.0:
+        return failures + ["calibration_seconds missing or non-positive; "
+                           "cannot normalize throughput"]
+    for bench, base_entry in baseline.get("benches", {}).items():
+        base_sps = base_entry.get("sessions_per_second")
+        cur_entry = benches.get(bench)
+        if base_sps is None or base_sps <= 0.0:
+            continue
+        if cur_entry is None or "sessions_per_second" not in cur_entry:
+            failures.append(f"missing bench '{bench}' present in baseline")
+            continue
+        # sessions/s scales inversely with host speed, so multiply by the
+        # calibration time to get a host-independent throughput figure.
+        ratio = ((cur_entry["sessions_per_second"] * cur_cal)
+                 / (base_sps * base_cal))
+        label = f"{bench}.sessions_per_second"
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"{label}: {ratio:.2f}x the baseline "
+                f"(normalized; tolerance {1.0 - tolerance:.2f}x)")
+        else:
+            print(f"  OK  {label}: {ratio:.2f}x baseline (normalized)")
+    return failures
+
+
 BENCH_JSON_PREFIX = "BENCH_JSON "
 
 
@@ -274,13 +351,15 @@ def main() -> int:
                         help="BENCH_kernel.json / BENCH_horizon.json from "
                              "this run")
     parser.add_argument("--suite",
-                        choices=("kernel", "horizon", "mechanism", "storm"),
+                        choices=("kernel", "horizon", "mechanism", "storm",
+                                 "fleet"),
                         default="kernel",
                         help="which bench suite the input comes from; "
                              "'horizon' skips the kernel speedup floors, "
                              "'mechanism' checks the arena ordering, "
                              "'storm' checks P2A retention and streaming "
-                             "overhead instead")
+                             "overhead, 'fleet' checks throughput floors "
+                             "and the day wall ceiling instead")
     parser.add_argument("--fleet-overhead", nargs=2, type=Path,
                         metavar=("ON_LOG", "OFF_LOG"),
                         help="compare bench_fleet_scale stdout logs with "
@@ -307,6 +386,13 @@ def main() -> int:
     parser.add_argument("--max-stream-overhead", type=float, default=0.15,
                         help="ceiling on stream_overhead_fraction in the "
                              "storm suite")
+    parser.add_argument("--min-sessions-per-second", type=float, default=0.0,
+                        help="absolute throughput floor for every fleet "
+                             "cell (0 disables; the acceptance gate uses "
+                             "1e7 at 1M users)")
+    parser.add_argument("--max-fleet-wall-seconds", type=float, default=0.0,
+                        help="absolute ceiling on fleet_wall_seconds for "
+                             "every fleet cell (0 disables)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
     args = parser.parse_args()
@@ -335,6 +421,11 @@ def main() -> int:
     if args.suite == "storm":
         failures += check_storm_resilience(current, args.min_p2a_retention,
                                            args.max_stream_overhead)
+    if args.suite == "fleet":
+        failures += check_fleet_throughput(current, None,
+                                           args.min_sessions_per_second,
+                                           args.max_fleet_wall_seconds,
+                                           args.tolerance)
 
     if args.update:
         if failures:
@@ -348,8 +439,12 @@ def main() -> int:
         return 0
 
     if args.baseline.exists():
-        failures += check_wall_regressions(current, load(args.baseline),
+        baseline = load(args.baseline)
+        failures += check_wall_regressions(current, baseline,
                                            args.tolerance)
+        if args.suite == "fleet":
+            failures += check_fleet_throughput(current, baseline, 0.0, 0.0,
+                                               args.tolerance)
     else:
         print(f"  (no baseline at {args.baseline}; speedup floors only)")
 
