@@ -1,0 +1,364 @@
+// Incident-engine bench: what the deterministic anomaly detectors cost the
+// multi-day loop and how fast they catch injected storm onsets — emitting
+// BENCH_JSON lines and a machine-readable BENCH_incident.json for the CI
+// perf gate (tools/check_bench_regression.py --suite incident).
+//
+//   incident_calm       the calm run (2% i.i.d. chaos, no storms) with the
+//                       engine on: false_incidents counts incidents opened
+//                       where nothing regime-scale happened (gated == 0;
+//                       sensitive *alerts* are fine and expected)
+//   incident_detection  the reference 20%-duty storm run: every injected
+//                       regime onset (replayed from the seeded Markov
+//                       chains, domain by domain) must be answered by an
+//                       alert of the matching detector within
+//                       --max-detection-lag periods (default 4); the bench
+//                       reports max/mean lag and fails on a missed onset
+//   incident_overhead   the same storm run with the engine off vs on:
+//                       incident_overhead_fraction = on/off - 1 is gated
+//                       <= --max-incident-overhead, and the two runs'
+//                       DayMetrics must be bitwise identical (the engine
+//                       is a pure observer — a divergence fails the bench)
+//
+// Absolute times are normalized by calibration_seconds (the same fixed
+// reference workload as bench_kernel_suite, timed in this process) before
+// baseline comparison, so the regression gate measures code changes rather
+// than host-speed changes.
+//
+//   ./bench/bench_incident [--out BENCH_incident.json] [--users N] [--days N]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/fault.hpp"
+#include "core/deferral_kernel.hpp"
+#include "core/paper_data.hpp"
+#include "horizon/multi_day_driver.hpp"
+#include "math/matrix.hpp"
+#include "obs/incident/incident.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace inc = tdp::obs::incident;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Fn>
+double time_reps(std::size_t reps, Fn&& fn) {
+  fn();
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) fn();
+  return seconds_since(start);
+}
+
+void append_json_field(std::string& out, const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "\"%s\":%.17g", key, value);
+  out += buffer;
+}
+
+struct BenchEntry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// The 20%-duty storm plan the acceptance criteria are written against
+/// (same constants as bench_storm_recovery).
+tdp::StormRegime twenty_duty(double intensity) {
+  tdp::StormRegime regime;
+  regime.onset = 0.06;
+  regime.persist = 0.76;
+  regime.intensity = intensity;
+  return regime;
+}
+
+tdp::horizon::HorizonConfig storm_config(std::uint64_t users,
+                                         std::size_t days, bool storms,
+                                         bool engine) {
+  tdp::horizon::HorizonConfig config;
+  config.population.users = users;
+  config.population.periods = 48;
+  config.population.seed = 20110611;
+  config.shards = 32;
+  config.warmup_days = 1;
+  config.horizon_days = days;
+  config.estimation_window = 4;
+  config.estimation_min_days = 2;
+  config.estimation_starts = 2;
+  config.fault.price_pull_drop = 0.02;
+  config.fault.measurement_loss = 0.02;
+  config.fault.seed = 424242;
+  if (storms) {
+    config.fault.storm_blackout = twenty_duty(1.0);
+    config.fault.storm_channel = twenty_duty(0.5);
+    config.fault.storm_solver = twenty_duty(1.0);
+  }
+  config.incident.enabled = engine;
+  return config;
+}
+
+bool days_bitwise_equal(const std::vector<tdp::horizon::DayMetrics>& a,
+                        const std::vector<tdp::horizon::DayMetrics>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    if (a[d].rewards != b[d].rewards) return false;
+    if (a[d].offered_units != b[d].offered_units) return false;
+    if (a[d].realized_units != b[d].realized_units) return false;
+    if (a[d].sessions != b[d].sessions) return false;
+    if (a[d].deferred_sessions != b[d].deferred_sessions) return false;
+    if (a[d].beta_estimate != b[d].beta_estimate) return false;
+  }
+  return true;
+}
+
+/// Ground-truth regime onsets, replayed from the same seeded Markov chains
+/// the run drew from: period t is an onset when the chain is ON at t and
+/// was OFF at t-1 (or t == 0).
+std::vector<std::uint64_t> regime_onsets(const tdp::FaultInjector& injector,
+                                         tdp::FaultInjector::StormDomain dom,
+                                         std::size_t total_periods) {
+  std::vector<std::uint64_t> onsets;
+  bool prev = false;
+  for (std::size_t t = 0; t < total_periods; ++t) {
+    const bool on = injector.storm_active(dom, t);
+    if (on && !prev) onsets.push_back(t);
+    prev = on;
+  }
+  return onsets;
+}
+
+/// The detector that answers for a storm domain.
+inc::AlertKind domain_kind(tdp::FaultInjector::StormDomain dom) {
+  switch (dom) {
+    case tdp::FaultInjector::StormDomain::kBlackout:
+      return inc::AlertKind::kMeasurementCusum;
+    case tdp::FaultInjector::StormDomain::kChannel:
+      return inc::AlertKind::kChannelCusum;
+    default:
+      return inc::AlertKind::kSolverCusum;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tdp;
+
+  std::string out_path;
+  std::uint64_t users = 20000;
+  std::size_t days = 4;
+  std::size_t max_lag = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      users = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      days = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-detection-lag") == 0 &&
+               i + 1 < argc) {
+      max_lag =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+
+  bench::banner("incident",
+                "incident-engine detection lead/lag vs injected storm "
+                "onsets + pure-observer overhead");
+
+  std::vector<BenchEntry> entries;
+
+  // Calibration: the same fixed reference workload as bench_kernel_suite.
+  double calibration_seconds = 0.0;
+  {
+    const DeferralKernel kernel(
+        paper::make_profile(paper::table8_mix_12(),
+                            paper::kStaticNormalizationReward,
+                            LagNormalization::kDiscrete, 0.7),
+        LagConvention::kPeriodStart);
+    const math::Vector rewards(12, 0.8);
+    double sink = 0.0;
+    calibration_seconds = time_reps(50, [&] {
+      for (std::size_t i = 0; i < 12; ++i) {
+        sink += kernel.inflow(i, rewards[i]) + kernel.outflow(i, rewards);
+      }
+    });
+    if (sink < 0.0) std::printf("?\n");  // keep the sink alive
+  }
+
+  const std::size_t total_periods = (1 + days) * 48;
+
+  // ---- incident_calm: zero false incidents where nothing happened ---------
+  {
+    bench::BenchReport report("incident_calm");
+    horizon::MultiDayDriver driver(storm_config(users, days, false, true));
+    const auto start = Clock::now();
+    while (!driver.done()) driver.step_period();
+    const double calm_wall = seconds_since(start);
+
+    const inc::IncidentEngine& engine = *driver.incident_engine();
+    const double false_incidents =
+        static_cast<double>(engine.incidents_opened());
+    report.add("users", static_cast<std::uint64_t>(users));
+    report.add("days", static_cast<std::uint64_t>(days));
+    report.add("calm_wall_seconds", calm_wall);
+    report.add("calm_alerts", engine.alerts_emitted());
+    report.add("false_incidents", engine.incidents_opened());
+    report.emit();
+    entries.push_back(
+        {"incident_calm",
+         {{"calm_wall_seconds", calm_wall},
+          {"calm_alerts", static_cast<double>(engine.alerts_emitted())},
+          {"false_incidents", false_incidents}}});
+    std::printf("  incident_calm      %llu alerts, %.0f incidents on the "
+                "calm run, %.3f s\n",
+                static_cast<unsigned long long>(engine.alerts_emitted()),
+                false_incidents, calm_wall);
+  }
+
+  // ---- incident_overhead + incident_detection on the reference storm ------
+  std::vector<horizon::DayMetrics> off_days;
+  double off_wall = 0.0;
+  {
+    horizon::MultiDayDriver driver(storm_config(users, days, true, false));
+    const auto start = Clock::now();
+    while (!driver.done()) driver.step_period();
+    off_wall = seconds_since(start);
+    off_days = driver.completed_days();
+  }
+
+  horizon::MultiDayDriver stormy(storm_config(users, days, true, true));
+  const auto on_start = Clock::now();
+  while (!stormy.done()) stormy.step_period();
+  const double on_wall = seconds_since(on_start);
+
+  if (!days_bitwise_equal(off_days, stormy.completed_days())) {
+    std::printf("  ERROR: engine-on storm run diverged from engine-off "
+                "(the incident engine must be a pure observer)\n");
+    return 1;
+  }
+
+  {
+    bench::BenchReport report("incident_overhead");
+    const double overhead = off_wall > 0.0 ? on_wall / off_wall - 1.0 : 0.0;
+    report.add("engine_off_wall_seconds", off_wall);
+    report.add("engine_on_wall_seconds", on_wall);
+    report.add("incident_overhead_fraction", overhead);
+    report.emit();
+    entries.push_back({"incident_overhead",
+                       {{"engine_off_wall_seconds", off_wall},
+                        {"engine_on_wall_seconds", on_wall},
+                        {"incident_overhead_fraction", overhead}}});
+    std::printf("  incident_overhead  %.3f s on vs %.3f s off "
+                "(%.2f%% overhead), day metrics bit-identical: yes\n",
+                on_wall, off_wall, 1e2 * overhead);
+  }
+
+  {
+    bench::BenchReport report("incident_detection");
+    const FaultInjector truth(storm_config(users, days, true, false).fault);
+    const inc::IncidentEngine& engine = *stormy.incident_engine();
+
+    const FaultInjector::StormDomain domains[] = {
+        FaultInjector::StormDomain::kBlackout,
+        FaultInjector::StormDomain::kChannel,
+        FaultInjector::StormDomain::kSolver,
+    };
+    std::size_t onsets_total = 0;
+    std::size_t onsets_detected = 0;
+    std::uint64_t lag_max = 0;
+    double lag_sum = 0.0;
+    for (const FaultInjector::StormDomain dom : domains) {
+      const inc::AlertKind kind = domain_kind(dom);
+      for (const std::uint64_t t0 :
+           regime_onsets(truth, dom, total_periods)) {
+        // Onsets in the last stretch have no room for a timely answer
+        // before the run ends; skip them rather than gate on truncation.
+        if (t0 + max_lag >= total_periods) continue;
+        ++onsets_total;
+        bool detected = false;
+        for (const inc::Alert& alert : engine.alerts()) {
+          if (alert.kind != kind || alert.abs_period < t0) continue;
+          if (alert.abs_period - t0 <= max_lag) {
+            detected = true;
+            const std::uint64_t lag = alert.abs_period - t0;
+            if (lag > lag_max) lag_max = lag;
+            lag_sum += static_cast<double>(lag);
+          }
+          break;  // alerts are in abs_period order; first answer decides
+        }
+        if (detected) {
+          ++onsets_detected;
+        } else {
+          std::printf("  MISSED %s onset at t=%llu (no %s alert within "
+                      "%zu periods)\n",
+                      dom == FaultInjector::StormDomain::kBlackout ? "blackout"
+                      : dom == FaultInjector::StormDomain::kChannel ? "channel"
+                                                                    : "solver",
+                      static_cast<unsigned long long>(t0), to_string(kind),
+                      max_lag);
+        }
+      }
+    }
+    const double lag_mean =
+        onsets_detected ? lag_sum / static_cast<double>(onsets_detected) : 0.0;
+
+    report.add("onsets_total", static_cast<std::uint64_t>(onsets_total));
+    report.add("onsets_detected",
+               static_cast<std::uint64_t>(onsets_detected));
+    report.add("max_detection_lag_periods", lag_max);
+    report.add("mean_detection_lag_periods", lag_mean);
+    report.add("storm_alerts", engine.alerts_emitted());
+    report.add("storm_incidents", engine.incidents_opened());
+    report.emit();
+    entries.push_back(
+        {"incident_detection",
+         {{"onsets_total", static_cast<double>(onsets_total)},
+          {"onsets_detected", static_cast<double>(onsets_detected)},
+          {"max_detection_lag_periods", static_cast<double>(lag_max)},
+          {"mean_detection_lag_periods", lag_mean},
+          {"storm_alerts", static_cast<double>(engine.alerts_emitted())},
+          {"storm_incidents",
+           static_cast<double>(engine.incidents_opened())}}});
+    std::printf("  incident_detection %zu/%zu onsets answered, lag max %llu "
+                "mean %.2f periods; %llu alerts, %llu incidents\n",
+                onsets_detected, onsets_total,
+                static_cast<unsigned long long>(lag_max), lag_mean,
+                static_cast<unsigned long long>(engine.alerts_emitted()),
+                static_cast<unsigned long long>(engine.incidents_opened()));
+    if (onsets_detected != onsets_total) return 1;
+  }
+
+  // ---- BENCH_incident.json ------------------------------------------------
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"schema\": 1,\n  ";
+    append_json_field(json, "calibration_seconds", calibration_seconds);
+    json += ",\n  \"benches\": {\n";
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      json += "    \"" + entries[e].name + "\": {";
+      for (std::size_t f = 0; f < entries[e].fields.size(); ++f) {
+        if (f) json += ", ";
+        append_json_field(json, entries[e].fields[f].first.c_str(),
+                          entries[e].fields[f].second);
+      }
+      json += e + 1 < entries.size() ? "},\n" : "}\n";
+    }
+    json += "  }\n}\n";
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

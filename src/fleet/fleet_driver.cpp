@@ -53,6 +53,20 @@ FleetCounters& fleet_counters() {
   return counters;
 }
 
+/// PricerHealth -> the incident engine's own health ladder (same rungs;
+/// the engine sits below the pricing layers and keeps its own enum).
+obs::incident::Health map_health(PricerHealth health) {
+  switch (health) {
+    case PricerHealth::kHealthy:
+      return obs::incident::Health::kHealthy;
+    case PricerHealth::kDegraded:
+      return obs::incident::Health::kDegraded;
+    case PricerHealth::kFallback:
+      return obs::incident::Health::kFallback;
+  }
+  return obs::incident::Health::kHealthy;
+}
+
 /// Canonical slice count: explicit config wins, else one slice per shard
 /// (the pre-slice layout); always clamped to [1, users].
 std::size_t effective_slices(const FleetDriverConfig& config,
@@ -123,6 +137,11 @@ FleetDriver::FleetDriver(FleetDriverConfig config)
   // per-user trait derivation). Which worker builds which shard does not
   // matter for determinism: every per-user value is a pure function of
   // (seed, user id).
+  if (config_.incident.enabled) {
+    incident_ = std::make_unique<obs::incident::IncidentEngine>(
+        config_.incident);
+  }
+
   shards_.resize(shard_count);
   parallel_for(
       shard_count,
@@ -273,6 +292,8 @@ FleetMetrics FleetDriver::run_day() {
     day_offered.assign(n, 0.0);
     day_realized.assign(n, 0.0);
     day_reward_paid = 0.0;
+    SubscriberTelemetry day_chan_before;
+    if (incident_ != nullptr) day_chan_before = fanout_.total_telemetry();
     {
       const math::Vector& published = mechanism_->rewards();
       double mean_reward = 0.0;
@@ -292,6 +313,13 @@ FleetMetrics FleetDriver::run_day() {
       std::optional<obs::Span> period_span;
       period_span.emplace("fleet.period");
       fc.periods.add(1);
+      const std::uint64_t abs_period =
+          static_cast<std::uint64_t>(day) * n + period;
+      // Channel-side degradation counters are deterministic channel state
+      // (not gated telemetry): their delta across this period's sync is
+      // the incident engine's price-channel disturbance signal.
+      SubscriberTelemetry chan_before;
+      if (incident_ != nullptr) chan_before = fanout_.total_telemetry();
       mark = std::chrono::steady_clock::now();
       // Publish the current schedule and fan it out (one server fetch per
       // group; every user in a group reads the group cache).
@@ -333,12 +361,14 @@ FleetMetrics FleetDriver::run_day() {
       }
       lap(fc.aggregate_ns);
 
+      bool sig_gap = false;
+      bool sig_repaired = false;
+      std::size_t sig_lost = 0;
       if (config_.online_pricing) {
         begin_phase("fleet.pricer");
-        const std::uint64_t abs_period =
-            static_cast<std::uint64_t>(day) * n + period;
         const Observation obs =
             observe(period, abs_period, calibration, merged);
+        sig_lost = obs.lost_stripes;
         if (obs.lost_stripes > 0) {
           fc.stripes_lost.add_always(obs.lost_stripes);
           obs::journal_record("fleet.stripe_lost",
@@ -352,6 +382,7 @@ FleetMetrics FleetDriver::run_day() {
         if (!obs.sample.has_value()) {
           // Total telemetry blackout for the period: the pricer is told
           // explicitly and freezes its schedule.
+          sig_gap = true;
           fc.measurement_gaps.add_always(1);
           obs::journal_record("fleet.measurement_gap",
                               static_cast<std::int64_t>(period), -1,
@@ -363,6 +394,7 @@ FleetMetrics FleetDriver::run_day() {
           const MeasurementGuard::Admitted admitted =
               guard_.admit(period, obs.sample);
           if (admitted.degraded) fc.measurement_repairs.add_always(1);
+          sig_repaired = admitted.degraded;
           const std::size_t budget =
               injector_.exhaust_solver(abs_period)
                   ? injector_.plan().solver_starved_budget
@@ -372,6 +404,36 @@ FleetMetrics FleetDriver::run_day() {
               admitted.degraded || obs.lost_stripes > 0, budget);
         }
         lap(fc.pricer_ns);
+      }
+
+      if (incident_ != nullptr) {
+        const SubscriberTelemetry chan_now = fanout_.total_telemetry();
+        obs::incident::PeriodSignals sig;
+        sig.day = day;
+        sig.period = static_cast<std::uint32_t>(period);
+        sig.abs_period = abs_period;
+        sig.offered_units = day_offered[period];
+        sig.realized_units = day_realized[period];
+        sig.measurement_gap = sig_gap;
+        sig.measurement_repaired = sig_repaired;
+        sig.lost_stripes = sig_lost;
+        sig.price_groups = fanout_.groups();
+        sig.failed_attempts =
+            chan_now.dropped_attempts - chan_before.dropped_attempts;
+        sig.degraded_groups =
+            (chan_now.stale_periods - chan_before.stale_periods) +
+            (chan_now.fallback_periods - chan_before.fallback_periods) +
+            (chan_now.skewed_periods - chan_before.skewed_periods);
+        sig.solver_starved =
+            config_.online_pricing && injector_.exhaust_solver(abs_period);
+        sig.health = map_health(mechanism_->health());
+        sig.storm_blackout = injector_.storm_active(
+            FaultInjector::StormDomain::kBlackout, abs_period);
+        sig.storm_channel = injector_.storm_active(
+            FaultInjector::StormDomain::kChannel, abs_period);
+        sig.storm_solver = injector_.storm_active(
+            FaultInjector::StormDomain::kSolver, abs_period);
+        incident_->observe_period(sig);
       }
     }
 
@@ -392,6 +454,31 @@ FleetMetrics FleetDriver::run_day() {
     if (measured) {
       metrics.rebate_budget_spent = settle.budget_spent;
       metrics.rebate_budget_pool = settle.budget_pool;
+    }
+
+    if (incident_ != nullptr) {
+      const std::uint64_t day_last_abs =
+          static_cast<std::uint64_t>(day) * n + (n - 1);
+      obs::incident::SettleSignals ssig;
+      ssig.day = day;
+      ssig.abs_period = day_last_abs;
+      ssig.schedule_changed = settle.schedule_changed;
+      ssig.books_held = settle.books_held;
+      ssig.budget_spent = settle.budget_spent;
+      ssig.budget_pool = settle.budget_pool;
+      incident_->observe_settle(ssig);
+
+      const SubscriberTelemetry day_chan_now = fanout_.total_telemetry();
+      obs::incident::DaySignals dsig;
+      dsig.day = day;
+      dsig.abs_period = day_last_abs;
+      dsig.peak_to_average_tip = peak_to_average(day_offered);
+      dsig.peak_to_average_tdp = peak_to_average(day_realized);
+      dsig.peak_realized_units =
+          *std::max_element(day_realized.begin(), day_realized.end());
+      dsig.fallback_periods =
+          day_chan_now.fallback_periods - day_chan_before.fallback_periods;
+      incident_->observe_day(dsig);
     }
   }
 
@@ -441,6 +528,11 @@ FleetMetrics FleetDriver::run_day() {
   metrics.max_recovery_periods =
       health_stats != nullptr ? health_stats->max_recovery_periods : 0;
   metrics.final_health = to_string(mechanism_->health());
+  if (incident_ != nullptr) {
+    metrics.incident_alerts = incident_->alerts_emitted();
+    metrics.incidents_opened = incident_->incidents_opened();
+    metrics.incidents_closed = incident_->incidents_closed();
+  }
   return metrics;
 }
 

@@ -46,6 +46,7 @@
 #include "fleet/price_fanout.hpp"
 #include "fleet/shard.hpp"
 #include "mech/mechanism.hpp"
+#include "obs/incident/incident.hpp"
 #include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
@@ -87,6 +88,10 @@ struct FleetDriverConfig {
   /// Pricer degradation policy; unset = PricerGuardConfig::protective()
   /// when the fault plan can fire, legacy no-op guard otherwise.
   std::optional<PricerGuardConfig> pricer_guard;
+  /// Incident engine (off by default). A pure observer: the driver feeds
+  /// it per-period/settle/day aggregates; enabling it never changes any
+  /// simulated or priced value (bit-identity enforced by tests).
+  obs::incident::IncidentConfig incident;
 };
 
 /// The fluid dynamic model whose expected arrivals match the population's:
@@ -116,6 +121,11 @@ class FleetDriver {
 
   const FaultInjector& injector() const { return injector_; }
 
+  /// The incident engine, or nullptr when not enabled.
+  const obs::incident::IncidentEngine* incident_engine() const {
+    return incident_.get();
+  }
+
  private:
   /// What the telemetry path reports for one period (std::nullopt = the
   /// aggregate sample never arrived), plus whether shard stripes were lost.
@@ -141,6 +151,7 @@ class FleetDriver {
   std::vector<std::unique_ptr<Shard>> shards_;
   StripedAggregator aggregator_;
   std::size_t threads_;
+  std::unique_ptr<obs::incident::IncidentEngine> incident_;
   bool ran_ = false;
 };
 

@@ -142,6 +142,12 @@ std::string FleetMetrics::to_json() const {
   out += ',';
   append_field(out, "max_recovery_periods", max_recovery_periods);
   out += ',';
+  append_field(out, "incident_alerts", incident_alerts);
+  out += ',';
+  append_field(out, "incidents_opened", incidents_opened);
+  out += ',';
+  append_field(out, "incidents_closed", incidents_closed);
+  out += ',';
   out += "\"final_health\":\"";
   out += final_health;
   out += "\",";

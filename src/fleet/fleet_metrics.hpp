@@ -74,6 +74,12 @@ struct FleetMetrics {
   std::uint64_t max_recovery_periods = 0;
   std::string final_health = "HEALTHY";
 
+  // Incident engine (zero when the engine is off). Deterministic counts
+  // of the engine's alert/incident streams over the whole run.
+  std::uint64_t incident_alerts = 0;
+  std::uint64_t incidents_opened = 0;
+  std::uint64_t incidents_closed = 0;
+
   /// Compact single-object JSON (profiles included as arrays).
   std::string to_json() const;
 };

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "horizon/checkpoint_sections.hpp"
+#include "obs/incident/incident.hpp"
 
 namespace tdp::horizon {
 namespace {
@@ -124,7 +125,7 @@ bool needs_v2(const CheckpointData& data) {
          data.carry_floor_fraction != 0.5 || data.estimation_health_gate ||
          data.reanchor_healthy_periods != 0 ||
          data.reanchor_objective_guard ||
-         data.reanchor_guard_tolerance != 0.0;
+         data.reanchor_guard_tolerance != 0.0 || data.incident_enabled;
 }
 
 std::uint32_t format_version_for(const CheckpointData& data) {
@@ -137,6 +138,8 @@ bool section_present(SectionTag tag, const CheckpointData& data) {
       return data.mechanism_kind != 0 || data.adaptive_users;
     case kSecStorm:
       return needs_v2(data);
+    case kSecIncident:
+      return data.incident_enabled;
     default:
       return true;
   }
@@ -150,6 +153,8 @@ bool section_dirty_within_day(SectionTag tag) {
     case kSecMech:    // settle/adaptation only run at finish_day
       return false;
     default:
+      // kSecIncident is deliberately dirty: the CUSUM accumulators and the
+      // recorder ring move every observed period.
       return true;
   }
 }
@@ -330,6 +335,10 @@ void write_section(ser::Writer& w, SectionTag tag,
       write_extra(data.partial);
       break;
     }
+    case kSecIncident:
+      obs::incident::write_config_echo(w, data.incident_config);
+      obs::incident::write_state(w, data.incident);
+      break;
   }
   w.end_section(s);
 }
@@ -349,11 +358,11 @@ std::vector<std::uint8_t> encode(const CheckpointData& data) {
 CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
   ser::Reader r(bytes, size, kCheckpointMagic, 1, kCheckpointVersion);
   CheckpointData data;
-  bool seen[14] = {};
+  bool seen[15] = {};
 
   while (!r.at_end()) {
     const std::uint32_t tag = r.begin_section();
-    if (tag >= 1 && tag <= 13 && seen[tag]) {
+    if (tag >= 1 && tag <= 14 && seen[tag]) {
       throw ser::FormatError("checkpoint: duplicate section");
     }
     switch (tag) {
@@ -623,6 +632,17 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         }
         break;
       }
+      case detail::kSecIncident: {
+        if (r.version() < 2) {
+          // Same v1-reader policy as kSecStorm: an unknown tag skips.
+          r.skip_section();
+          continue;
+        }
+        data.incident_config = obs::incident::read_config_echo(r);
+        data.incident = obs::incident::read_state(r);
+        data.incident_enabled = data.incident_config.enabled;
+        break;
+      }
       default:
         // Unknown section from a future writer: skip under the documented
         // compatibility policy (skip_section also closes the section).
@@ -630,7 +650,7 @@ CheckpointData decode(const std::uint8_t* bytes, std::size_t size) {
         continue;
     }
     r.end_section();
-    if (tag >= 1 && tag <= 13) seen[tag] = true;
+    if (tag >= 1 && tag <= 14) seen[tag] = true;
   }
 
   for (std::uint32_t tag = 1; tag <= 11; ++tag) {

@@ -33,6 +33,7 @@
 #include "horizon/horizon_metrics.hpp"
 #include "math/vector_ops.hpp"
 #include "mech/mechanism.hpp"
+#include "obs/incident/incident.hpp"
 #include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
@@ -130,6 +131,14 @@ struct CheckpointData {
   DayMetrics partial;  ///< current day's accumulators
   math::Vector prev_day_start_rewards;
   bool has_prev_day_start = false;
+
+  // -- incident engine (kSecIncident; serialized only when enabled) -------
+  // Config echo (restore rejects threshold mismatches — they would fork
+  // the alert stream) plus the complete engine state, so a restored run
+  // continues the deterministic alert/incident streams bitwise.
+  bool incident_enabled = false;
+  obs::incident::IncidentConfig incident_config;
+  obs::incident::EngineState incident;
 
   // -- observability counters (name, merged value) ------------------------
   std::vector<std::pair<std::string, std::uint64_t>> counters;

@@ -42,27 +42,32 @@ enum SectionTag : std::uint32_t {
   // state, and the per-day health extras. Must follow kSecDays/kSecPartial
   // (its per-day arrays index into them).
   kSecStorm = 13,
+  // v2 only, written only when the incident engine is enabled: the
+  // engine's config echo and complete state (obs/incident/incident.hpp's
+  // write_config_echo + write_state).
+  kSecIncident = 14,
 };
 
 /// Canonical write order (encode() and the streamer must agree).
 inline constexpr SectionTag kSectionOrder[] = {
-    kSecConfig, kSecClock,  kSecRings, kSecChannel, kSecFanout,
-    kSecGuard,  kSecPricer, kSecWindow, kSecDays,   kSecPartial,
-    kSecObs,    kSecMech,   kSecStorm,
+    kSecConfig, kSecClock,  kSecRings,  kSecChannel, kSecFanout,
+    kSecGuard,  kSecPricer, kSecWindow, kSecDays,    kSecPartial,
+    kSecObs,    kSecMech,   kSecStorm,  kSecIncident,
 };
 inline constexpr std::size_t kSectionCount =
     sizeof(kSectionOrder) / sizeof(kSectionOrder[0]);
 
 /// True when the checkpoint uses a v2 feature: a storm regime, a non-default
-/// guard carry floor, or any health gate. A pure function of the config
-/// echo, so legacy configurations keep writing byte-identical v1 files.
+/// guard carry floor, any health gate, or the incident engine. A pure
+/// function of the config echo, so legacy configurations keep writing
+/// byte-identical v1 files.
 bool needs_v2(const CheckpointData& data);
 
 /// The format version the writer emits for `data` (1 or 2).
 std::uint32_t format_version_for(const CheckpointData& data);
 
-/// Whether this checkpoint writes `tag` at all (kSecMech and kSecStorm are
-/// conditional; everything else is required).
+/// Whether this checkpoint writes `tag` at all (kSecMech, kSecStorm, and
+/// kSecIncident are conditional; everything else is required).
 bool section_present(SectionTag tag, const CheckpointData& data);
 
 /// Encode exactly one tagged section — begin_section through end_section —

@@ -85,6 +85,19 @@ double linf_distance(const math::Vector& a, const math::Vector& b) {
   return worst;
 }
 
+/// The incident engine keeps its own Health enum (it sits below the
+/// pricing layers); the driver maps the pricer's ladder over.
+obs::incident::Health map_health(PricerHealth health) {
+  switch (health) {
+    case PricerHealth::kHealthy:
+      return obs::incident::Health::kHealthy;
+    case PricerHealth::kDegraded:
+      return obs::incident::Health::kDegraded;
+    default:
+      return obs::incident::Health::kFallback;
+  }
+}
+
 /// Restore-time validation: the checkpoint must describe the same
 /// experiment this config describes. Execution knobs (shards, threads) are
 /// deliberately not compared.
@@ -176,6 +189,17 @@ HorizonConfig validate_restore(HorizonConfig config,
                     config.adaptation_gain == data.adaptation_gain,
                 "checkpoint adaptation settings do not match configuration");
   }
+  TDP_REQUIRE(config.incident.enabled == data.incident_enabled,
+              "checkpoint incident-engine mode does not match configuration");
+  if (config.incident.enabled) {
+    // Mismatched thresholds would fork the alert stream at the restore
+    // point — the detectors carry accumulated state tuned to the echoed
+    // config, so the restore must prove it is the same experiment.
+    TDP_REQUIRE(
+        obs::incident::config_echo_matches(config.incident,
+                                           data.incident_config),
+        "checkpoint incident thresholds do not match configuration");
+  }
   return config;
 }
 
@@ -223,6 +247,10 @@ MultiDayDriver::MultiDayDriver(HorizonConfig config,
                    config_.adaptation_gain >= 0.0),
               "adaptation settings out of range");
   adapt_scale_.assign(population_.patience_classes(), 1.0);
+  if (config_.incident.enabled) {
+    incident_ =
+        std::make_unique<obs::incident::IncidentEngine>(config_.incident);
+  }
 }
 
 const OnlinePricer& MultiDayDriver::pricer() const {
@@ -297,6 +325,13 @@ MultiDayDriver::MultiDayDriver(RestoreTag, HorizonConfig config,
   // drifted lag tables need rebuilding.
   day_started_ = period_ > 0;
   if (day_started_) build_drift_tables();
+
+  if (incident_ != nullptr) {
+    // Detector accumulators, burn windows, and the recorder ring resume
+    // exactly where the checkpoint froze them, so the continued alert
+    // stream is bitwise the uninterrupted one.
+    incident_->restore_state(data.incident);
+  }
 
   if (restore_counters) {
     obs::Registry& registry = obs::Registry::global();
@@ -424,6 +459,9 @@ void MultiDayDriver::step_period() {
   HorizonCounters& hc = horizon_counters();
   hc.periods.add(1);
 
+  SubscriberTelemetry chan_before;
+  if (incident_ != nullptr) chan_before = fanout_.total_telemetry();
+
   channel_.publish(mechanism_->rewards());
   fanout_.sync(static_cast<std::size_t>(abs_period));
   std::vector<const math::Vector*> schedules(classes);
@@ -452,17 +490,23 @@ void MultiDayDriver::step_period() {
   // schedule users responded to, and the estimator's p_k for this day.
   partial_.rewards[period_] = mechanism_->rewards()[period_];
 
+  bool sig_gap = false;
+  bool sig_repaired = false;
+  std::size_t sig_lost = 0;
   if (config_.online_pricing) {
     const Observation obs = observe(period_, abs_period, calibration, merged);
+    sig_lost = obs.lost_stripes;
     if (obs.lost_stripes > 0) {
       hc.stripes_lost.add_always(obs.lost_stripes);
     }
     if (!obs.sample.has_value()) {
       hc.gaps.add_always(1);
+      sig_gap = true;
       mechanism_->observe_missed(period_);
     } else {
       const MeasurementGuard::Admitted admitted =
           guard_.admit(period_, obs.sample);
+      sig_repaired = admitted.degraded;
       const std::size_t budget =
           injector_.exhaust_solver(abs_period)
               ? injector_.plan().solver_starved_budget
@@ -491,6 +535,37 @@ void MultiDayDriver::step_period() {
     }
   }
 
+  if (incident_ != nullptr) {
+    // Fed before the clock rolls so a checkpoint committed at this period
+    // boundary carries this period's alerts (kill/restore bit-identity).
+    const SubscriberTelemetry chan = fanout_.total_telemetry();
+    obs::incident::PeriodSignals sig;
+    sig.day = day_;
+    sig.period = static_cast<std::uint32_t>(period_);
+    sig.abs_period = abs_period;
+    sig.offered_units = partial_.offered_units[period_];
+    sig.realized_units = partial_.realized_units[period_];
+    sig.measurement_gap = sig_gap;
+    sig.measurement_repaired = sig_repaired;
+    sig.lost_stripes = sig_lost;
+    sig.price_groups = fanout_.groups();
+    sig.failed_attempts = chan.dropped_attempts - chan_before.dropped_attempts;
+    sig.degraded_groups = (chan.stale_periods - chan_before.stale_periods) +
+                          (chan.fallback_periods -
+                           chan_before.fallback_periods) +
+                          (chan.skewed_periods - chan_before.skewed_periods);
+    sig.solver_starved =
+        config_.online_pricing && injector_.exhaust_solver(abs_period);
+    sig.health = map_health(mechanism_->health());
+    sig.storm_blackout = injector_.storm_active(
+        FaultInjector::StormDomain::kBlackout, abs_period);
+    sig.storm_channel = injector_.storm_active(
+        FaultInjector::StormDomain::kChannel, abs_period);
+    sig.storm_solver = injector_.storm_active(
+        FaultInjector::StormDomain::kSolver, abs_period);
+    incident_->observe_period(sig);
+  }
+
   ++period_;
   if (period_ == n) finish_day();
   maybe_stream_commit();
@@ -503,7 +578,15 @@ void MultiDayDriver::maybe_stream_commit() {
   const bool periodic = config_.checkpoint_every_periods > 0 &&
                         period_ % config_.checkpoint_every_periods == 0;
   if (!day_boundary && !periodic) return;
+  const auto start = std::chrono::steady_clock::now();
   stream_->commit(checkpoint(), day_boundary);
+  if (incident_ != nullptr) {
+    // Wall clock — advisory only; never enters the deterministic streams.
+    incident_->note_commit_latency(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  }
   horizon_counters().stream_commits.add(1);
 }
 
@@ -530,6 +613,16 @@ void MultiDayDriver::finish_day() {
          {"budget_spent", settle.budget_spent},
          {"budget_pool", settle.budget_pool},
          {"schedule_changed", settle.schedule_changed ? 1.0 : 0.0}});
+    if (incident_ != nullptr) {
+      obs::incident::SettleSignals sig;
+      sig.day = day_;
+      sig.abs_period = day_ * n + (n - 1);
+      sig.schedule_changed = settle.schedule_changed;
+      sig.books_held = settle.books_held;
+      sig.budget_spent = settle.budget_spent;
+      sig.budget_pool = settle.budget_pool;
+      incident_->observe_settle(sig);
+    }
   }
 
   // User adaptation: pull every class's patience index toward the target
@@ -553,6 +646,7 @@ void MultiDayDriver::finish_day() {
   // Measured days feed the estimator's sliding window; warmup days are the
   // rings filling up and would bias the fit.
   const bool measured = day_ >= config_.warmup_days;
+  bool reanchor_deferred = false;
 
   // Health gate: a day containing FALLBACK periods measured the safety
   // schedule's world, not the control loop's. Freezing re-estimation
@@ -624,6 +718,7 @@ void MultiDayDriver::finish_day() {
           // Hysteresis: a pricer freshly back from an excursion re-anchors
           // only after K consecutive healthy periods — one good reading is
           // not proof the storm has passed.
+          reanchor_deferred = true;
           horizon_counters().deferred.add(1);
           obs::journal_record(
               "horizon.reanchor_deferred", -1, -1, "hysteresis",
@@ -677,6 +772,22 @@ void MultiDayDriver::finish_day() {
         }
       }
     }
+  }
+
+  if (incident_ != nullptr) {
+    obs::incident::DaySignals sig;
+    sig.day = day_;
+    sig.abs_period = day_ * n + (n - 1);
+    sig.peak_to_average_tip = partial_.peak_to_average_tip;
+    sig.peak_to_average_tdp = partial_.peak_to_average_tdp;
+    sig.peak_realized_units = *std::max_element(
+        partial_.realized_units.begin(), partial_.realized_units.end());
+    sig.fallback_periods = partial_.fallback_periods;
+    sig.estimation_frozen = partial_.estimation_frozen;
+    sig.reanchored = partial_.reanchored;
+    sig.reanchor_deferred = reanchor_deferred;
+    sig.reanchor_rolled_back = partial_.reanchor_rolled_back;
+    incident_->observe_day(sig);
   }
 
   completed_days_.push_back(partial_);
@@ -797,6 +908,12 @@ CheckpointData MultiDayDriver::checkpoint() const {
   d.partial = partial_;
   d.prev_day_start_rewards = prev_day_start_rewards_;
   d.has_prev_day_start = has_prev_day_start_;
+
+  d.incident_enabled = config_.incident.enabled;
+  if (incident_ != nullptr) {
+    d.incident_config = config_.incident;
+    d.incident = incident_->state();
+  }
 
   const obs::Snapshot snap = obs::Registry::global().snapshot();
   d.counters.reserve(snap.counters.size());

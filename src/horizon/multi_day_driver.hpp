@@ -49,6 +49,7 @@
 #include "horizon/checkpoint_stream.hpp"
 #include "horizon/horizon_metrics.hpp"
 #include "mech/mechanism.hpp"
+#include "obs/incident/incident.hpp"
 #include "tube/measurement_guard.hpp"
 #include "tube/price_channel.hpp"
 
@@ -95,6 +96,13 @@ struct HorizonConfig {
   ChannelResilienceConfig resilience;
   MeasurementGuardConfig measurement_guard;
   std::optional<PricerGuardConfig> pricer_guard;
+
+  /// Incident engine (off by default). A pure observer fed the same
+  /// aggregates the drivers already compute; enabling it never changes a
+  /// simulated or priced value. Its state checkpoints (kSecIncident) so
+  /// the alert stream survives kill/restore bitwise; the threshold fields
+  /// are config-echoed and restore rejects mismatches.
+  obs::incident::IncidentConfig incident;
 
   /// Run the §IV estimator over the sliding window after each measured day.
   bool estimation = true;
@@ -193,6 +201,11 @@ class MultiDayDriver {
   CheckpointData checkpoint() const;
   std::vector<std::uint8_t> checkpoint_bytes() const;
 
+  /// The incident engine, or nullptr when not enabled.
+  const obs::incident::IncidentEngine* incident_engine() const {
+    return incident_.get();
+  }
+
  private:
   struct RestoreTag {};
   MultiDayDriver(RestoreTag, HorizonConfig config, const CheckpointData& data,
@@ -269,6 +282,9 @@ class MultiDayDriver {
 
   /// Streaming checkpoint writer (present when checkpoint_path is set).
   std::unique_ptr<CheckpointStream> stream_;
+
+  /// Incident engine (present when config_.incident.enabled).
+  std::unique_ptr<obs::incident::IncidentEngine> incident_;
 
   // Metrics.
   std::vector<DayMetrics> completed_days_;

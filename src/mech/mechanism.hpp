@@ -100,6 +100,10 @@ struct SettleInfo {
   bool schedule_changed = false;  ///< next day publishes a new schedule
   double budget_spent = 0.0;      ///< today's payout (budgeted mechanisms)
   double budget_pool = 0.0;       ///< the daily pool (0 = unbudgeted)
+  /// A blackout settle: the day's telemetry was too damaged to judge, so
+  /// the books were carried (rebate pacing hold). Pacing monitors skip
+  /// held settles instead of alerting on the frozen spend/pool ratio.
+  bool books_held = false;
 };
 
 /// The serializable slice of a mechanism's mutable state (checkpoints).

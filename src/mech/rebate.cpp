@@ -109,6 +109,7 @@ SettleInfo FixedBudgetRebateMechanism::settle_day(const DaySettlement& day) {
     held.schedule_changed = false;
     held.budget_spent = day.reward_paid_units;
     held.budget_pool = pool_;
+    held.books_held = true;
     return held;
   }
 

@@ -110,18 +110,24 @@ std::string prometheus_text(const Snapshot& snapshot) {
   std::string out;
   for (const auto* row : sorted_rows(snapshot.counters)) {
     const std::string name = prometheus_name(row->name);
+    // HELP text is the registry's dotted taxonomy name: deterministic (the
+    // exposition bytes are fixture-tested) and it round-trips the original
+    // name through the [a-zA-Z0-9_:] sanitization.
+    out += "# HELP " + name + " TDP counter " + row->name + '\n';
     out += "# TYPE " + name + " counter\n" + name + ' ';
     append_number(out, row->value);
     out += '\n';
   }
   for (const auto* row : sorted_rows(snapshot.gauges)) {
     const std::string name = prometheus_name(row->name);
+    out += "# HELP " + name + " TDP gauge " + row->name + '\n';
     out += "# TYPE " + name + " gauge\n" + name + ' ';
     append_number(out, row->value);
     out += '\n';
   }
   for (const auto* row : sorted_rows(snapshot.histograms)) {
     const std::string name = prometheus_name(row->name);
+    out += "# HELP " + name + " TDP histogram " + row->name + '\n';
     out += "# TYPE " + name + " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < row->buckets.size(); ++b) {

@@ -17,9 +17,10 @@ namespace tdp::obs {
 std::string metrics_json(const Snapshot& snapshot);
 std::string metrics_json();  ///< of Registry::global()
 
-/// Prometheus exposition text: HELP-less "# TYPE" blocks, metric names
-/// sanitized (dots -> underscores), histograms as cumulative _bucket
-/// series plus _sum and _count.
+/// Prometheus exposition text: "# HELP" + "# TYPE" per metric, names
+/// sanitized (dots -> underscores; the HELP text carries the original
+/// dotted name), histograms as cumulative _bucket series plus _sum and
+/// _count. Byte-stable for a given snapshot (fixture-tested).
 std::string prometheus_text(const Snapshot& snapshot);
 std::string prometheus_text();  ///< of Registry::global()
 

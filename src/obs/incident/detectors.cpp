@@ -1,0 +1,56 @@
+#include "obs/incident/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdp::obs::incident {
+
+double CusumDetector::update(double x, double k, double h) {
+  ++samples_;
+  s_ = std::max(0.0, s_ + x - k);
+  const double crossed = s_;
+  if (s_ >= h) {
+    s_ = 0.0;
+    ++firings_;
+  }
+  return crossed;
+}
+
+void CusumDetector::restore(double s, std::uint64_t samples,
+                            std::uint64_t firings) {
+  s_ = s;
+  samples_ = samples;
+  firings_ = firings;
+}
+
+double EwmaDetector::sigma_floor(double mean) {
+  return std::max(1e-12, 1e-3 * std::abs(mean));
+}
+
+double EwmaDetector::update(double x, double alpha,
+                            std::uint64_t min_samples) {
+  double z = 0.0;
+  if (samples_ >= min_samples && samples_ > 0) {
+    const double sigma =
+        std::max(std::sqrt(std::max(0.0, var_)), sigma_floor(mean_));
+    z = (x - mean_) / sigma;
+  }
+  if (samples_ == 0) {
+    mean_ = x;
+    var_ = 0.0;
+  } else {
+    const double delta = x - mean_;
+    mean_ += alpha * delta;
+    var_ = (1.0 - alpha) * (var_ + alpha * delta * delta);
+  }
+  ++samples_;
+  return z;
+}
+
+void EwmaDetector::restore(double mean, double var, std::uint64_t samples) {
+  mean_ = mean;
+  var_ = var;
+  samples_ = samples;
+}
+
+}  // namespace tdp::obs::incident

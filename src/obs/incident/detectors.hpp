@@ -1,0 +1,79 @@
+// Online change detectors for the incident engine. Both are pure functions
+// of their input sequence — no clocks, no RNG — so every downstream alert
+// stream inherits the repo's bitwise determinism discipline. State is plain
+// doubles/counters and serializes field-for-field into checkpoints/dumps.
+#pragma once
+
+#include <cstdint>
+
+namespace tdp::obs::incident {
+
+/// One-sided CUSUM on a non-negative disturbance stream x_t in [0, 1]:
+///
+///   S_t = max(0, S_{t-1} + x_t - k)      alert when S_t >= h, then reset.
+///
+/// The drift k absorbs the calm-run chaos floor (i.i.d. fault noise keeps
+/// E[x] well under k, so S decays between blips); a sustained shift above
+/// k accumulates at rate (E[x] - k) per period and crosses h in
+/// ~h / (E[x] - k) periods. Resetting on alert re-arms the detector so a
+/// long regime burst re-alerts instead of pinning S at infinity.
+class CusumDetector {
+ public:
+  CusumDetector() = default;
+
+  /// Feed one observation; returns the updated statistic S *before* any
+  /// reset — the detector fired iff the return value >= h (S has then been
+  /// reset to 0 so the next burst re-arms).
+  double update(double x, double k, double h);
+
+  double value() const { return s_; }
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t firings() const { return firings_; }
+
+  void restore(double s, std::uint64_t samples, std::uint64_t firings);
+
+  bool operator==(const CusumDetector&) const = default;
+
+ private:
+  double s_ = 0.0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t firings_ = 0;
+};
+
+/// Exponentially-weighted mean/variance tracker with z-score alerts:
+///
+///   z_t    = (x_t - m_{t-1}) / max(sigma_{t-1}, sigma_floor)
+///   m_t    = (1 - a) m_{t-1} + a x_t
+///   v_t    = (1 - a) (v_{t-1} + a (x_t - m_{t-1})^2)
+///
+/// The score is taken against the *prior* estimate (the new sample must
+/// not defend itself), and the variance floor keeps an eerily-stable
+/// warmup from turning round-off into infinite z. Warmup: until
+/// min_samples observations have been folded in, update() reports z = 0.
+class EwmaDetector {
+ public:
+  EwmaDetector() = default;
+
+  /// Feed one observation; returns the z-score of x against the prior
+  /// mean/deviation (0 during warmup), then folds x into the estimate.
+  double update(double x, double alpha, std::uint64_t min_samples);
+
+  double mean() const { return mean_; }
+  double variance() const { return var_; }
+  std::uint64_t samples() const { return samples_; }
+
+  void restore(double mean, double var, std::uint64_t samples);
+
+  bool operator==(const EwmaDetector&) const = default;
+
+  /// Deviation floor: relative to the running mean so the detector is
+  /// scale-free (P2A ratios ~2, peak units ~1e5 both work).
+  static double sigma_floor(double mean);
+
+ private:
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace tdp::obs::incident

@@ -42,6 +42,41 @@ void append_json_escaped(std::string& out, const std::string& text) {
   }
 }
 
+void append_event_json(std::string& out, const JournalEvent& event) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"seq\":%llu,\"kind\":\"",
+                static_cast<unsigned long long>(event.seq));
+  out += buf;
+  append_json_escaped(out, event.kind);
+  std::snprintf(buf, sizeof buf,
+                "\",\"period\":%lld,\"shard\":%lld,\"user\":%lld,"
+                "\"detail\":\"",
+                static_cast<long long>(event.period),
+                static_cast<long long>(event.shard),
+                static_cast<long long>(event.user));
+  out += buf;
+  append_json_escaped(out, event.detail);
+  out += "\",\"fields\":{";
+  for (std::size_t f = 0; f < event.fields.size(); ++f) {
+    if (f) out += ',';
+    out += '"';
+    append_json_escaped(out, event.fields[f].first);
+    out += "\":";
+    std::snprintf(buf, sizeof buf, "%.17g", event.fields[f].second);
+    out += buf;
+  }
+  out += "}}";
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool complete = written == text.size();
+  const bool closed = std::fclose(file) == 0;
+  return complete && closed;
+}
+
 }  // namespace
 
 bool journal_enabled() {
@@ -99,44 +134,29 @@ std::string Journal::json() const {
   const std::vector<JournalEvent> events = snapshot();
   std::string out = "[";
   for (std::size_t i = 0; i < events.size(); ++i) {
-    const JournalEvent& event = events[i];
     if (i) out += ',';
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "{\"seq\":%llu,\"kind\":\"",
-                  static_cast<unsigned long long>(event.seq));
-    out += buf;
-    append_json_escaped(out, event.kind);
-    std::snprintf(buf, sizeof buf,
-                  "\",\"period\":%lld,\"shard\":%lld,\"user\":%lld,"
-                  "\"detail\":\"",
-                  static_cast<long long>(event.period),
-                  static_cast<long long>(event.shard),
-                  static_cast<long long>(event.user));
-    out += buf;
-    append_json_escaped(out, event.detail);
-    out += "\",\"fields\":{";
-    for (std::size_t f = 0; f < event.fields.size(); ++f) {
-      if (f) out += ',';
-      out += '"';
-      append_json_escaped(out, event.fields[f].first);
-      out += "\":";
-      std::snprintf(buf, sizeof buf, "%.17g", event.fields[f].second);
-      out += buf;
-    }
-    out += "}}";
+    append_event_json(out, events[i]);
   }
   out += ']';
   return out;
 }
 
 bool Journal::write_json(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) return false;
-  const std::string text = json();
-  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
-  const bool complete = written == text.size();
-  const bool closed = std::fclose(file) == 0;
-  return complete && closed;
+  return write_text(path, json());
+}
+
+std::string Journal::jsonl() const {
+  const std::vector<JournalEvent> events = snapshot();
+  std::string out;
+  for (const JournalEvent& event : events) {
+    append_event_json(out, event);
+    out += '\n';
+  }
+  return out;
+}
+
+bool Journal::write_jsonl(const std::string& path) const {
+  return write_text(path, jsonl());
 }
 
 void journal_record(

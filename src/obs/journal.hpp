@@ -65,6 +65,12 @@ class Journal {
   std::string json() const;
   bool write_json(const std::string& path) const;
 
+  /// JSON Lines: one event object per line (same object shape as json()),
+  /// trailing newline after every line. The streaming-friendly form that
+  /// tools/validate_trace.py --journal-jsonl checks.
+  std::string jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<JournalEvent> events_;

@@ -156,7 +156,47 @@ TEST(Exporters, PrometheusTextHasSanitizedNamesAndCumulativeBuckets) {
   EXPECT_NE(text.find("exp_latency_bucket{le=\"1\"} 1"), std::string::npos);
   EXPECT_NE(text.find("exp_latency_bucket{le=\"2\"} 2"), std::string::npos);
   EXPECT_NE(text.find("exp_latency_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("exp_latency_sum 11"), std::string::npos);
   EXPECT_NE(text.find("exp_latency_count 3"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusHelpLinesCarryTheDottedTaxonomyName) {
+  Registry registry;
+  registry.counter("exp.requests_total").add_always(7);
+  registry.gauge("exp.level").set_always(2.0);
+  registry.histogram("exp.latency", HistogramSpec{{1.0, 2.0}, 1e9})
+      .observe_always(0.5);
+
+  const std::string text = prometheus_text(registry.snapshot());
+  // Every metric gets a # HELP line naming its registry (dotted) identity,
+  // immediately before the # TYPE line scrapers key on.
+  EXPECT_NE(
+      text.find("# HELP exp_requests_total TDP counter exp.requests_total\n"
+                "# TYPE exp_requests_total counter"),
+      std::string::npos);
+  EXPECT_NE(text.find("# HELP exp_level TDP gauge exp.level\n"
+                      "# TYPE exp_level gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP exp_latency TDP histogram exp.latency\n"
+                      "# TYPE exp_latency histogram"),
+            std::string::npos);
+}
+
+TEST(Exporters, PrometheusTextIsByteStableAcrossIdenticalRegistries) {
+  // Same hammer workload at different thread counts: the rendered
+  // exposition text (not just the snapshot) must be byte-identical, so a
+  // scrape diff is always a real telemetry change and never thread-layout
+  // noise.
+  const std::size_t hw = default_thread_count();
+  Registry serial;
+  Registry parallel;
+  hammer(serial, 6000, 1);
+  hammer(parallel, 6000, hw > 1 ? hw : 4);
+  const std::string a = prometheus_text(serial.snapshot());
+  const std::string b = prometheus_text(parallel.snapshot());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("# HELP hammer_values TDP histogram hammer.values"),
+            std::string::npos);
 }
 
 TEST(Trace, SpansNestWithMatchedPairsAndMonotoneTimestamps) {
@@ -216,6 +256,52 @@ TEST(Trace, DisabledSpansRecordNothing) {
   EXPECT_EQ(trace_event_count(), before);
 }
 
+TEST(Trace, BuffersSurviveThreadExitWithoutLosingEvents) {
+  SwitchGuard guard;
+  set_trace_enabled(true);
+  trace_clear();
+
+  // Short-lived workers record spans and die before anyone reads the
+  // session. The session keeps each per-thread buffer alive (shared_ptr
+  // ownership), so every event must still be present after join — nothing
+  // is flushed-on-read from a thread that no longer exists.
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kSpansPerWorker = 5;
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([] {
+      for (std::size_t s = 0; s < kSpansPerWorker; ++s) {
+        TDP_OBS_SPAN("short-lived");
+        trace_instant("beat");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  set_trace_enabled(false);
+
+  const std::vector<TraceEvent> events = trace_events();
+  // Each span contributes a B/E pair plus one instant.
+  ASSERT_EQ(events.size(), kWorkers * kSpansPerWorker * 3);
+
+  // Per exited thread: the full complement of events, B/E balanced.
+  std::map<std::uint32_t, std::size_t> begins;
+  std::map<std::uint32_t, std::size_t> ends;
+  std::map<std::uint32_t, std::size_t> instants;
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'B') ++begins[e.tid];
+    if (e.phase == 'E') ++ends[e.tid];
+    if (e.phase == 'i') ++instants[e.tid];
+  }
+  EXPECT_EQ(begins.size(), kWorkers);
+  for (const auto& [tid, count] : begins) {
+    EXPECT_EQ(count, kSpansPerWorker) << "tid " << tid;
+    EXPECT_EQ(ends[tid], kSpansPerWorker) << "tid " << tid;
+    EXPECT_EQ(instants[tid], kSpansPerWorker) << "tid " << tid;
+  }
+  trace_clear();
+}
+
 TEST(Journal, EventsAreSequencedAndBounded) {
   SwitchGuard guard;
   set_journal_enabled(true);
@@ -247,6 +333,40 @@ TEST(Journal, EventsAreSequencedAndBounded) {
   EXPECT_EQ(Journal::global().appended(), 4u);
 
   journal.set_capacity(1 << 16);
+  journal.clear();
+}
+
+TEST(Journal, JsonlEmitsOneObjectPerLineInSequenceOrder) {
+  SwitchGuard guard;
+  set_journal_enabled(true);
+  Journal& journal = Journal::global();
+  journal.clear();
+
+  journal_record("incident.open", 3, 0, "loop disturbance",
+                 {{"severity", 2.0}});
+  journal_record("incident.close", 7, 0, "recovered");
+  const std::string lines = journal.jsonl();
+
+  // JSONL contract (what tools/validate_trace.py consumes): one complete
+  // {...} object per newline-terminated line, seq strictly increasing.
+  std::vector<std::string> rows;
+  std::size_t start = 0;
+  for (std::size_t nl = lines.find('\n'); nl != std::string::npos;
+       nl = lines.find('\n', start)) {
+    rows.push_back(lines.substr(start, nl - start));
+    start = nl + 1;
+  }
+  EXPECT_EQ(start, lines.size());  // newline-terminated, no trailing junk
+  ASSERT_EQ(rows.size(), 2u);
+  for (const std::string& row : rows) {
+    EXPECT_EQ(row.front(), '{');
+    EXPECT_EQ(row.back(), '}');
+  }
+  EXPECT_NE(rows[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(rows[0].find("\"kind\":\"incident.open\""), std::string::npos);
+  EXPECT_NE(rows[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(rows[1].find("\"kind\":\"incident.close\""), std::string::npos);
+
   journal.clear();
 }
 

@@ -65,6 +65,18 @@ the other suites:
       [--min-sessions-per-second 1e7] [--max-fleet-wall-seconds 1.0] \
       [--update]
 
+`--suite incident` gates BENCH_incident.json from bench_incident: the calm
+run must open zero incidents (--max-false-incidents, default 0 — sensitive
+alerts are fine, opened incidents are not), every injected storm onset must
+be answered by the matching detector (onsets_detected == onsets_total) with
+max_detection_lag_periods <= --max-detection-lag (default 4), the
+engine-on-vs-off overhead must stay under --max-incident-overhead (default
+0.15 at CI scale; the <=1% acceptance claim is measured at 1M users), and
+every *_seconds field is gated against the baseline like the other suites:
+
+  tools/check_bench_regression.py --suite incident BENCH_incident.json \
+      [--baseline bench/baselines/BENCH_incident.baseline.json] [--update]
+
 A second mode gates telemetry overhead instead: give it the stdout logs of
 two bench_fleet_scale runs — one with observability on (TDP_OBS=1
 TDP_TRACE=1), one with it off (TDP_OBS=0) — and it compares the
@@ -227,6 +239,73 @@ def check_storm_resilience(current: dict, min_retention: float,
     return failures
 
 
+def check_incident_engine(current: dict, max_detection_lag: float,
+                          max_false_incidents: float,
+                          max_overhead: float) -> list[str]:
+    """The incident suite's machine-independent gates: zero false incidents
+    on the calm run, every storm onset detected within the lag ceiling, and
+    the pure-observer overhead ceiling."""
+    failures = []
+    benches = current.get("benches", {})
+
+    calm = benches.get("incident_calm")
+    if calm is None or "false_incidents" not in calm:
+        failures.append("missing bench 'incident_calm' with false_incidents")
+    else:
+        false_incidents = calm["false_incidents"]
+        if false_incidents > max_false_incidents:
+            failures.append(
+                f"incident_calm: {false_incidents:.0f} incidents opened on "
+                f"the calm run (ceiling {max_false_incidents:.0f})")
+        else:
+            print(f"  OK  incident_calm.false_incidents = "
+                  f"{false_incidents:.0f} (ceiling {max_false_incidents:.0f})")
+
+    detection = benches.get("incident_detection")
+    if detection is None or "onsets_total" not in detection:
+        failures.append("missing bench 'incident_detection' with onset counts")
+    else:
+        total = detection.get("onsets_total", 0.0)
+        detected = detection.get("onsets_detected", 0.0)
+        lag = detection.get("max_detection_lag_periods")
+        if total <= 0.0:
+            failures.append("incident_detection: no storm onsets in the run "
+                            "(nothing was tested)")
+        elif detected < total:
+            failures.append(
+                f"incident_detection: only {detected:.0f}/{total:.0f} "
+                f"storm onsets answered by the matching detector")
+        else:
+            print(f"  OK  incident_detection: {detected:.0f}/{total:.0f} "
+                  f"onsets answered")
+        if lag is None:
+            failures.append(
+                "incident_detection: missing max_detection_lag_periods")
+        elif lag > max_detection_lag:
+            failures.append(
+                f"incident_detection: max_detection_lag_periods {lag:.0f} "
+                f"above the {max_detection_lag:.0f} ceiling")
+        else:
+            print(f"  OK  incident_detection.max_detection_lag_periods = "
+                  f"{lag:.0f} (ceiling {max_detection_lag:.0f})")
+
+    overhead_entry = benches.get("incident_overhead")
+    if (overhead_entry is None
+            or "incident_overhead_fraction" not in overhead_entry):
+        failures.append("missing bench 'incident_overhead' with "
+                        "incident_overhead_fraction")
+    else:
+        overhead = overhead_entry["incident_overhead_fraction"]
+        if overhead > max_overhead:
+            failures.append(
+                f"incident_overhead: {overhead:.3f} above the "
+                f"{max_overhead:.2f} ceiling")
+        else:
+            print(f"  OK  incident_overhead.incident_overhead_fraction = "
+                  f"{overhead:.3f} (ceiling {max_overhead:.2f})")
+    return failures
+
+
 def check_fleet_throughput(current: dict, baseline: dict | None,
                            min_sessions_per_second: float,
                            max_fleet_wall_seconds: float,
@@ -352,14 +431,16 @@ def main() -> int:
                              "this run")
     parser.add_argument("--suite",
                         choices=("kernel", "horizon", "mechanism", "storm",
-                                 "fleet"),
+                                 "fleet", "incident"),
                         default="kernel",
                         help="which bench suite the input comes from; "
                              "'horizon' skips the kernel speedup floors, "
                              "'mechanism' checks the arena ordering, "
                              "'storm' checks P2A retention and streaming "
                              "overhead, 'fleet' checks throughput floors "
-                             "and the day wall ceiling instead")
+                             "and the day wall ceiling, 'incident' checks "
+                             "detection lag / false incidents / engine "
+                             "overhead instead")
     parser.add_argument("--fleet-overhead", nargs=2, type=Path,
                         metavar=("ON_LOG", "OFF_LOG"),
                         help="compare bench_fleet_scale stdout logs with "
@@ -386,6 +467,16 @@ def main() -> int:
     parser.add_argument("--max-stream-overhead", type=float, default=0.15,
                         help="ceiling on stream_overhead_fraction in the "
                              "storm suite")
+    parser.add_argument("--max-detection-lag", type=float, default=4.0,
+                        help="ceiling on max_detection_lag_periods in the "
+                             "incident suite")
+    parser.add_argument("--max-false-incidents", type=float, default=0.0,
+                        help="ceiling on the calm run's opened incidents in "
+                             "the incident suite")
+    parser.add_argument("--max-incident-overhead", type=float, default=0.15,
+                        help="ceiling on incident_overhead_fraction in the "
+                             "incident suite (CI scale; the acceptance "
+                             "claim is <=1%% at 1M users)")
     parser.add_argument("--min-sessions-per-second", type=float, default=0.0,
                         help="absolute throughput floor for every fleet "
                              "cell (0 disables; the acceptance gate uses "
@@ -426,6 +517,10 @@ def main() -> int:
                                            args.min_sessions_per_second,
                                            args.max_fleet_wall_seconds,
                                            args.tolerance)
+    if args.suite == "incident":
+        failures += check_incident_engine(current, args.max_detection_lag,
+                                          args.max_false_incidents,
+                                          args.max_incident_overhead)
 
     if args.update:
         if failures:

@@ -6,8 +6,11 @@ Validates:
                   whose events have a known phase, and whose B/E events are
                   stack-matched with monotone timestamps within each thread.
   --journal FILE  structured event journal: a JSON array of objects with
-                  strictly increasing "seq", non-empty "kind" strings, and
+                  strictly increasing "seq", known "kind" strings, and
                   numeric fields maps.
+  --journal-jsonl FILE
+                  the same journal schema in JSONL form (Journal::jsonl():
+                  one event object per line), same invariants per event.
   --metrics FILE  registry snapshot JSON: counters/gauges/histograms maps;
                   each histogram's bucket counts must sum to its count.
 
@@ -22,6 +25,32 @@ import json
 import sys
 
 KNOWN_PHASES = {"B", "E", "X", "i", "M"}
+
+# Every journal kind the codebase emits (grep journal_record call sites).
+# A new emitter must be added here — the schema check is the tripwire.
+KNOWN_KINDS = {
+    "batch.solve",
+    "channel.fallback",
+    "channel.recovery",
+    "fleet.measurement_gap",
+    "fleet.stripe_lost",
+    "guard.repair",
+    "horizon.estimation_frozen",
+    "horizon.reanchor_adopted",
+    "horizon.reanchor_deferred",
+    "horizon.reanchor_rolledback",
+    "incident.advisory",
+    "incident.alert",
+    "incident.close",
+    "incident.dump",
+    "incident.open",
+    "mech.publish",
+    "mech.settle",
+    "pricer.health",
+    "pricer.solve",
+    "solver.converged",
+    "tube.phase",
+}
 
 
 def fail(message: str) -> None:
@@ -79,6 +108,30 @@ def validate_trace(path: str) -> None:
           f"{len(last_ts)} threads")
 
 
+def check_journal_event(path: str, index: int, event, previous_seq: int,
+                        kinds: dict[str, int]) -> int:
+    """Validate one journal event; returns its seq."""
+    if not isinstance(event, dict):
+        fail(f"{path}: event {index} is not an object")
+    seq = event.get("seq")
+    if not isinstance(seq, int) or seq <= previous_seq:
+        fail(f"{path}: event {index} seq {seq!r} is not strictly "
+             f"increasing (previous {previous_seq})")
+    kind = event.get("kind")
+    if not isinstance(kind, str) or not kind:
+        fail(f"{path}: event {index} has an empty kind")
+    if kind not in KNOWN_KINDS:
+        fail(f"{path}: event {index} has unknown kind {kind!r}")
+    kinds[kind] = kinds.get(kind, 0) + 1
+    fields = event.get("fields", {})
+    if not isinstance(fields, dict):
+        fail(f"{path}: event {index} fields is not an object")
+    for name, value in fields.items():
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: event {index} field {name!r} is non-numeric")
+    return seq
+
+
 def validate_journal(path: str) -> None:
     events = load_json(path)
     if not isinstance(events, list):
@@ -86,26 +139,34 @@ def validate_journal(path: str) -> None:
     previous_seq = -1
     kinds: dict[str, int] = {}
     for index, event in enumerate(events):
-        if not isinstance(event, dict):
-            fail(f"{path}: event {index} is not an object")
-        seq = event.get("seq")
-        if not isinstance(seq, int) or seq <= previous_seq:
-            fail(f"{path}: event {index} seq {seq!r} is not strictly "
-                 f"increasing (previous {previous_seq})")
-        previous_seq = seq
-        kind = event.get("kind")
-        if not isinstance(kind, str) or not kind:
-            fail(f"{path}: event {index} has an empty kind")
-        kinds[kind] = kinds.get(kind, 0) + 1
-        fields = event.get("fields", {})
-        if not isinstance(fields, dict):
-            fail(f"{path}: event {index} fields is not an object")
-        for name, value in fields.items():
-            if not isinstance(value, (int, float)):
-                fail(f"{path}: event {index} field {name!r} is non-numeric")
+        previous_seq = check_journal_event(path, index, event, previous_seq,
+                                           kinds)
     summary = ", ".join(f"{kind}={count}"
                         for kind, count in sorted(kinds.items()))
     print(f"validate_trace: OK {path}: {len(events)} events ({summary})")
+
+
+def validate_journal_jsonl(path: str) -> None:
+    previous_seq = -1
+    kinds: dict[str, int] = {}
+    count = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    fail(f"{path}: line {index + 1} is empty")
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as error:
+                    fail(f"{path}: line {index + 1}: {error}")
+                previous_seq = check_journal_event(path, index, event,
+                                                   previous_seq, kinds)
+                count += 1
+    except OSError as error:
+        fail(f"{path}: {error}")
+    summary = ", ".join(f"{kind}={n}" for kind, n in sorted(kinds.items()))
+    print(f"validate_trace: OK {path}: {count} jsonl events ({summary})")
 
 
 def validate_metrics(path: str) -> None:
@@ -134,14 +195,19 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace_event JSON file")
     parser.add_argument("--journal", help="event journal JSON file")
+    parser.add_argument("--journal-jsonl",
+                        help="event journal JSONL file (one event per line)")
     parser.add_argument("--metrics", help="metrics snapshot JSON file")
     args = parser.parse_args()
-    if not (args.trace or args.journal or args.metrics):
-        parser.error("nothing to validate; pass --trace/--journal/--metrics")
+    if not (args.trace or args.journal or args.journal_jsonl or args.metrics):
+        parser.error("nothing to validate; pass "
+                     "--trace/--journal/--journal-jsonl/--metrics")
     if args.trace:
         validate_trace(args.trace)
     if args.journal:
         validate_journal(args.journal)
+    if args.journal_jsonl:
+        validate_journal_jsonl(args.journal_jsonl)
     if args.metrics:
         validate_metrics(args.metrics)
 
